@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table/figure of EXPERIMENTS.md: it runs
+the registered experiment at benchmark scale, writes the rendered table
+to ``benchmarks/results/``, and times a representative operation with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered experiment table for EXPERIMENTS.md."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,20 @@
+"""E11: multi-dimensional index build time and size."""
+
+from repro.bench import MULTI_DIM_FACTORIES, render_table
+from repro.bench.experiments import run_e11
+from repro.data import load_nd
+
+from .conftest import save_result
+
+N = 8000
+
+
+def test_e11_build_and_size(benchmark, results_dir):
+    rows = run_e11(n=N)
+    save_result(results_dir, "E11_mdim_size",
+                render_table(rows, title=f"E11: multi-d build & size (n={N})"))
+
+    pts = load_nd("clusters", N, seed=1)
+    benchmark(lambda: MULTI_DIM_FACTORIES["zm-index"]().build(pts))
+    assert all(r["size_bytes"] > 0 for r in rows)
+    assert all(r["build_s"] >= 0 for r in rows)

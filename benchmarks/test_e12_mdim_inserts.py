@@ -1,0 +1,31 @@
+"""E12: mutable multi-dimensional insert throughput."""
+
+import numpy as np
+
+from repro.bench import MUTABLE_MULTI_DIM_FACTORIES, render_table
+from repro.bench.experiments import run_e12
+from repro.data import load_nd
+
+from .conftest import save_result
+
+N = 6000
+INSERTS = 3000
+
+
+def test_e12_mdim_inserts(benchmark, results_dir):
+    rows = run_e12(n=N, inserts=INSERTS)
+    save_result(results_dir, "E12_mdim_inserts",
+                render_table(rows, title=f"E12: multi-d inserts (preload={N})"))
+
+    pts = load_nd("clusters", N, seed=1)
+    index = MUTABLE_MULTI_DIM_FACTORIES["lisa"]().build(pts)
+    rng = np.random.default_rng(2)
+    fresh = rng.uniform(0, 1000, (300, 2))
+
+    def run():
+        for i, p in enumerate(fresh):
+            index.insert(p + rng.uniform(0, 1e-6, 2), i)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(r["inserts_per_s"] > 0 for r in rows)
+    assert all(r["post_insert_lookup_us"] > 0 for r in rows)

@@ -1,0 +1,31 @@
+"""E13: poisoning attacks on learned indexes (open challenge §6.7)."""
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.bench.extensions import poison_keys, run_e13
+from repro.data import load_1d
+from repro.onedim import RMIIndex
+
+from .conftest import save_result
+
+N = 10000
+
+
+def test_e13_poisoning(benchmark, results_dir):
+    rows = run_e13(n=N, lookups=200)
+    save_result(results_dir, "E13_poisoning",
+                render_table(rows, title=f"E13: poisoning attacks (n={N})"))
+
+    clean = load_1d("uniform", N, seed=1)
+    poisoned = np.sort(np.concatenate([clean, poison_keys(clean, 0.2, seed=2)]))
+    benchmark(lambda: RMIIndex(num_models=64).build(poisoned))
+
+    by = {(r["index"], r["poison_fraction"]): r for r in rows}
+    fractions = sorted({r["poison_fraction"] for r in rows})
+    # RMI model error grows monotonically with poison volume; the PGM's
+    # worst-case guarantee pins its error at epsilon throughout.
+    rmi_errors = [by[("rmi", f)]["max_model_error"] for f in fractions]
+    assert rmi_errors == sorted(rmi_errors)
+    assert rmi_errors[-1] > 20 * max(rmi_errors[0], 1)
+    assert all(by[("pgm (eps=32)", f)]["max_model_error"] == 32 for f in fractions)

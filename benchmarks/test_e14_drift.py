@@ -1,0 +1,24 @@
+"""E14: distribution drift and re-training (open challenge §6.3)."""
+
+from repro.bench import render_table
+from repro.bench.extensions import run_e14
+from repro.data import load_1d
+from repro.onedim import LearnedSkipList
+
+from .conftest import save_result
+
+N = 8000
+
+
+def test_e14_drift_and_retraining(benchmark, results_dir):
+    rows = run_e14(n=N, drift_inserts=N, lookups=200)
+    save_result(results_dir, "E14_drift",
+                render_table(rows, title=f"E14: drift + rebuild (n={N})"))
+
+    keys = load_1d("uniform", N, seed=1)
+    benchmark(lambda: LearnedSkipList().build(keys))
+
+    by = {(r["index"], r["phase"]): r for r in rows}
+    # Re-training recovers the stale-guide skip list.
+    assert (by[("learned-skiplist", "rebuilt")]["lookup_us"]
+            < by[("learned-skiplist", "drifted")]["lookup_us"])

@@ -1,0 +1,26 @@
+"""E16: SNARF learned range filter — FPR vs bit budget."""
+
+from repro.bench import render_table
+from repro.bench.extensions import run_e16
+from repro.data import load_1d
+from repro.onedim import SNARFFilter
+
+from .conftest import save_result
+
+N = 20000
+
+
+def test_e16_range_filter(benchmark, results_dir):
+    rows = run_e16(n=N, queries=1000)
+    save_result(results_dir, "E16_range_filter",
+                render_table(rows, title=f"E16: SNARF range filter (n={N})"))
+
+    keys = load_1d("lognormal", N, seed=1)
+    benchmark(lambda: SNARFFilter(bits_per_key=8).build(keys))
+
+    snarf_rows = [r for r in rows if r["filter"] == "snarf"]
+    # Zero false negatives at every budget; FPR falls monotonically.
+    assert all(r["false_negatives"] == 0 for r in snarf_rows)
+    fprs = [r["range_fpr"] for r in snarf_rows]
+    assert fprs == sorted(fprs, reverse=True)
+    assert fprs[-1] < 0.25

@@ -1,0 +1,36 @@
+"""E1: one-dimensional point-lookup latency, index x distribution."""
+
+import numpy as np
+
+from repro.bench import ONE_DIM_FACTORIES, render_table
+from repro.bench.experiments import run_e1
+from repro.data import load_1d, point_lookups
+
+from .conftest import save_result
+
+N = 20000
+LOOKUPS = 300
+DATASETS = ("uniform", "lognormal", "books", "osm", "fb")
+
+
+def test_e1_lookup_latency(benchmark, results_dir):
+    rows = run_e1(n=N, lookups=LOOKUPS, datasets=DATASETS)
+    save_result(results_dir, "E1_lookup_1d",
+                render_table(rows, title=f"E1: 1-d lookups (n={N}, {LOOKUPS} queries)"))
+
+    # Representative timed op: PGM lookups on the hardest dataset.
+    keys = load_1d("osm", N, seed=1)
+    index = ONE_DIM_FACTORIES["pgm"]().build(keys)
+    queries = point_lookups(keys, 100, seed=2)
+
+    def run():
+        for q in queries:
+            index.lookup(float(q))
+
+    benchmark(run)
+    # Shape check: learned indexes must do fewer comparisons than binary
+    # search on every dataset.
+    by = {(r["dataset"], r["index"]): r for r in rows}
+    for ds in DATASETS:
+        assert by[(ds, "pgm")]["cmp_per_op"] < by[(ds, "binary-search")]["cmp_per_op"]
+        assert by[(ds, "rmi")]["cmp_per_op"] < by[(ds, "binary-search")]["cmp_per_op"]

@@ -1,0 +1,25 @@
+"""E2: one-dimensional index size and build time."""
+
+from repro.bench import ONE_DIM_FACTORIES, render_table
+from repro.bench.experiments import run_e2
+from repro.data import load_1d
+
+from .conftest import save_result
+
+N = 20000
+
+
+def test_e2_size_and_build(benchmark, results_dir):
+    rows = run_e2(n=N, datasets=("uniform", "books", "osm"))
+    save_result(results_dir, "E2_size_build",
+                render_table(rows, title=f"E2: 1-d index size & build (n={N})"))
+
+    keys = load_1d("books", N, seed=1)
+    benchmark(lambda: ONE_DIM_FACTORIES["pgm"]().build(keys))
+
+    # Shape checks: the learned-index size claim.
+    by = {(r["dataset"], r["index"]): r for r in rows}
+    for ds in ("uniform", "books", "osm"):
+        assert by[(ds, "pgm")]["size_bytes"] < by[(ds, "b+tree")]["size_bytes"] / 10
+        assert by[(ds, "rmi")]["size_bytes"] < by[(ds, "b+tree")]["size_bytes"]
+        assert by[(ds, "radix-spline")]["size_bytes"] < by[(ds, "b+tree")]["size_bytes"]

@@ -1,0 +1,30 @@
+"""E4: mixed read/write workloads over the mutable 1-d indexes."""
+
+from repro.bench import MUTABLE_ONE_DIM_FACTORIES, render_table
+from repro.bench.experiments import run_e4
+from repro.data import load_1d, mixed_workload
+
+from .conftest import save_result
+
+N = 8000
+OPS = 3000
+
+
+def test_e4_mixed_workloads(benchmark, results_dir):
+    rows = run_e4(n=N, ops=OPS)
+    save_result(results_dir, "E4_mixed",
+                render_table(rows, title=f"E4: mixed workloads (n={N}, ops={OPS})"))
+
+    keys = load_1d("lognormal", N, seed=1)
+    workload = list(mixed_workload(keys, 500, 0.5, seed=3))
+    index = MUTABLE_ONE_DIM_FACTORIES["lipp"]().build(keys)
+
+    def run():
+        for op in workload:
+            if op.kind == "read":
+                index.lookup(op.key)
+            else:
+                index.insert(op.key, None)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(r["ops_per_s"] > 0 for r in rows)

@@ -1,0 +1,26 @@
+"""E5: the PGM epsilon trade-off (index size vs lookup effort)."""
+
+from repro.bench import render_table
+from repro.bench.experiments import run_e5
+from repro.data import load_1d
+from repro.onedim import PGMIndex
+
+from .conftest import save_result
+
+N = 50000
+
+
+def test_e5_epsilon_tradeoff(benchmark, results_dir):
+    rows = run_e5(n=N, lookups=300)
+    save_result(results_dir, "E5_epsilon",
+                render_table(rows, title=f"E5: PGM epsilon sweep (n={N})"))
+
+    keys = load_1d("books", N, seed=1)
+    benchmark(lambda: PGMIndex(epsilon=64).build(keys))
+
+    # The paper's trade-off: size and segments shrink monotonically with
+    # epsilon while per-lookup comparisons grow.
+    sizes = [r["size_bytes"] for r in rows]
+    cmps = [r["cmp_per_op"] for r in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    assert cmps[0] < cmps[-1]

@@ -1,0 +1,35 @@
+"""E6: Bloom-filter family — FPR at equal bit budgets."""
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.bench.experiments import run_e6
+from repro.data import load_1d, negative_lookups
+from repro.onedim import LearnedBloomFilter
+
+from .conftest import save_result
+
+N = 8000
+
+
+def test_e6_bloom_family(benchmark, results_dir):
+    rows = run_e6(n=N)
+    save_result(results_dir, "E6_bloom",
+                render_table(rows, title=f"E6: Bloom family FPR (n={N} clustered keys)"))
+
+    keys = load_1d("osm", N, seed=1)
+    negatives = negative_lookups(keys, 500, seed=2)
+    flt = LearnedBloomFilter(bits_budget=N * 10).build(keys)
+
+    def probe():
+        for q in negatives:
+            flt.might_contain(float(q))
+
+    benchmark(probe)
+
+    # Shapes: all filters improve with more bits; the learned variants
+    # reach low FPR at small budgets on clustered keys.
+    by = {(r["filter"], r["bits_per_key"]): r["fpr"] for r in rows}
+    for name in ("bloom", "learned", "sandwiched", "partitioned"):
+        assert by[(name, 16)] <= by[(name, 6)] + 0.02
+    assert by[("learned", 6)] < 0.5

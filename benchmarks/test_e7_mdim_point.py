@@ -1,0 +1,31 @@
+"""E7: multi-dimensional point queries across data distributions."""
+
+import numpy as np
+
+from repro.bench import MULTI_DIM_FACTORIES, render_table
+from repro.bench.experiments import run_e7
+from repro.data import load_nd
+
+from .conftest import save_result
+
+N = 8000
+LOOKUPS = 200
+
+
+def test_e7_point_queries(benchmark, results_dir):
+    rows = run_e7(n=N, lookups=LOOKUPS)
+    save_result(results_dir, "E7_mdim_point",
+                render_table(rows, title=f"E7: multi-d point queries (n={N})"))
+
+    pts = load_nd("clusters", N, seed=1)
+    index = MULTI_DIM_FACTORIES["flood"]().build(pts)
+    rng = np.random.default_rng(2)
+    queries = pts[rng.integers(0, N, 100)]
+
+    def run():
+        for q in queries:
+            index.point_query(q)
+
+    benchmark(run)
+    # Every index answers every query (hits == LOOKUPS).
+    assert all(r["hits"] == LOOKUPS for r in rows)

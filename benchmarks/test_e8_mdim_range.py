@@ -1,0 +1,35 @@
+"""E8: multi-dimensional range queries across selectivities."""
+
+from repro.bench import MULTI_DIM_FACTORIES, render_table
+from repro.bench.experiments import run_e8
+from repro.data import load_nd, range_queries_nd
+
+from .conftest import save_result
+
+N = 8000
+
+
+def test_e8_range_selectivity(benchmark, results_dir):
+    rows = run_e8(n=N, queries=40)
+    save_result(results_dir, "E8_mdim_range",
+                render_table(rows, title=f"E8: multi-d range queries (n={N})"))
+
+    pts = load_nd("clusters", N, seed=1)
+    boxes = range_queries_nd(pts, 20, 0.01, seed=2)
+    index = MULTI_DIM_FACTORIES["flood"]().build(pts)
+
+    def run():
+        for lo, hi in boxes:
+            index.range_query(lo, hi)
+
+    benchmark(run)
+
+    # Result sizes must grow with selectivity for every index.
+    for name in {r["index"] for r in rows}:
+        per_sel = sorted(
+            (r["selectivity"], r["avg_results"])
+            for r in rows
+            if r["index"] == name and r["dataset"] == "uniform"
+        )
+        sizes = [s for _, s in per_sel]
+        assert sizes == sorted(sizes), name

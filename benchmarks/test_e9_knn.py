@@ -1,0 +1,30 @@
+"""E9: kNN query latency."""
+
+from repro.bench import MULTI_DIM_FACTORIES, render_table
+from repro.bench.experiments import run_e9
+from repro.data import knn_queries, load_nd
+
+from .conftest import save_result
+
+N = 8000
+
+
+def test_e9_knn(benchmark, results_dir):
+    rows = run_e9(n=N, queries=30)
+    save_result(results_dir, "E9_knn",
+                render_table(rows, title=f"E9: kNN queries (n={N} clustered)"))
+
+    pts = load_nd("clusters", N, seed=1)
+    index = MULTI_DIM_FACTORIES["kd-tree"]().build(pts)
+    queries = knn_queries(pts, 20, seed=2)
+
+    def run():
+        for q in queries:
+            index.knn_query(q, 10)
+
+    benchmark(run)
+
+    # Larger k costs at least as much for the guided searchers.
+    by = {(r["index"], r["k"]): r["knn_us"] for r in rows}
+    assert by[("kd-tree", 100)] > by[("kd-tree", 1)]
+    assert by[("r-tree", 100)] > by[("r-tree", 1)]

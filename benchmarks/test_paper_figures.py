@@ -1,0 +1,29 @@
+"""F1-F3 + T1: regenerate the paper's figures from the registry."""
+
+from repro.bench import run_experiment
+
+from .conftest import save_result
+
+
+def test_figure1_spectrum(benchmark, results_dir):
+    text = benchmark(run_experiment, "F1")
+    save_result(results_dir, "F1_spectrum", text)
+    assert "Spectrum" in text
+
+
+def test_figure2_taxonomy(benchmark, results_dir):
+    text = benchmark(run_experiment, "F2")
+    save_result(results_dir, "F2_taxonomy", text)
+    assert "Taxonomy" in text
+
+
+def test_figure3_timeline(benchmark, results_dir):
+    text = benchmark(run_experiment, "F3")
+    save_result(results_dir, "F3_timeline", text)
+    assert "Evolution" in text
+
+
+def test_table_summary(benchmark, results_dir):
+    text = benchmark(run_experiment, "T1")
+    save_result(results_dir, "T1_summary", text)
+    assert "query types" in text

@@ -1,0 +1,23 @@
+"""Regenerate the paper's figures and summary tables from the registry.
+
+Figure 1 (spectrum), Figure 2 (taxonomy), Figure 3 (evolution timeline),
+and the §5.6 summaries are all *generated* from
+:mod:`repro.core.registry` — run this to print them all.
+
+Run:  python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_experiment
+
+
+def main() -> None:
+    for fid in ("F1", "F2", "F3", "T1"):
+        print("=" * 78)
+        print(run_experiment(fid))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Spatial analytics scenario: learned multi-dimensional indexes.
+
+Simulates the workload that motivates learned spatial indexes: a
+city-scale point dataset (dense clusters + road-like lines + noise),
+range-heavy analytics queries, and nearest-neighbour lookups.  Compares
+the learned family (ZM-index, Flood, Tsunami, Qd-tree, LISA) against the
+R-tree and quadtree, including workload tuning for Flood.
+
+Run:  python examples/spatial_workload.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines import QuadTreeIndex, RTreeIndex
+from repro.bench import render_table
+from repro.data import knn_queries, load_nd, range_queries_nd
+from repro.multidim import FloodIndex, LISAIndex, QdTreeIndex, TsunamiIndex, ZMIndex
+
+
+def measure(index, boxes, knn_points) -> dict:
+    index.stats.reset_counters()
+    start = time.perf_counter()
+    total = 0
+    for lo, hi in boxes:
+        total += len(index.range_query(lo, hi))
+    range_us = (time.perf_counter() - start) / len(boxes) * 1e6
+
+    start = time.perf_counter()
+    for q in knn_points:
+        index.knn_query(q, 10)
+    knn_us = (time.perf_counter() - start) / len(knn_points) * 1e6
+    return {
+        "index": index.name,
+        "range_us": range_us,
+        "knn_us": knn_us,
+        "scanned/op": index.stats.keys_scanned / (len(boxes) + len(knn_points)),
+        "size_bytes": index.stats.size_bytes,
+        "results": total,
+    }
+
+
+def main() -> None:
+    n = 100_000
+    print(f"generating {n:,} OSM-like points (clusters + roads + noise) ...")
+    points = load_nd("osm-like", n, seed=11)
+    boxes = range_queries_nd(points, 100, 0.001, seed=12)
+    knn_points = knn_queries(points, 30, seed=13)
+
+    # A training workload for the learned layouts (disjoint from the
+    # evaluation queries).
+    train_boxes = range_queries_nd(points, 50, 0.001, seed=14)
+
+    rows = []
+    for make in (
+        lambda: RTreeIndex(max_entries=32),
+        lambda: QuadTreeIndex(capacity=32),
+        lambda: ZMIndex(bits=14),
+        lambda: FloodIndex(columns_per_dim=32),
+        lambda: TsunamiIndex(region_depth=3, columns_per_dim=16),
+        lambda: QdTreeIndex(min_block=512, workload=train_boxes),
+        lambda: LISAIndex(cells_per_dim=24, shard_size=512),
+    ):
+        index = make()
+        start = time.perf_counter()
+        index.build(points)
+        build_s = time.perf_counter() - start
+        if isinstance(index, (FloodIndex, TsunamiIndex)):
+            index.tune(train_boxes)
+        row = measure(index, boxes, knn_points)
+        row["build_s"] = build_s
+        rows.append(row)
+
+    print()
+    print(render_table(rows, title="Spatial workload: 100 range + 30 kNN queries"))
+    print()
+    print("Note the learned grid family (flood/tsunami) scanning far fewer")
+    print("keys per query than the R-tree on this clustered workload, and")
+    print("the qd-tree matching it by cutting blocks along the workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Explore the survey's registry of 100+ learned indexes.
+
+Shows how to query the machine-readable taxonomy: filter by axes, walk
+an index's lineage, and list what this library implements.
+
+Run:  python examples/taxonomy_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table
+from repro.core import (
+    Dimensionality,
+    InsertStrategy,
+    Layout,
+    Mutability,
+    REGISTRY,
+    Spectrum,
+    get,
+    lineage_graph,
+    query,
+)
+from repro.core.timeline import descendants, roots
+
+
+def main() -> None:
+    print(f"registry covers {len(REGISTRY)} surveyed learned indexes\n")
+
+    print("Mutable pure 1-d indexes with dynamic layouts and in-place inserts:")
+    for info in query(
+        mutability=Mutability.MUTABLE,
+        layout=Layout.DYNAMIC,
+        dimensionality=Dimensionality.ONE_DIMENSIONAL,
+        spectrum=Spectrum.PURE,
+        insert_strategy=InsertStrategy.IN_PLACE,
+    ):
+        mark = " [implemented here]" if info.implemented else ""
+        print(f"  {info.year}  {info.name:<12} {info.notes}{mark}")
+    print()
+
+    print("Lineage roots (the field's origin points):", ", ".join(roots()))
+    print(f"Everything descending from RMI: {len(descendants('RMI'))} indexes")
+    print("Flood's descendants:", ", ".join(descendants("Flood")))
+    print()
+
+    graph = lineage_graph()
+    most_influential = sorted(graph.nodes, key=lambda n: -graph.out_degree(n))[:8]
+    rows = [
+        {
+            "index": name,
+            "year": get(name).year,
+            "direct_successors": graph.out_degree(name),
+            "total_descendants": len(descendants(name)),
+        }
+        for name in most_influential
+    ]
+    print(render_table(rows, title="Most influential surveyed indexes"))
+    print()
+
+    implemented = [info for info in REGISTRY if info.implemented]
+    print(f"{len(implemented)} surveyed indexes are implemented in this library:")
+    for info in implemented:
+        print(f"  {info.name:<14} -> {info.implemented}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""learned-indexes: a reproduction of "Learned Indexes From the
+One-dimensional to the Multi-dimensional Spaces" (SIGMOD 2025 tutorial).
+
+The package has six layers:
+
+* :mod:`repro.core` -- index interfaces + the paper's taxonomy registry
+  and figure generators.
+* :mod:`repro.models` -- ML substrate (linear/PLA/spline/CDF/MLP/...).
+* :mod:`repro.baselines` -- traditional structures (B+-tree, R-tree, ...).
+* :mod:`repro.curves` -- space-filling curves (Z-order, Hilbert).
+* :mod:`repro.onedim` / :mod:`repro.multidim` -- the learned indexes.
+* :mod:`repro.data` / :mod:`repro.bench` -- workloads and the benchmark
+  harness (experiments E1-E12, figures F1-F3, table T1).
+
+Quickstart::
+
+    import numpy as np
+    from repro.onedim import PGMIndex
+
+    keys = np.sort(np.random.default_rng(0).uniform(0, 1e9, 1_000_000))
+    index = PGMIndex(epsilon=64).build(keys)
+    index.lookup(keys[42])      # -> 42
+    index.range_query(keys[10], keys[20])
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "models", "baselines", "curves", "onedim", "multidim", "data", "bench"]

@@ -1,0 +1,29 @@
+"""Traditional index structures: baselines and hybrid-index substrates."""
+
+from repro.baselines.bloom import BloomFilter, optimal_bits, optimal_hashes
+from repro.baselines.btree import BPlusTreeIndex
+from repro.baselines.gridfile import GridIndex
+from repro.baselines.hash_index import HashIndex
+from repro.baselines.kdtree import KDTreeIndex
+from repro.baselines.lsm import LSMTreeIndex, SortedRun, TOMBSTONE
+from repro.baselines.quadtree import QuadTreeIndex
+from repro.baselines.rtree import RTreeIndex
+from repro.baselines.skiplist import SkipListIndex
+from repro.baselines.sorted_array import SortedArrayIndex
+
+__all__ = [
+    "BloomFilter",
+    "optimal_bits",
+    "optimal_hashes",
+    "BPlusTreeIndex",
+    "GridIndex",
+    "HashIndex",
+    "KDTreeIndex",
+    "LSMTreeIndex",
+    "SortedRun",
+    "TOMBSTONE",
+    "QuadTreeIndex",
+    "RTreeIndex",
+    "SkipListIndex",
+    "SortedArrayIndex",
+]

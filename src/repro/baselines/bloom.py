@@ -1,0 +1,114 @@
+"""Standard Bloom filter (Bloom 1970).
+
+The baseline for the learned Bloom filter family, and the backup filter
+*inside* every learned Bloom filter (the learned variants must guarantee
+no false negatives, which only the classical filter can provide for keys
+the model rejects).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.interfaces import MembershipFilter
+
+__all__ = ["BloomFilter", "optimal_bits", "optimal_hashes"]
+
+
+def optimal_bits(n: int, fpr: float) -> int:
+    """Bits needed for ``n`` keys at target false-positive rate ``fpr``."""
+    if n <= 0:
+        return 8
+    if not 0.0 < fpr < 1.0:
+        raise ValueError("fpr must be in (0, 1)")
+    return max(8, int(math.ceil(-n * math.log(fpr) / (math.log(2) ** 2))))
+
+
+def optimal_hashes(bits: int, n: int) -> int:
+    """Optimal number of hash functions for ``bits`` and ``n`` keys."""
+    if n <= 0:
+        return 1
+    return max(1, int(round(bits / n * math.log(2))))
+
+
+class BloomFilter(MembershipFilter):
+    """A classic Bloom filter over float keys.
+
+    Construct either with an explicit bit budget (``bits``) or a target
+    false-positive rate (``target_fpr``) resolved at :meth:`build` time.
+    Hashing uses two independent 64-bit mixes combined as
+    ``h1 + i * h2`` (Kirsch-Mitzenmacher double hashing).
+    """
+
+    name = "bloom"
+
+    def __init__(self, bits: int | None = None, target_fpr: float = 0.01,
+                 num_hashes: int | None = None, seed: int = 1234567) -> None:
+        super().__init__()
+        self._bits_requested = bits
+        self._target_fpr = target_fpr
+        self._num_hashes_requested = num_hashes
+        self._seed = seed
+        self._bits = 0
+        self._num_hashes = 1
+        self._array = np.zeros(1, dtype=bool)
+        self._count = 0
+
+    def build(self, keys: Iterable[float]) -> "BloomFilter":
+        key_list = [float(k) for k in keys]
+        n = len(key_list)
+        self._bits = self._bits_requested or optimal_bits(n, self._target_fpr)
+        self._num_hashes = self._num_hashes_requested or optimal_hashes(self._bits, n)
+        self._array = np.zeros(self._bits, dtype=bool)
+        self._count = 0
+        for key in key_list:
+            self.add(key)
+        self.stats.size_bytes = (self._bits + 7) // 8
+        return self
+
+    def _hash_pair(self, key: float) -> tuple[int, int]:
+        # Mix the IEEE-754 bit pattern of the key with two different
+        # 64-bit constants (splitmix64-style finalisers).
+        raw = np.float64(key).view(np.uint64)
+        x = (int(raw) ^ self._seed) & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        h1 = (x ^ (x >> 31)) & 0xFFFFFFFFFFFFFFFF
+        y = (int(raw) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        y = (y ^ (y >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        y = (y ^ (y >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        h2 = (y ^ (y >> 31)) | 1
+        return h1, h2
+
+    def add(self, key: float) -> None:
+        """Insert ``key`` into the filter."""
+        h1, h2 = self._hash_pair(float(key))
+        for i in range(self._num_hashes):
+            self._array[(h1 + i * h2) % self._bits] = True
+        self._count += 1
+
+    def might_contain(self, key: float) -> bool:
+        if self._bits == 0:
+            return False
+        h1, h2 = self._hash_pair(float(key))
+        for i in range(self._num_hashes):
+            self.stats.comparisons += 1
+            if not self._array[(h1 + i * h2) % self._bits]:
+                return False
+        return True
+
+    @property
+    def bits(self) -> int:
+        """Size of the bit array."""
+        return self._bits
+
+    @property
+    def num_hashes(self) -> int:
+        """Number of hash probes per key."""
+        return self._num_hashes
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,179 @@
+"""Uniform grid index over d-dimensional points.
+
+The simplest spatial partitioning: a fixed ``cells_per_dim^d`` lattice of
+buckets.  It is both a baseline and the traditional component inside the
+learned grid hybrids (Flood learns the per-dimension resolutions that
+this structure takes as constants).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interfaces import MutableMultiDimIndex
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex(MutableMultiDimIndex):
+    """Fixed uniform grid with per-cell point buckets.
+
+    Args:
+        cells_per_dim: lattice resolution in every dimension (default 16).
+    """
+
+    name = "grid"
+
+    def __init__(self, cells_per_dim: int = 16) -> None:
+        super().__init__()
+        if cells_per_dim < 1:
+            raise ValueError("cells_per_dim must be >= 1")
+        self.cells_per_dim = cells_per_dim
+        self._cells: dict[tuple[int, ...], list[tuple[np.ndarray, object]]] = {}
+        self._lo = np.zeros(1)
+        self._hi = np.ones(1)
+        self._size = 0
+
+    def build(self, points: np.ndarray, values: Sequence[object] | None = None) -> "GridIndex":
+        pts, vals = self._prepare_points(points, values)
+        self.dims = int(pts.shape[1]) if pts.size else 0
+        self._cells = {}
+        self._size = int(pts.shape[0])
+        self._built = True
+        if pts.shape[0] == 0:
+            return self
+        self._lo = pts.min(axis=0)
+        self._hi = pts.max(axis=0)
+        span = self._hi - self._lo
+        span[span == 0] = 1.0
+        self._hi = self._lo + span
+        self._extent = float(span.max())
+        for i in range(pts.shape[0]):
+            self._cells.setdefault(self._cell_of(pts[i]), []).append((pts[i].copy(), vals[i]))
+        self.stats.size_bytes = self._size * (8 * self.dims + 16) + len(self._cells) * 64
+        self.stats.extra["cells"] = len(self._cells)
+        return self
+
+    def _cell_of(self, p: np.ndarray) -> tuple[int, ...]:
+        frac = (p - self._lo) / (self._hi - self._lo)
+        idx = np.clip((frac * self.cells_per_dim).astype(int), 0, self.cells_per_dim - 1)
+        return tuple(int(i) for i in idx)
+
+    def point_query(self, point: Sequence[float]) -> object | None:
+        self._require_built()
+        q = np.asarray(point, dtype=np.float64)
+        cell = self._cells.get(self._cell_of(q))
+        self.stats.nodes_visited += 1
+        if not cell:
+            return None
+        for p, v in cell:
+            self.stats.keys_scanned += 1
+            if np.array_equal(p, q):
+                return v
+        return None
+
+    def range_query(self, low: Sequence[float], high: Sequence[float]) -> list[tuple[tuple[float, ...], object]]:
+        self._require_built()
+        if self._size == 0:
+            return []
+        lo = np.asarray(low, dtype=np.float64)
+        hi = np.asarray(high, dtype=np.float64)
+        if np.any(hi < lo):
+            return []
+        lo_cell = self._cell_of(np.maximum(lo, self._lo))
+        hi_cell = self._cell_of(np.minimum(hi, self._hi))
+        ranges = [range(lo_cell[d], hi_cell[d] + 1) for d in range(self.dims)]
+        out: list[tuple[tuple[float, ...], object]] = []
+        for cell_idx in itertools.product(*ranges):
+            bucket = self._cells.get(cell_idx)
+            self.stats.nodes_visited += 1
+            if not bucket:
+                continue
+            for p, v in bucket:
+                self.stats.keys_scanned += 1
+                if np.all(p >= lo) and np.all(p <= hi):
+                    out.append((tuple(float(c) for c in p), v))
+        return out
+
+    def knn_query(self, point: Sequence[float], k: int) -> list[tuple[tuple[float, ...], object]]:
+        """Expanding-ring kNN over grid cells around the query."""
+        self._require_built()
+        if k <= 0 or self._size == 0:
+            return []
+        q = np.asarray(point, dtype=np.float64)
+        centre = self._cell_of(np.clip(q, self._lo, self._hi))
+        cell_span = (self._hi - self._lo) / self.cells_per_dim
+        best: list[tuple[float, int, tuple, object]] = []
+        counter = itertools.count()
+        ring = 0
+        max_ring = self.cells_per_dim
+        while ring <= max_ring:
+            found_any = False
+            for cell_idx in self._ring_cells(centre, ring):
+                bucket = self._cells.get(cell_idx)
+                if not bucket:
+                    continue
+                found_any = True
+                for p, v in bucket:
+                    d = float(np.sum((p - q) ** 2))
+                    entry = (-d, next(counter), tuple(float(c) for c in p), v)
+                    if len(best) < k:
+                        heapq.heappush(best, entry)
+                    elif d < -best[0][0]:
+                        heapq.heapreplace(best, entry)
+            if len(best) >= k:
+                # Stop once the ring distance exceeds the kth best distance.
+                ring_dist = max(ring - 1, 0) * float(cell_span.min())
+                if ring_dist * ring_dist > -best[0][0]:
+                    break
+            ring += 1
+            if not found_any and len(best) >= k:
+                break
+        ordered = sorted(best, key=lambda h: -h[0])
+        return [(p, v) for _, _, p, v in ordered]
+
+    def _ring_cells(self, centre: tuple[int, ...], ring: int):
+        """Yield cell indices at Chebyshev distance ``ring`` from centre."""
+        rng = range(-ring, ring + 1)
+        for offset in itertools.product(rng, repeat=self.dims):
+            if max(abs(o) for o in offset) != ring:
+                continue
+            idx = tuple(centre[d] + offset[d] for d in range(self.dims))
+            if all(0 <= idx[d] < self.cells_per_dim for d in range(self.dims)):
+                yield idx
+
+    def insert(self, point: Sequence[float], value: object | None = None) -> None:
+        self._require_built()
+        p = np.asarray(point, dtype=np.float64)
+        if self._size == 0 and not self._cells:
+            self.dims = int(p.size)
+            self._lo = p - 0.5
+            self._hi = p + 0.5
+            self._extent = 1.0
+        bucket = self._cells.setdefault(self._cell_of(np.clip(p, self._lo, self._hi)), [])
+        for i, (existing, _) in enumerate(bucket):
+            if np.array_equal(existing, p):
+                bucket[i] = (p.copy(), value)
+                return
+        bucket.append((p.copy(), value))
+        self._size += 1
+
+    def delete(self, point: Sequence[float]) -> bool:
+        self._require_built()
+        p = np.asarray(point, dtype=np.float64)
+        bucket = self._cells.get(self._cell_of(np.clip(p, self._lo, self._hi)))
+        if not bucket:
+            return False
+        for i, (existing, _) in enumerate(bucket):
+            if np.array_equal(existing, p):
+                del bucket[i]
+                self._size -= 1
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return self._size

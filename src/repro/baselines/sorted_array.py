@@ -1,0 +1,103 @@
+"""Sorted array with binary search — the canonical 1-D baseline.
+
+Every learned one-dimensional index is, at heart, a way to beat binary
+search over this exact layout.  The benchmark harness uses it both as the
+performance baseline and as the correctness oracle for all other indexes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interfaces import MutableOneDimIndex
+
+__all__ = ["SortedArrayIndex"]
+
+
+class SortedArrayIndex(MutableOneDimIndex):
+    """Binary search over a sorted key array, with aligned values.
+
+    Inserts and deletes are O(n) (array shifts) — that is exactly the
+    trade-off traditional sorted layouts make and what the delta-buffer
+    learned indexes avoid.
+    """
+
+    name = "sorted-array"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._keys: list[float] = []
+        self._values: list[object] = []
+
+    def build(self, keys: Sequence[float], values: Sequence[object] | None = None) -> "SortedArrayIndex":
+        arr, vals = self._prepare(keys, values)
+        self._keys = [float(k) for k in arr]
+        self._values = vals
+        self._built = True
+        self.stats.size_bytes = 16 * len(self._keys)
+        return self
+
+    def _locate(self, key: float) -> int:
+        """Binary-search index of ``key`` (first >=), counting comparisons."""
+        lo, hi = 0, len(self._keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.stats.comparisons += 1
+            if self._keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def lookup(self, key: float) -> object | None:
+        self._require_built()
+        idx = self._locate(key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            self.stats.keys_scanned += 1
+            return self._values[idx]
+        return None
+
+    def range_query(self, low: float, high: float) -> list[tuple[float, object]]:
+        self._require_built()
+        if high < low:
+            return []
+        first = self._locate(low)
+        out: list[tuple[float, object]] = []
+        i = first
+        while i < len(self._keys) and self._keys[i] <= high:
+            out.append((self._keys[i], self._values[i]))
+            self.stats.keys_scanned += 1
+            i += 1
+        return out
+
+    def insert(self, key: float, value: object | None = None) -> None:
+        self._require_built()
+        key = float(key)
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            self._values[idx] = value
+            return
+        self._keys.insert(idx, key)
+        self._values.insert(idx, value)
+        self.stats.size_bytes = 16 * len(self._keys)
+
+    def delete(self, key: float) -> bool:
+        self._require_built()
+        key = float(key)
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            del self._keys[idx]
+            del self._values[idx]
+            self.stats.size_bytes = 16 * len(self._keys)
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys_array(self) -> np.ndarray:
+        """The sorted keys as a numpy array (for oracles in tests)."""
+        return np.asarray(self._keys, dtype=np.float64)

@@ -1,0 +1,30 @@
+"""Benchmark harness: experiment registry, runners, and reporting."""
+
+from repro.bench.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.bench.report import render_table, to_csv
+from repro.bench.runner import (
+    MULTI_DIM_FACTORIES,
+    MUTABLE_MULTI_DIM_FACTORIES,
+    MUTABLE_ONE_DIM_FACTORIES,
+    ONE_DIM_FACTORIES,
+    build_index,
+    measure_inserts,
+    measure_lookups,
+    measure_range_queries,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "render_table",
+    "to_csv",
+    "MULTI_DIM_FACTORIES",
+    "MUTABLE_MULTI_DIM_FACTORIES",
+    "MUTABLE_ONE_DIM_FACTORIES",
+    "ONE_DIM_FACTORIES",
+    "build_index",
+    "measure_inserts",
+    "measure_lookups",
+    "measure_range_queries",
+]

@@ -1,0 +1,63 @@
+"""Command-line entry point: run any registered experiment.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench run E5
+    python -m repro.bench run E1 --param n=5000 --param lookups=100 --csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.report import render_table, to_csv
+
+
+def _parse_param(raw: str) -> tuple[str, object]:
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(f"expected name=value, got {raw!r}")
+    name, value = raw.split("=", 1)
+    for cast in (int, float):
+        try:
+            return name, cast(value)
+        except ValueError:
+            continue
+    return name, value
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the learned-index reproduction experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    run_parser = sub.add_parser("run", help="run one experiment by id")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E5 or F2")
+    run_parser.add_argument("--param", action="append", type=_parse_param,
+                            default=[], metavar="NAME=VALUE",
+                            help="override an experiment parameter")
+    run_parser.add_argument("--csv", action="store_true",
+                            help="emit CSV instead of a table")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.id:<4} {exp.description}")
+        return 0
+
+    result = run_experiment(args.experiment, **dict(args.param))
+    if isinstance(result, str):
+        print(result)
+    elif args.csv:
+        print(to_csv(result))
+    else:
+        print(render_table(result, title=EXPERIMENTS[args.experiment.upper()].description))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

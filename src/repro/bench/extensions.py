@@ -1,0 +1,236 @@
+"""Extension experiments for the paper's open challenges (Part 3).
+
+The tutorial's Part 3 lists open research directions; two of them are
+directly measurable with this library and are implemented here:
+
+* **E13 — poisoning attacks (§6.7)**: Kornaropoulos et al. show that an
+  attacker who inserts adversarially placed keys can blow up a learned
+  index's prediction error; indexes with worst-case guarantees (PGM)
+  resist.  We reproduce the attack's shape: concentrated poison keys
+  explode the RMI's per-leaf error while the PGM's per-lookup search
+  effort stays bounded by its epsilon.
+
+* **E14 — distribution drift and re-training (§6.3)**: learned models go
+  stale when the key distribution shifts.  We ingest keys from a shifted
+  distribution, measure lookup-effort degradation per index, then
+  rebuild and measure the recovery — quantifying the value of the
+  re-training trigger the survey calls for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.runner import build_index, measure_lookups
+from repro.data import load_1d, point_lookups
+from repro.onedim import (
+    ALEXIndex,
+    DynamicPGMIndex,
+    LearnedHashIndex,
+    LearnedSkipList,
+    PGMIndex,
+    RMIIndex,
+)
+
+__all__ = ["run_e13", "run_e14", "run_e15", "run_e16", "poison_keys"]
+
+
+def poison_keys(base_keys: np.ndarray, fraction: float, seed: int = 0) -> np.ndarray:
+    """Craft adversarial keys concentrated just below a quantile point.
+
+    The attack of Kornaropoulos et al. concentrates probability mass so
+    the CDF develops a near-vertical step that per-region linear models
+    cannot follow: we pack ``fraction * n`` keys into a vanishingly
+    narrow interval inside the existing key range.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_poison = int(base_keys.size * fraction)
+    if n_poison == 0:
+        return np.empty(0)
+    anchor = float(np.quantile(base_keys, 0.5))
+    width = float(base_keys.max() - base_keys.min()) * 1e-9
+    return np.sort(anchor + rng.uniform(0, width, n_poison))
+
+
+def run_e13(n: int = 20000, lookups: int = 500, seed: int = 1,
+            poison_fractions=(0.0, 0.05, 0.2, 0.5)) -> list[dict]:
+    """E13: poisoning resistance — RMI vs PGM vs Hist-style baselines.
+
+    For each poison fraction, the index is built over the union of the
+    clean keys and the poison cluster; the workload queries only *clean*
+    keys (the victim's own workload).  Reported: per-lookup comparisons
+    and the model's worst prediction error.
+    """
+    rows = []
+    clean = load_1d("uniform", n, seed=seed)
+    queries = point_lookups(clean, lookups, seed=seed + 1)
+    # Victim-region queries: clean keys adjacent to the poison anchor,
+    # whose lookups route through the damaged model region.
+    lo_q, hi_q = np.quantile(clean, [0.45, 0.55])
+    victims = clean[(clean >= lo_q) & (clean <= hi_q)]
+    victim_queries = point_lookups(victims, lookups, seed=seed + 3)
+    for fraction in poison_fractions:
+        poisoned = np.sort(np.concatenate([clean, poison_keys(clean, fraction, seed=seed + 2)]))
+        contenders = {
+            "rmi": lambda: RMIIndex(num_models=64),
+            "pgm (eps=32)": lambda: PGMIndex(epsilon=32),
+        }
+        for name, make in contenders.items():
+            index, _ = build_index(make, poisoned)
+            metrics = measure_lookups(index, queries)
+            victim_metrics = measure_lookups(index, victim_queries)
+            row = {
+                "poison_fraction": fraction,
+                "index": name,
+                "cmp_per_op": metrics["cmp_per_op"],
+                "victim_cmp_per_op": victim_metrics["cmp_per_op"],
+            }
+            if isinstance(index, RMIIndex):
+                row["max_model_error"] = index.stats.extra["max_leaf_error"]
+            else:
+                row["max_model_error"] = 32  # the guarantee, by construction
+            rows.append(row)
+    return rows
+
+
+def run_e14(n: int = 20000, drift_inserts: int = 20000, lookups: int = 500,
+            seed: int = 1) -> list[dict]:
+    """E14: lookup effort under distribution drift, before/after rebuild.
+
+    Phases per index: ``initial`` (trained distribution), ``drifted``
+    (after ingesting keys from a shifted heavy-tail distribution),
+    ``rebuilt`` (index reconstructed over the merged data).
+    """
+    rows = []
+    initial = load_1d("uniform", n, seed=seed)
+    # Drift: a different regime far above the trained key range.
+    rng = np.random.default_rng(seed + 1)
+    drifted_keys = np.sort(rng.lognormal(2.0, 1.5, drift_inserts) * 1e9 + initial.max())
+
+    contenders = {
+        "alex": ALEXIndex,
+        "dynamic-pgm": DynamicPGMIndex,
+        "learned-skiplist": lambda: LearnedSkipList(rebuild_every=10**9),
+    }
+    for name, make in contenders.items():
+        index, _ = build_index(make, initial)
+        base = measure_lookups(index, point_lookups(initial, lookups, seed=seed + 2))
+        rows.append({"index": name, "phase": "initial",
+                     "cmp_per_op": base["cmp_per_op"],
+                     "lookup_us": base["lookup_us"]})
+
+        for i, key in enumerate(drifted_keys):
+            index.insert(float(key), i)
+        mixed_queries = np.concatenate([
+            point_lookups(initial, lookups // 2, seed=seed + 3),
+            point_lookups(drifted_keys, lookups // 2, seed=seed + 4),
+        ])
+        drift = measure_lookups(index, mixed_queries)
+        rows.append({"index": name, "phase": "drifted",
+                     "cmp_per_op": drift["cmp_per_op"],
+                     "lookup_us": drift["lookup_us"]})
+
+        # Re-train: rebuild the index over everything it now holds.
+        merged = np.sort(np.concatenate([initial, drifted_keys]))
+        rebuilt, _ = build_index(make, merged)
+        recovery = measure_lookups(rebuilt, mixed_queries)
+        rows.append({"index": name, "phase": "rebuilt",
+                     "cmp_per_op": recovery["cmp_per_op"],
+                     "lookup_us": recovery["lookup_us"]})
+    return rows
+
+
+def run_e15(n: int = 20000, seed: int = 1,
+            datasets=("uniform", "lognormal", "osm", "fb"),
+            num_quantiles=(32, 256)) -> list[dict]:
+    """E15: learned models as hash functions (refs [102, 103]).
+
+    Compares a CDF-model hash against a classical multiplicative hash at
+    load factor 1: mean probe length (collision quality), bucket
+    occupancy, and keys scanned for a 1%-selectivity range query (where
+    the order-preserving learned hash scans a bucket interval but the
+    classical hash must scan the whole table).
+    """
+    from repro.data import range_queries_1d
+
+    rows = []
+    for ds in datasets:
+        keys = load_1d(ds, n, seed=seed)
+        ranges = range_queries_1d(keys, 10, 0.01, seed=seed + 1)
+        contenders = [("classic", None)] + [
+            (f"learned-q{q}", q) for q in num_quantiles
+        ]
+        for name, quantiles in contenders:
+            if quantiles is None:
+                index = LearnedHashIndex(learned=False)
+            else:
+                index = LearnedHashIndex(learned=True, num_quantiles=quantiles)
+            index.build(keys)
+            index.stats.reset_counters()
+            for lo, hi in ranges:
+                index.range_query(lo, hi)
+            rows.append({
+                "dataset": ds,
+                "hash": name,
+                "mean_probe": index.mean_probe_length(),
+                "max_chain": index.max_chain_length(),
+                "occupancy": index.occupancy(),
+                "range_scanned_per_op": index.stats.keys_scanned / len(ranges),
+            })
+    return rows
+
+
+def run_e16(n: int = 20000, queries: int = 2000, seed: int = 1,
+            bits_per_key=(2, 4, 8, 16)) -> list[dict]:
+    """E16: SNARF range-filter FPR vs bit budget.
+
+    Workload: empty-range queries centred in the gaps between consecutive
+    keys (the adversarial case for range filters) plus an equal number of
+    non-empty ranges (to confirm zero false negatives).  A classical
+    Bloom filter cannot answer these at all; SNARF's FPR falls with both
+    bit budget and model resolution.
+    """
+    from repro.baselines.bloom import BloomFilter
+    from repro.onedim.snarf import SNARFFilter
+
+    rng = np.random.default_rng(seed)
+    keys = np.sort(load_1d("lognormal", n, seed=seed))
+    empty_ranges = []
+    for _ in range(queries):
+        i = int(rng.integers(0, keys.size - 1))
+        mid = (keys[i] + keys[i + 1]) / 2
+        eps = (keys[i + 1] - keys[i]) * 0.2
+        empty_ranges.append((float(mid - eps), float(mid + eps)))
+    hit_ranges = []
+    for _ in range(queries):
+        i = int(rng.integers(0, keys.size))
+        hit_ranges.append((float(keys[i]) - 1e-9, float(keys[i]) + 1e-9))
+
+    rows = []
+    for bpk in bits_per_key:
+        flt = SNARFFilter(bits_per_key=bpk, num_quantiles=1024).build(keys)
+        false_negatives = sum(
+            1 for lo, hi in hit_ranges if not flt.might_contain_range(lo, hi)
+        )
+        fpr = sum(
+            1 for lo, hi in empty_ranges if flt.might_contain_range(lo, hi)
+        ) / len(empty_ranges)
+        rows.append({
+            "filter": "snarf",
+            "bits_per_key": bpk,
+            "range_fpr": fpr,
+            "false_negatives": false_negatives,
+            "size_bytes": flt.stats.size_bytes,
+        })
+    # Reference row: a point Bloom filter is blind to ranges (would need
+    # one probe per possible key) — recorded as FPR 1.0 by convention.
+    rows.append({
+        "filter": "bloom (point-only)",
+        "bits_per_key": 10,
+        "range_fpr": 1.0,
+        "false_negatives": 0,
+        "size_bytes": BloomFilter(bits=10 * n).build(keys).stats.size_bytes,
+    })
+    return rows

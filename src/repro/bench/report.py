@@ -1,0 +1,77 @@
+"""Result-table rendering for the benchmark harness.
+
+Every experiment produces a list of row dicts; :func:`render_table`
+prints them as the fixed-width tables the EXPERIMENTS.md records, and
+:func:`to_csv` exports them for external analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "to_csv", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-oriented formatting: SI-ish floats, ints, passthrough strings."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        if abs(value) >= 1_000_000:
+            return f"{value / 1e6:.2f}M"
+        if abs(value) >= 10_000:
+            return f"{value / 1e3:.1f}k"
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-4 or abs(value) >= 1e7:
+            return f"{value:.3e}"
+        if abs(value) < 1:
+            return f"{value:.4f}"
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render row dicts as a fixed-width text table.
+
+    Args:
+        rows: list of dicts sharing (a superset of) the same keys.
+        columns: explicit column order; defaults to the first row's keys.
+        title: optional heading line.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[format_value(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) if _numericish(v) else v.ljust(w)
+                               for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _numericish(value: str) -> bool:
+    return bool(value) and (value[0].isdigit() or value[0] in "-+.")
+
+
+def to_csv(rows: Iterable[dict], columns: Sequence[str] | None = None) -> str:
+    """Render rows as CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    cols = list(columns) if columns else list(rows[0].keys())
+    lines = [",".join(cols)]
+    for row in rows:
+        lines.append(",".join(str(row.get(c, "")) for c in cols))
+    return "\n".join(lines)

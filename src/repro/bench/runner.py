@@ -1,0 +1,201 @@
+"""Generic experiment plumbing: index factories and measurement loops.
+
+The factory registries below enumerate the contenders of every
+experiment; each entry is ``name -> zero-argument constructor`` so
+experiments can instantiate fresh indexes per run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import (
+    BPlusTreeIndex,
+    GridIndex,
+    HashIndex,
+    KDTreeIndex,
+    LSMTreeIndex,
+    QuadTreeIndex,
+    RTreeIndex,
+    SkipListIndex,
+    SortedArrayIndex,
+)
+from repro.core.interfaces import MultiDimIndex, MutableOneDimIndex, OneDimIndex
+from repro.multidim import (
+    AIRTreeIndex,
+    RSMIIndex,
+    FloodIndex,
+    LearnedKDIndex,
+    LISAIndex,
+    MLIndex,
+    QdTreeIndex,
+    SPRIGIndex,
+    TsunamiIndex,
+    ZMIndex,
+)
+from repro.onedim import (
+    ALEXIndex,
+    NFLIndex,
+    BourbonLSM,
+    DynamicPGMIndex,
+    FITingTreeIndex,
+    HistTreeIndex,
+    HybridRMIIndex,
+    InterpolationBTreeIndex,
+    LearnedSkipList,
+    LIPPIndex,
+    PGMIndex,
+    RadixSplineIndex,
+    RMIIndex,
+    XIndexStyleIndex,
+)
+
+__all__ = [
+    "ONE_DIM_FACTORIES",
+    "MUTABLE_ONE_DIM_FACTORIES",
+    "MULTI_DIM_FACTORIES",
+    "MUTABLE_MULTI_DIM_FACTORIES",
+    "build_index",
+    "measure_lookups",
+    "measure_inserts",
+    "measure_range_queries",
+]
+
+#: All 1-d indexes with lookup support (learned + traditional baselines).
+ONE_DIM_FACTORIES: dict[str, Callable[[], OneDimIndex]] = {
+    "binary-search": SortedArrayIndex,
+    "b+tree": BPlusTreeIndex,
+    "skiplist": SkipListIndex,
+    "hash": HashIndex,
+    "lsm": LSMTreeIndex,
+    "rmi": RMIIndex,
+    "hybrid-rmi": HybridRMIIndex,
+    "radix-spline": RadixSplineIndex,
+    "hist-tree": HistTreeIndex,
+    "pgm": PGMIndex,
+    "dynamic-pgm": DynamicPGMIndex,
+    "fiting-tree": FITingTreeIndex,
+    "alex": ALEXIndex,
+    "lipp": LIPPIndex,
+    "xindex": XIndexStyleIndex,
+    "ifb-tree": InterpolationBTreeIndex,
+    "bourbon": BourbonLSM,
+    "learned-skiplist": LearnedSkipList,
+    "nfl": NFLIndex,
+}
+
+#: The mutable subset (insert/delete benchmarks).
+MUTABLE_ONE_DIM_FACTORIES: dict[str, Callable[[], MutableOneDimIndex]] = {
+    "b+tree": BPlusTreeIndex,
+    "skiplist": SkipListIndex,
+    "lsm": LSMTreeIndex,
+    "dynamic-pgm": DynamicPGMIndex,
+    "fiting-tree": FITingTreeIndex,
+    "alex": ALEXIndex,
+    "lipp": LIPPIndex,
+    "xindex": XIndexStyleIndex,
+    "ifb-tree": InterpolationBTreeIndex,
+    "bourbon": BourbonLSM,
+    "learned-skiplist": LearnedSkipList,
+    "nfl": NFLIndex,
+}
+
+#: All multi-dimensional indexes.
+MULTI_DIM_FACTORIES: dict[str, Callable[[], MultiDimIndex]] = {
+    "r-tree": RTreeIndex,
+    "kd-tree": KDTreeIndex,
+    "quadtree": QuadTreeIndex,
+    "grid": GridIndex,
+    "zm-index": ZMIndex,
+    "ml-index": MLIndex,
+    "flood": FloodIndex,
+    "tsunami": TsunamiIndex,
+    "qd-tree": QdTreeIndex,
+    "learned-kd": LearnedKDIndex,
+    "sprig": SPRIGIndex,
+    "lisa": LISAIndex,
+    "ai+r-tree": AIRTreeIndex,
+    "rsmi": RSMIIndex,
+}
+
+#: Mutable multi-dimensional subset.
+MUTABLE_MULTI_DIM_FACTORIES: dict[str, Callable[[], MultiDimIndex]] = {
+    "r-tree": RTreeIndex,
+    "kd-tree": KDTreeIndex,
+    "quadtree": QuadTreeIndex,
+    "grid": GridIndex,
+    "lisa": LISAIndex,
+    "ai+r-tree": AIRTreeIndex,
+    "rsmi": RSMIIndex,
+}
+
+
+def build_index(factory: Callable[[], object], data, values=None) -> tuple[object, float]:
+    """Build an index and return ``(index, build_seconds)``."""
+    index = factory()
+    start = time.perf_counter()
+    index.build(data, values)
+    elapsed = time.perf_counter() - start
+    index.stats.build_seconds = elapsed
+    return index, elapsed
+
+
+def measure_lookups(index, queries: np.ndarray, is_multi_dim: bool = False) -> dict:
+    """Run point queries and return latency + cost-counter aggregates."""
+    index.stats.reset_counters()
+    start = time.perf_counter()
+    hits = 0
+    if is_multi_dim:
+        for q in queries:
+            if index.point_query(q) is not None:
+                hits += 1
+    else:
+        for q in queries:
+            if index.lookup(float(q)) is not None:
+                hits += 1
+    elapsed = time.perf_counter() - start
+    n = len(queries)
+    return {
+        "lookup_us": elapsed / n * 1e6 if n else 0.0,
+        "hits": hits,
+        "cmp_per_op": index.stats.comparisons / n if n else 0.0,
+        "scanned_per_op": index.stats.keys_scanned / n if n else 0.0,
+        "nodes_per_op": index.stats.nodes_visited / n if n else 0.0,
+    }
+
+
+def measure_inserts(index, keys: np.ndarray, is_multi_dim: bool = False) -> dict:
+    """Run inserts and return throughput."""
+    index.stats.reset_counters()
+    start = time.perf_counter()
+    if is_multi_dim:
+        for i, k in enumerate(keys):
+            index.insert(k, i)
+    else:
+        for i, k in enumerate(keys):
+            index.insert(float(k), i)
+    elapsed = time.perf_counter() - start
+    n = len(keys)
+    return {
+        "insert_us": elapsed / n * 1e6 if n else 0.0,
+        "inserts_per_s": n / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def measure_range_queries(index, ranges, is_multi_dim: bool = False) -> dict:
+    """Run range queries and return latency + result sizes."""
+    index.stats.reset_counters()
+    start = time.perf_counter()
+    results = 0
+    for lo, hi in ranges:
+        results += len(index.range_query(lo, hi))
+    elapsed = time.perf_counter() - start
+    n = len(ranges)
+    return {
+        "range_us": elapsed / n * 1e6 if n else 0.0,
+        "avg_results": results / n if n else 0.0,
+        "scanned_per_op": index.stats.keys_scanned / n if n else 0.0,
+    }

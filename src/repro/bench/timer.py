@@ -1,0 +1,48 @@
+"""Timing and measurement utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Measurement", "time_callable", "ops_per_second"]
+
+
+@dataclass
+class Measurement:
+    """One measured quantity with its unit, for report rows."""
+
+    name: str
+    value: float
+    unit: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def formatted(self) -> str:
+        if self.unit == "s":
+            return f"{self.value * 1e6:.1f} us" if self.value < 1e-3 else f"{self.value * 1e3:.2f} ms"
+        if self.unit:
+            return f"{self.value:.4g} {self.unit}"
+        return f"{self.value:.4g}"
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def ops_per_second(fn: Callable[[], int], repeats: int = 1) -> float:
+    """Run ``fn`` (which returns an op count) and report ops/second."""
+    best = 0.0
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        count = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, count / elapsed)
+    return best

@@ -1,0 +1,51 @@
+"""Core package: index interfaces and the paper's taxonomy artifacts."""
+
+from repro.core.interfaces import (
+    IndexStats,
+    MembershipFilter,
+    MultiDimIndex,
+    MutableMultiDimIndex,
+    MutableOneDimIndex,
+    NotBuiltError,
+    OneDimIndex,
+)
+from repro.core.registry import REGISTRY, IndexInfo, get, lineage_graph, query
+from repro.core.taxonomy import (
+    Dimensionality,
+    HybridComponent,
+    InsertStrategy,
+    Layout,
+    MLTechnique,
+    Mutability,
+    QueryType,
+    SpaceHandling,
+    Spectrum,
+    TaxonomyNode,
+    build_taxonomy,
+)
+
+__all__ = [
+    "IndexStats",
+    "MembershipFilter",
+    "MultiDimIndex",
+    "MutableMultiDimIndex",
+    "MutableOneDimIndex",
+    "NotBuiltError",
+    "OneDimIndex",
+    "REGISTRY",
+    "IndexInfo",
+    "get",
+    "lineage_graph",
+    "query",
+    "Dimensionality",
+    "HybridComponent",
+    "InsertStrategy",
+    "Layout",
+    "MLTechnique",
+    "Mutability",
+    "QueryType",
+    "SpaceHandling",
+    "Spectrum",
+    "TaxonomyNode",
+    "build_taxonomy",
+]

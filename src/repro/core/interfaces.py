@@ -1,0 +1,304 @@
+"""Uniform index interfaces shared by every structure in the library.
+
+The survey classifies learned indexes along several axes (immutable vs.
+mutable, one- vs. multi-dimensional, pure vs. hybrid).  To let benchmarks
+and tests treat all of them uniformly, every index in this repository
+implements one of the small abstract interfaces defined here:
+
+* :class:`OneDimIndex` — read-only key -> value index over totally ordered
+  keys, with point lookups and range scans.
+* :class:`MutableOneDimIndex` — adds ``insert``/``delete``.
+* :class:`MultiDimIndex` — read-only index over d-dimensional points, with
+  point, axis-aligned range, and kNN queries.
+* :class:`MutableMultiDimIndex` — adds ``insert``/``delete``.
+* :class:`MembershipFilter` — approximate membership (Bloom-filter family).
+
+Every index also carries an :class:`IndexStats` object with
+machine-independent cost counters (comparisons, keys scanned, nodes or
+models visited) and a size estimate in bytes.  Counters make benchmark
+*shapes* reproducible even when absolute Python timings vary by machine.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "IndexStats",
+    "OneDimIndex",
+    "MutableOneDimIndex",
+    "MultiDimIndex",
+    "MutableMultiDimIndex",
+    "MembershipFilter",
+    "NotBuiltError",
+]
+
+
+class NotBuiltError(RuntimeError):
+    """Raised when querying an index that has not been built yet."""
+
+
+@dataclass
+class IndexStats:
+    """Machine-independent cost counters and a size estimate.
+
+    Attributes:
+        comparisons: number of key comparisons performed during queries.
+        keys_scanned: number of stored keys touched while answering queries.
+        nodes_visited: internal nodes / models / buckets traversed.
+        model_predictions: number of learned-model invocations.
+        corrections: total size of last-mile (error-correction) searches.
+        build_seconds: wall-clock time of the most recent ``build``.
+        size_bytes: estimated in-memory footprint of the index structure
+            (excluding the raw data it indexes, unless the index owns a
+            private copy with gaps or duplication — then that is counted).
+    """
+
+    comparisons: int = 0
+    keys_scanned: int = 0
+    nodes_visited: int = 0
+    model_predictions: int = 0
+    corrections: int = 0
+    build_seconds: float = 0.0
+    size_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def reset_counters(self) -> None:
+        """Zero the per-query counters, keeping build time and size."""
+        self.comparisons = 0
+        self.keys_scanned = 0
+        self.nodes_visited = 0
+        self.model_predictions = 0
+        self.corrections = 0
+
+    def snapshot(self) -> dict:
+        """Return a plain-dict copy of all counters for reporting."""
+        return {
+            "comparisons": self.comparisons,
+            "keys_scanned": self.keys_scanned,
+            "nodes_visited": self.nodes_visited,
+            "model_predictions": self.model_predictions,
+            "corrections": self.corrections,
+            "build_seconds": self.build_seconds,
+            "size_bytes": self.size_bytes,
+        }
+
+
+class OneDimIndex(abc.ABC):
+    """A (possibly immutable) one-dimensional key -> value index.
+
+    Keys are real numbers (ints or floats); values are arbitrary Python
+    objects, most commonly integer record ids.  Implementations must accept
+    duplicate-free key sets; behaviour under duplicate keys is
+    implementation-defined unless documented otherwise.
+    """
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "one-dim-index"
+
+    def __init__(self) -> None:
+        self.stats = IndexStats()
+        self._built = False
+
+    # -- construction ----------------------------------------------------
+    @abc.abstractmethod
+    def build(self, keys: Sequence[float], values: Sequence[object] | None = None) -> "OneDimIndex":
+        """Bulk-load the index from ``keys`` (sorted or unsorted).
+
+        Args:
+            keys: the keys to index.  They will be sorted internally if the
+                implementation requires it.
+            values: optional payloads aligned with ``keys``; defaults to the
+                position of each key in the *sorted* key order.
+
+        Returns:
+            ``self``, to allow ``index = RMIIndex().build(keys)``.
+        """
+
+    # -- queries ----------------------------------------------------------
+    @abc.abstractmethod
+    def lookup(self, key: float) -> object | None:
+        """Return the value stored for ``key``, or ``None`` if absent."""
+
+    @abc.abstractmethod
+    def range_query(self, low: float, high: float) -> list[tuple[float, object]]:
+        """Return all ``(key, value)`` pairs with ``low <= key <= high``.
+
+        Results are sorted by key.
+        """
+
+    def contains(self, key: float) -> bool:
+        """Return whether ``key`` is present."""
+        return self.lookup(key) is not None
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------
+    def _require_built(self) -> None:
+        if not self._built:
+            raise NotBuiltError(f"{self.name}: call build() before querying")
+
+    @staticmethod
+    def _prepare(keys: Sequence[float], values: Sequence[object] | None) -> tuple[np.ndarray, list[object]]:
+        """Sort keys (with aligned values) and return ``(keys, values)``.
+
+        Default values are the ranks in sorted order, matching the learned
+        index literature where the payload is the key's position.
+        """
+        arr = np.asarray(keys, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise ValueError("keys must be finite")
+        order = np.argsort(arr, kind="mergesort")
+        arr = arr[order]
+        if values is None:
+            vals: list[object] = list(range(arr.size))
+        else:
+            if len(values) != arr.size:
+                raise ValueError("values must align with keys")
+            vals = [values[i] for i in order]
+        return arr, vals
+
+
+class MutableOneDimIndex(OneDimIndex):
+    """A one-dimensional index supporting dynamic inserts and deletes."""
+
+    @abc.abstractmethod
+    def insert(self, key: float, value: object | None = None) -> None:
+        """Insert ``key`` with ``value`` (replacing any existing entry)."""
+
+    @abc.abstractmethod
+    def delete(self, key: float) -> bool:
+        """Remove ``key``; return ``True`` if it was present."""
+
+
+class MultiDimIndex(abc.ABC):
+    """A (possibly immutable) index over d-dimensional points.
+
+    Points are rows of a float64 array of shape ``(n, d)``.  Values default
+    to row positions in the array passed to :meth:`build`.
+    """
+
+    name: str = "multi-dim-index"
+
+    def __init__(self) -> None:
+        self.stats = IndexStats()
+        self._built = False
+        self.dims = 0
+
+    @abc.abstractmethod
+    def build(self, points: np.ndarray, values: Sequence[object] | None = None) -> "MultiDimIndex":
+        """Bulk-load the index from an ``(n, d)`` array of points."""
+
+    @abc.abstractmethod
+    def point_query(self, point: Sequence[float]) -> object | None:
+        """Return the value stored at exactly ``point``, or ``None``."""
+
+    @abc.abstractmethod
+    def range_query(self, low: Sequence[float], high: Sequence[float]) -> list[tuple[tuple[float, ...], object]]:
+        """Return all ``(point, value)`` pairs inside the box [low, high].
+
+        The box is closed on both ends in every dimension.  Results are in
+        implementation order; tests sort before comparing.
+        """
+
+    def knn_query(self, point: Sequence[float], k: int) -> list[tuple[tuple[float, ...], object]]:
+        """Return the ``k`` nearest neighbours of ``point`` (Euclidean).
+
+        The default implementation performs range expansion over
+        :meth:`range_query`; spatial trees override it with guided search.
+        """
+        self._require_built()
+        if k <= 0:
+            return []
+        q = np.asarray(point, dtype=np.float64)
+        # Expanding-radius search: start from a small box, grow until we
+        # have k candidates whose true distance is within the box radius.
+        radius = self._initial_knn_radius(k)
+        for _ in range(64):
+            lo = q - radius
+            hi = q + radius
+            candidates = self.range_query(lo, hi)
+            if len(candidates) >= k:
+                dists = sorted(
+                    (float(np.linalg.norm(np.asarray(p) - q)), p, v) for p, v in candidates
+                )
+                if dists[k - 1][0] <= radius:
+                    return [(p, v) for _, p, v in dists[:k]]
+            radius *= 2.0
+        # Fall back to whatever we gathered (covers tiny datasets).
+        dists = sorted((float(np.linalg.norm(np.asarray(p) - q)), p, v) for p, v in candidates)
+        return [(p, v) for _, p, v in dists[:k]]
+
+    def _initial_knn_radius(self, k: int) -> float:
+        n = max(len(self), 1)
+        extent = getattr(self, "_extent", 1.0)
+        frac = min(1.0, (k / n) ** (1.0 / max(self.dims, 1)))
+        return max(extent * frac, extent * 1e-6, 1e-12)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise NotBuiltError(f"{self.name}: call build() before querying")
+
+    @staticmethod
+    def _prepare_points(points: np.ndarray, values: Sequence[object] | None) -> tuple[np.ndarray, list[object]]:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must have shape (n, d)")
+        if pts.size and not np.all(np.isfinite(pts)):
+            raise ValueError("points must be finite")
+        if values is None:
+            vals: list[object] = list(range(pts.shape[0]))
+        else:
+            if len(values) != pts.shape[0]:
+                raise ValueError("values must align with points")
+            vals = list(values)
+        return pts, vals
+
+
+class MutableMultiDimIndex(MultiDimIndex):
+    """A multi-dimensional index supporting inserts and deletes."""
+
+    @abc.abstractmethod
+    def insert(self, point: Sequence[float], value: object | None = None) -> None:
+        """Insert ``point`` with ``value``."""
+
+    @abc.abstractmethod
+    def delete(self, point: Sequence[float]) -> bool:
+        """Remove ``point``; return ``True`` if it was present."""
+
+
+class MembershipFilter(abc.ABC):
+    """Approximate membership: may return false positives, never false negatives."""
+
+    name: str = "membership-filter"
+
+    def __init__(self) -> None:
+        self.stats = IndexStats()
+
+    @abc.abstractmethod
+    def build(self, keys: Iterable[float]) -> "MembershipFilter":
+        """Construct the filter over ``keys``."""
+
+    @abc.abstractmethod
+    def might_contain(self, key: float) -> bool:
+        """Return ``True`` if ``key`` may be in the set (no false negatives)."""
+
+    def false_positive_rate(self, negatives: Iterable[float]) -> float:
+        """Measure the empirical FPR over ``negatives`` (true non-members)."""
+        total = 0
+        hits = 0
+        for key in negatives:
+            total += 1
+            if self.might_contain(key):
+                hits += 1
+        return hits / total if total else 0.0

@@ -1,0 +1,74 @@
+"""Index persistence: save built indexes to disk and load them back.
+
+Learned indexes are cheap to store (that is their headline feature), so
+shipping a built index to another process is a natural workflow.  The
+format is a versioned pickle with an integrity header; loading verifies
+both before unpickling.
+
+Security note: pickle executes code on load — only load index files you
+produced yourself, exactly like numpy's ``allow_pickle`` data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from pathlib import Path
+
+__all__ = ["save_index", "load_index", "PersistenceError", "FORMAT_VERSION"]
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_MAGIC = b"LIDX"
+
+
+class PersistenceError(RuntimeError):
+    """Raised when an index file is missing, corrupt, or incompatible."""
+
+
+def save_index(index: object, path: str | Path) -> int:
+    """Serialise a built index to ``path``.
+
+    Args:
+        index: any index object from this library (built or not).
+        path: destination file.
+
+    Returns:
+        The number of bytes written.
+
+    The file layout is ``MAGIC | version (2 bytes) | sha256 (32 bytes) |
+    payload``; the digest covers the payload so silent corruption is
+    detected at load time.
+    """
+    buffer = io.BytesIO()
+    pickle.dump(index, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = buffer.getvalue()
+    digest = hashlib.sha256(payload).digest()
+    blob = _MAGIC + FORMAT_VERSION.to_bytes(2, "big") + digest + payload
+    out = Path(path)
+    out.write_bytes(blob)
+    return len(blob)
+
+
+def load_index(path: str | Path) -> object:
+    """Load an index previously written by :func:`save_index`.
+
+    Raises:
+        PersistenceError: wrong magic, unsupported version, or a payload
+            whose digest does not match (corruption).
+    """
+    data = Path(path).read_bytes()
+    if len(data) < 38 or data[:4] != _MAGIC:
+        raise PersistenceError(f"{path}: not a learned-index file")
+    version = int.from_bytes(data[4:6], "big")
+    if version > FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path}: format version {version} newer than supported {FORMAT_VERSION}"
+        )
+    digest = data[6:38]
+    payload = data[38:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise PersistenceError(f"{path}: payload digest mismatch (corrupt file)")
+    return pickle.loads(payload)

@@ -1,0 +1,561 @@
+"""Machine-readable registry of the learned indexes surveyed by the paper.
+
+The tutorial classifies over 100 learned one- and multi-dimensional
+indexes (Figure 2) and tracks their evolution over time (Figure 3).  This
+module encodes each surveyed index as an :class:`IndexInfo` record carrying
+its taxonomy coordinates, publication year, reference number in the paper's
+bibliography, ML technique(s), supported query types, and lineage edges to
+the earlier work it builds on.
+
+Figures 1-3 and the §5.6 summary table are generated from these records by
+:mod:`repro.core.spectrum`, :mod:`repro.core.tree_render`,
+:mod:`repro.core.timeline`, and :mod:`repro.core.summary`.
+
+Classification follows the paper's own grouping: e.g. §5.2 lists the
+immutable pure multi-dimensional indexes and §5.3 the immutable hybrid
+ones, so Flood and Tsunami are registered as grid-based hybrids exactly as
+the paper places them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.taxonomy import (
+    Dimensionality,
+    HybridComponent,
+    InsertStrategy,
+    Layout,
+    MLTechnique,
+    Mutability,
+    QueryType,
+    SpaceHandling,
+    Spectrum,
+)
+
+__all__ = ["IndexInfo", "REGISTRY", "get", "query", "lineage_graph", "counts_by"]
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    """One surveyed learned index and its taxonomy coordinates."""
+
+    name: str
+    year: int
+    refs: tuple[int, ...]
+    mutability: Mutability
+    dimensionality: Dimensionality
+    spectrum: Spectrum
+    layout: Layout = Layout.NOT_APPLICABLE
+    insert_strategy: InsertStrategy = InsertStrategy.NOT_APPLICABLE
+    hybrid_component: HybridComponent = HybridComponent.NONE
+    space: SpaceHandling = SpaceHandling.NOT_APPLICABLE
+    ml: tuple[MLTechnique, ...] = ()
+    queries: tuple[QueryType, ...] = (QueryType.POINT,)
+    concurrent: bool = False
+    assigned_name: bool = False
+    influences: tuple[str, ...] = ()
+    implemented: str | None = None
+    notes: str = ""
+
+
+def _i1(name, year, refs, ml, queries=(QueryType.POINT, QueryType.RANGE), **kw):
+    """Immutable pure one-dimensional index."""
+    return IndexInfo(
+        name=name, year=year, refs=refs,
+        mutability=Mutability.IMMUTABLE,
+        dimensionality=Dimensionality.ONE_DIMENSIONAL,
+        spectrum=Spectrum.PURE, ml=ml, queries=queries, **kw,
+    )
+
+
+def _h1(name, year, refs, component, ml, queries=(QueryType.POINT, QueryType.RANGE),
+        mutability=Mutability.IMMUTABLE, layout=Layout.NOT_APPLICABLE, **kw):
+    """Hybrid one-dimensional index."""
+    return IndexInfo(
+        name=name, year=year, refs=refs, mutability=mutability, layout=layout,
+        dimensionality=Dimensionality.ONE_DIMENSIONAL,
+        spectrum=Spectrum.HYBRID, hybrid_component=component,
+        ml=ml, queries=queries, **kw,
+    )
+
+
+def _m1(name, year, refs, layout, strategy, ml,
+        queries=(QueryType.POINT, QueryType.RANGE), **kw):
+    """Mutable pure one-dimensional index."""
+    return IndexInfo(
+        name=name, year=year, refs=refs,
+        mutability=Mutability.MUTABLE, layout=layout,
+        dimensionality=Dimensionality.ONE_DIMENSIONAL,
+        spectrum=Spectrum.PURE, insert_strategy=strategy,
+        ml=ml, queries=queries, **kw,
+    )
+
+
+def _pm(name, year, refs, space, ml, queries, mutability=Mutability.IMMUTABLE,
+        layout=Layout.NOT_APPLICABLE, strategy=InsertStrategy.NOT_APPLICABLE, **kw):
+    """Pure multi-dimensional index."""
+    return IndexInfo(
+        name=name, year=year, refs=refs, mutability=mutability, layout=layout,
+        dimensionality=Dimensionality.MULTI_DIMENSIONAL,
+        spectrum=Spectrum.PURE, insert_strategy=strategy, space=space,
+        ml=ml, queries=queries, **kw,
+    )
+
+
+def _hm(name, year, refs, component, ml, queries, mutability=Mutability.IMMUTABLE,
+        layout=Layout.NOT_APPLICABLE, space=SpaceHandling.NATIVE, **kw):
+    """Hybrid multi-dimensional index."""
+    return IndexInfo(
+        name=name, year=year, refs=refs, mutability=mutability, layout=layout,
+        dimensionality=Dimensionality.MULTI_DIMENSIONAL,
+        spectrum=Spectrum.HYBRID, hybrid_component=component, space=space,
+        ml=ml, queries=queries, **kw,
+    )
+
+
+_L = MLTechnique.LINEAR
+_PL = MLTechnique.PIECEWISE_LINEAR
+_SP = MLTechnique.SPLINE
+_POLY = MLTechnique.POLYNOMIAL
+_NN = MLTechnique.NEURAL_NETWORK
+_RL = MLTechnique.REINFORCEMENT_LEARNING
+_CLS = MLTechnique.CLASSIFIER
+_CLU = MLTechnique.CLUSTERING
+_H = MLTechnique.HISTOGRAM
+_INT = MLTechnique.INTERPOLATION
+
+_P = QueryType.POINT
+_R = QueryType.RANGE
+_K = QueryType.KNN
+_J = QueryType.JOIN
+_M = QueryType.MEMBERSHIP
+_A = QueryType.AGGREGATE
+_ST = QueryType.SPATIAL_TEXTUAL
+
+#: All surveyed indexes, in rough chronological order.
+REGISTRY: tuple[IndexInfo, ...] = (
+    # ------------------------------------------------------------------
+    # One-dimensional, immutable (paper §4.1: 18 indexes).
+    # ------------------------------------------------------------------
+    _i1("RMI", 2018, (59,), (_L, _NN), influences=(),
+        implemented="repro.onedim.rmi.RMIIndex",
+        notes="Recursive Model Index; first learned index; learns the CDF."),
+    _h1("Hybrid-RMI", 2018, (59,), HybridComponent.BTREE, (_L, _NN),
+        influences=("RMI",), implemented="repro.onedim.hybrid_rmi.HybridRMIIndex",
+        notes="RMI with B-tree leaves replacing poorly fit models."),
+    _i1("Pavo", 2018, (132,), (_NN,), queries=(_P,), influences=("RMI",),
+        notes="RNN-based learned inverted index."),
+    _i1("SOSD-interp", 2020, (108,), (_INT,), influences=("RMI",), assigned_name=True,
+        notes="Function interpolation for learned index structures."),
+    _i1("CDFShop", 2020, (85,), (_L, _NN), influences=("RMI",),
+        notes="RMI optimizer / explorer."),
+    _i1("RadixSpline", 2020, (56,), (_SP,), influences=("RMI",),
+        implemented="repro.onedim.radix_spline.RadixSplineIndex",
+        notes="Single-pass radix table over an error-bounded spline."),
+    _i1("Google-LI", 2020, (1,), (_PL,), influences=("RMI",), assigned_name=True,
+        notes="Learned index integrated in Bigtable-like disk store."),
+    _i1("Hist-Tree", 2021, (19,), (_H,), influences=("RMI",),
+        implemented="repro.onedim.hist_tree.HistTreeIndex",
+        notes="Hierarchical histogram bins instead of trained models."),
+    _i1("Shift-Table", 2021, (47,), (_INT,), influences=("RMI",),
+        notes="Model correction layer over interpolation."),
+    _i1("PLEX", 2021, (112,), (_SP, _H), influences=("RadixSpline",),
+        notes="Practical learned index: CompactHistTree + spline."),
+    _i1("LSE", 2021, (111,), (_PL,), assigned_name=True, influences=("RMI",),
+        notes="Efficient learned string indexing (last-mile bounding)."),
+    _i1("LSI", 2022, (54,), (_SP,), influences=("RadixSpline",),
+        notes="Learned secondary index over unsorted data."),
+    _i1("HAP", 2022, (74,), (_H,), queries=(_P,), influences=("RMI",),
+        notes="Hamming-space index via augmented pigeonhole principle."),
+    _i1("EHLI", 2022, (30,), (_PL,), assigned_name=True, influences=("PGM-index",),
+        notes="Error-bounded space-efficient hybrid learned index."),
+    _i1("ModelReuse", 2023, (72,), (_L,), assigned_name=True, influences=("RMI",),
+        notes="Index learning via model reuse and fine-tuning."),
+    _i1("AutoencoderHash", 2023, (70,), (_NN,), queries=(_P,), assigned_name=True,
+        influences=("RMI",), notes="Hash index learned with a shallow autoencoder."),
+    _h1("NeuralBF", 2019, (98,), HybridComponent.BLOOM_FILTER, (_NN,), queries=(_M,),
+        influences=("LBF",), notes="Meta-learned neural Bloom filter."),
+    _h1("CompressLBF-1d", 2021, (23,), HybridComponent.BLOOM_FILTER, (_NN,), queries=(_M,),
+        assigned_name=True, influences=("LBF",),
+        notes="Compressed learned Bloom filter (1-d variant)."),
+
+    # ------------------------------------------------------------------
+    # One-dimensional, mutable (paper §4.1: 48 indexes).
+    # ------------------------------------------------------------------
+    _m1("FITing-Tree", 2019, (36,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_PL,),
+        influences=("RMI",), implemented="repro.onedim.fiting_tree.FITingTreeIndex",
+        notes="Greedy error-bounded segments with per-segment buffers."),
+    _m1("ASLM", 2019, (68,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_NN,),
+        influences=("RMI",), notes="Adaptive single-layer model."),
+    _m1("Doraemon", 2019, (115,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_NN,),
+        assigned_name=True, influences=("RMI",),
+        notes="Learned index for dynamic workloads."),
+    _m1("AIDEL", 2019, (65,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        assigned_name=True, influences=("RMI",),
+        notes="Scalable learned index with independent linear models."),
+    _m1("PGM-index", 2020, (35,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_PL,),
+        influences=("FITing-Tree", "RMI"),
+        implemented="repro.onedim.pgm.PGMIndex",
+        notes="Optimal PLA segments; dynamic variant uses LSM of static PGMs."),
+    _m1("ALEX", 2020, (27,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
+        influences=("RMI",), implemented="repro.onedim.alex.ALEXIndex",
+        notes="Gapped arrays, model-based inserts, adaptive splitting."),
+    _m1("XIndex", 2020, (116,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        concurrent=True, influences=("RMI", "ALEX"),
+        implemented="repro.onedim.xindex.XIndexStyleIndex",
+        notes="Two-layer concurrent learned index with per-group deltas."),
+    _m1("SIndex", 2020, (125,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        concurrent=True, influences=("XIndex",),
+        implemented="repro.onedim.string_adapter.StringIndexAdapter",
+        notes="Scalable learned index for string keys."),
+    _m1("NFL", 2022, (130,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_NN, _PL),
+        influences=("PGM-index",),
+        implemented="repro.onedim.nfl.NFLIndex",
+        notes="Distribution transformation (normalizing flow) before learning."),
+    _m1("LearnedHash", 2022, (102, 103), Layout.FIXED, InsertStrategy.IN_PLACE,
+        (_L,), queries=(_P,), assigned_name=True, influences=("RMI",),
+        implemented="repro.onedim.learned_hash.LearnedHashIndex",
+        notes="CDF models replacing hash functions (Sabek et al.)."),
+    _m1("LIPP", 2021, (129,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
+        influences=("ALEX",), implemented="repro.onedim.lipp.LIPPIndex",
+        notes="Precise positions via kernelized tree; no last-mile search."),
+    _m1("FINEdex", 2021, (64,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        concurrent=True, influences=("XIndex",),
+        notes="Fine-grained learned index for concurrent memory systems."),
+    _m1("COLIN", 2021, (150,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        influences=("ALEX",), notes="Cache-conscious learned index."),
+    _m1("APEX", 2021, (77,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
+        concurrent=True, influences=("ALEX",),
+        notes="ALEX adapted to persistent memory."),
+    _m1("RUSLI", 2021, (86,), Layout.FIXED, InsertStrategy.IN_PLACE, (_SP,),
+        influences=("RadixSpline",), notes="Real-time updatable spline index."),
+    _m1("CARMI", 2022, (142,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
+        influences=("RMI",), notes="Cache-aware RMI with cost-based construction."),
+    _m1("FILM", 2022, (80,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        influences=("PGM-index",), notes="Learned index for larger-than-memory stores."),
+    _m1("TONE", 2022, (148,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        influences=("XIndex",), notes="Tail-latency-oriented learned index."),
+    _m1("PLIN", 2022, (149,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_PL,),
+        influences=("LIPP", "APEX"), notes="Persistent learned index for NVM."),
+    _m1("DiffLex", 2023, (20,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
+        concurrent=True, influences=("ALEX",),
+        notes="NUMA-aware differentiated-management learned index."),
+    _m1("SALI", 2023, (39,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
+        concurrent=True, influences=("LIPP",),
+        notes="Scalable adaptive learned index with probability models."),
+    _m1("DILI", 2023, (67,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
+        influences=("LIPP",), notes="Distribution-driven learned index tree."),
+    _m1("TALI", 2022, (41,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        influences=("XIndex",), notes="Update-distribution-aware learned index."),
+    _m1("LIFOSS", 2023, (137,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        influences=("PGM-index",), notes="Learned index for streaming scenarios."),
+    _m1("FLIRT", 2023, (133,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_SP,),
+        influences=("RadixSpline",), notes="Fast learned index for rolling time frames."),
+    _m1("WIPE", 2023, (127,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
+        influences=("APEX",), notes="Write-optimized learned index for PMem."),
+    _m1("CLI", 2022, (126,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        concurrent=True, assigned_name=True, influences=("XIndex", "SIndex"),
+        notes="Concurrent learned indexes for multicore storage."),
+    _m1("DataAwareLI", 2022, (73,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
+        assigned_name=True, influences=("XIndex",),
+        notes="Data-aware learned index scheme for efficient writes."),
+
+    # One-dimensional hybrids (B-tree / LSM / skip list / Bloom / hash).
+    _h1("IFB-tree", 2019, (45,), HybridComponent.BTREE, (_INT,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("RMI",),
+        implemented="repro.onedim.interpolation_btree.InterpolationBTreeIndex",
+        notes="Interpolation-friendly B-tree: per-node interpolation search."),
+    _h1("BtreeML", 2019, (76,), HybridComponent.BTREE, (_L,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED, assigned_name=True,
+        influences=("RMI",), notes="B+-tree search accelerated by simple models."),
+    _h1("HybridBLR", 2019, (97,), HybridComponent.BTREE, (_L,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED, assigned_name=True,
+        influences=("RMI",), notes="B-tree + linear regression hybrid."),
+    _h1("Hadian-updates", 2019, (44,), HybridComponent.BTREE, (_L,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED, assigned_name=True,
+        influences=("RMI",), notes="Update handling considerations for learned indexes."),
+    _h1("MADEX", 2020, (46,), HybridComponent.BTREE, (_L,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("IFB-tree",), notes="Learning-augmented algorithmic index."),
+    _h1("BOURBON", 2020, (21,), HybridComponent.LSM_TREE, (_PL,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("RMI",), implemented="repro.onedim.bourbon.BourbonLSM",
+        notes="Learned models over LSM sstables (WiscKey lineage)."),
+    _h1("TridentKV", 2021, (78,), HybridComponent.LSM_TREE, (_PL,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("BOURBON",), notes="Read-optimized learned LSM KV store."),
+    _h1("SA-LSM", 2022, (146,), HybridComponent.LSM_TREE, (_CLS,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("BOURBON",), notes="Survival-analysis-driven LSM data layout."),
+    _h1("Sieve", 2023, (118,), HybridComponent.LSM_TREE, (_H,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("BOURBON",), notes="Learned data-skipping index for analytics."),
+    _h1("S3", 2019, (143,), HybridComponent.SKIP_LIST, (_NN,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED, concurrent=True,
+        influences=("RMI",), implemented="repro.onedim.learned_skiplist.LearnedSkipList",
+        notes="Scalable in-memory skip list guided by learned models."),
+    _h1("LBF", 2018, (59,), HybridComponent.BLOOM_FILTER, (_NN, _CLS), queries=(_M,),
+        influences=("RMI",), implemented="repro.onedim.learned_bloom.LearnedBloomFilter",
+        notes="Learned Bloom filter from the original RMI paper."),
+    _h1("Sandwiched-LBF", 2018, (87,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
+        influences=("LBF",),
+        implemented="repro.onedim.learned_bloom.SandwichedLearnedBloomFilter",
+        notes="Bloom filters before and after the learned model."),
+    _h1("Ada-BF", 2019, (22,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
+        influences=("LBF",), notes="Score-adaptive learned Bloom filter."),
+    _h1("Adaptive-LBF", 2020, (11,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("LBF",), notes="Learned Bloom filter under incremental workloads."),
+    _h1("Stable-LBF", 2020, (75,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("LBF",), notes="Stable learned Bloom filter for data streams."),
+    _h1("PLBF", 2020, (120,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
+        influences=("LBF", "Sandwiched-LBF"),
+        implemented="repro.onedim.learned_bloom.PartitionedLearnedBloomFilter",
+        notes="Score-partitioned learned Bloom filter."),
+    _h1("FastPLBF", 2023, (106,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
+        influences=("PLBF",), notes="Faster construction for partitioned LBF."),
+    _h1("TLPDBF", 2023, (141,), HybridComponent.BLOOM_FILTER, (_NN,), queries=(_M,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED, assigned_name=True,
+        influences=("PLBF",), notes="Two-layer partitioned deletable deep Bloom filter."),
+    _h1("SNARF", 2022, (119,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M, _R),
+        influences=("PLBF",),
+        implemented="repro.onedim.snarf.SNARFFilter",
+        notes="Learning-enhanced range filter."),
+    _h1("Hermit", 2019, (131,), HybridComponent.BTREE, (_L,),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("RMI",), notes="Succinct secondary indexing via column correlations."),
+
+    # ------------------------------------------------------------------
+    # Multi-dimensional, immutable pure (paper §5.2).
+    # ------------------------------------------------------------------
+    _pm("ZM-index", 2019, (122,), SpaceHandling.PROJECTED, (_NN, _L), (_P, _R, _K),
+        influences=("RMI",), implemented="repro.multidim.zm_index.ZMIndex",
+        notes="Z-order projection + learned 1-d model over Morton codes."),
+    _pm("ML-index", 2020, (24,), SpaceHandling.PROJECTED, (_L, _CLU), (_P, _R, _K),
+        influences=("RMI", "ZM-index"),
+        implemented="repro.multidim.ml_index.MLIndex",
+        notes="iDistance-style pivot projection + learned 1-d index."),
+    _pm("SageDB-MDI", 2019, (58,), SpaceHandling.PROJECTED, (_L,), (_P, _R),
+        assigned_name=True, influences=("RMI",),
+        notes="Multi-dimensional learned index sketch in SageDB."),
+    _pm("LMI-existence", 2018, (81,), SpaceHandling.NATIVE, (_NN,), (_M,),
+        assigned_name=True, influences=("LBF",),
+        notes="Learned existence index for multidimensional data."),
+    _pm("Qd-tree", 2020, (135,), SpaceHandling.NATIVE, (_RL, _H), (_P, _R),
+        influences=("RMI",), implemented="repro.multidim.qdtree.QdTreeIndex",
+        notes="Workload-driven data-layout partitioning tree."),
+    _pm("IO-Z-index", 2022, (92,), SpaceHandling.PROJECTED, (_PL,), (_P, _R),
+        assigned_name=True, influences=("ZM-index",),
+        notes="Towards an instance-optimal Z-index."),
+    _pm("WaZI", 2023, (91,), SpaceHandling.PROJECTED, (_PL,), (_P, _R),
+        influences=("IO-Z-index", "ZM-index"),
+        notes="Workload-aware learned Z-index."),
+    _pm("LMI-unsup", 2021, (110,), SpaceHandling.NATIVE, (_CLU, _NN), (_P, _K),
+        assigned_name=True, influences=("LMI-metric",),
+        notes="Data-driven (unsupervised) learned metric index."),
+    _pm("SLI", 2021, (124,), SpaceHandling.PROJECTED, (_L,), (_P, _R),
+        assigned_name=True, influences=("ZM-index",),
+        notes="Spatial queries based on a learned (projected) index."),
+    _pm("CompressLBF", 2021, (23,), SpaceHandling.PROJECTED, (_NN,), (_M,),
+        influences=("LBF",),
+        notes="Compressed multidimensional learned Bloom filter."),
+
+    # ------------------------------------------------------------------
+    # Multi-dimensional, immutable hybrid (paper §5.3).
+    # ------------------------------------------------------------------
+    _hm("Flood", 2020, (90,), HybridComponent.GRID, (_L, _H), (_P, _R),
+        influences=("RMI", "SageDB-MDI"),
+        implemented="repro.multidim.flood.FloodIndex",
+        notes="Learned grid layout tuned to the query workload."),
+    _hm("Tsunami", 2020, (28,), HybridComponent.GRID, (_L, _H), (_P, _R),
+        influences=("Flood",), implemented="repro.multidim.tsunami.TsunamiIndex",
+        notes="Skew- and correlation-aware regions over Flood grids."),
+    _hm("SPRIG", 2021, (144,), HybridComponent.GRID, (_INT,), (_P, _R, _K),
+        influences=("Flood", "ZM-index"),
+        implemented="repro.multidim.sprig.SPRIGIndex",
+        notes="Spatial interpolation function over a grid sample."),
+    _hm("SPRIG-plus", 2022, (145,), HybridComponent.GRID, (_INT,), (_P, _R, _K),
+        assigned_name=True, influences=("SPRIG",),
+        notes="Interpolation-function learned spatial index refinement."),
+    _hm("PolyFit", 2021, (69,), HybridComponent.BTREE, (_POLY,), (_R, _A),
+        influences=("RMI",),
+        implemented="repro.onedim.polyfit.PolyFitAggregator",
+        notes="Polynomial models for range-aggregate queries."),
+    _hm("LMI-metric", 2021, (6,), HybridComponent.METRIC_INDEX, (_NN, _CLU), (_P, _K),
+        influences=("RMI",), notes="Learned metric index for unstructured data."),
+    _hm("COAX", 2023, (43,), HybridComponent.GRID, (_CLS,), (_P, _R),
+        influences=("Flood",), notes="Correlation-aware indexing of attributes."),
+    _hm("ML-HD", 2021, (53,), HybridComponent.KDTREE, (_CLS,), (_P, _K),
+        assigned_name=True, influences=("RMI",),
+        notes="Case for ML-enhanced high-dimensional indexes."),
+    _hm("LearnedKD", 2020, (136,), HybridComponent.KDTREE, (_L,), (_P, _R),
+        influences=("RMI",), implemented="repro.multidim.learned_kd.LearnedKDIndex",
+        notes="KD-tree construction guided by learned 1-d indexes."),
+    _hm("CaseLSI", 2020, (93,), HybridComponent.RTREE, (_PL,), (_P, _R),
+        assigned_name=True, influences=("RMI", "ZM-index"),
+        notes="The case for learned spatial indexes (evaluation)."),
+    _hm("LSearch", 2023, (94,), HybridComponent.RTREE, (_PL,), (_P, _R),
+        assigned_name=True, influences=("CaseLSI",),
+        notes="Learned search within in-memory spatial indexes."),
+    _hm("DBSA", 2021, (138,), HybridComponent.RTREE, (_INT,), (_P, _R, _K),
+        assigned_name=True, influences=("CaseLSI",),
+        notes="Distance-bounded spatial approximations."),
+    _hm("AI+R-tree", 2022, (2,), HybridComponent.RTREE, (_CLS,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        influences=("RMI",), implemented="repro.multidim.air_tree.AIRTreeIndex",
+        notes="Classifier routes queries to R-tree leaf candidates."),
+
+    # ------------------------------------------------------------------
+    # Multi-dimensional, mutable, fixed layout (paper §5.4).
+    # ------------------------------------------------------------------
+    _pm("Period-Index", 2019, (10,), SpaceHandling.NATIVE, (_H,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        strategy=InsertStrategy.IN_PLACE,
+        notes="Learned 2-d hash index for range/duration queries."),
+    _pm("LSTI", 2023, (29,), SpaceHandling.PROJECTED, (_PL,), (_P, _R, _ST),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        strategy=InsertStrategy.DELTA_BUFFER, assigned_name=True,
+        influences=("ZM-index",),
+        notes="Learned spatial-textual index for keyword queries."),
+    _hm("PerfectFit", 2020, (48,), HybridComponent.RTREE, (_L,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED, assigned_name=True,
+        influences=("FITing-Tree",),
+        notes="Hands-off model integration in spatial index structures."),
+    _hm("GLIN", 2022, (121,), HybridComponent.BTREE, (_PL,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        space=SpaceHandling.PROJECTED, influences=("PGM-index",),
+        notes="Lightweight learned index for complex geometries (z-curve + PGM)."),
+    _hm("SLBRIN", 2023, (123,), HybridComponent.BRIN, (_L,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.FIXED,
+        space=SpaceHandling.PROJECTED, influences=("ZM-index",),
+        notes="Spatial learned index based on block-range metadata."),
+
+    # ------------------------------------------------------------------
+    # Multi-dimensional, mutable, dynamic layout (paper §5.5).
+    # ------------------------------------------------------------------
+    _pm("LISA", 2020, (66,), SpaceHandling.PROJECTED, (_PL,), (_P, _R, _K),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        strategy=InsertStrategy.DELTA_BUFFER,
+        influences=("ZM-index", "RMI"),
+        implemented="repro.multidim.lisa.LISAIndex",
+        notes="Learned mapping function + shard prediction for spatial data."),
+    _pm("RSMI", 2020, (96,), SpaceHandling.PROJECTED, (_NN,), (_P, _R, _K),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        strategy=InsertStrategy.IN_PLACE,
+        influences=("ZM-index",),
+        implemented="repro.multidim.rsmi.RSMIIndex",
+        notes="Recursive spatial model index over rank-space projection."),
+    _pm("Waffle", 2022, (16,), SpaceHandling.NATIVE, (_RL,), (_P, _R, _K),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        strategy=InsertStrategy.IN_PLACE,
+        notes="In-memory grid for moving objects, RL-tuned configuration."),
+    _pm("MTO", 2021, (26,), SpaceHandling.NATIVE, (_RL, _H), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        strategy=InsertStrategy.DELTA_BUFFER, assigned_name=True,
+        influences=("Qd-tree",),
+        notes="Instance-optimized data layouts for cloud analytics."),
+    _pm("LMSFC", 2023, (37,), SpaceHandling.PROJECTED, (_L,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        strategy=InsertStrategy.DELTA_BUFFER,
+        influences=("ZM-index", "BMTree"),
+        notes="Learned monotonic space-filling curves."),
+    _pm("BMTree", 2023, (62,), SpaceHandling.PROJECTED, (_RL,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        strategy=InsertStrategy.DELTA_BUFFER,
+        influences=("ZM-index",),
+        notes="Piecewise space-filling curves learned bottom-up."),
+    _pm("LIMS", 2022, (117,), SpaceHandling.PROJECTED, (_CLU, _L), (_P, _K),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        strategy=InsertStrategy.DELTA_BUFFER,
+        influences=("ML-index",),
+        notes="Learned index for exact similarity search in metric spaces."),
+    _hm("RW-Tree", 2022, (31,), HybridComponent.RTREE, (_CLS,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        influences=("RMI",), notes="Workload-aware R-tree construction."),
+    _hm("RLR-Tree", 2023, (40,), HybridComponent.RTREE, (_RL,), (_P, _R, _K),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        influences=("RW-Tree",), notes="RL-driven R-tree insert/split policies."),
+    _hm("ACR-Tree", 2023, (50,), HybridComponent.RTREE, (_RL,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        influences=("RLR-Tree",), notes="Deep-RL R-tree packing."),
+    _hm("PLATON", 2023, (134,), HybridComponent.RTREE, (_RL,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        influences=("ACR-Tree", "Qd-tree"),
+        notes="Top-down R-tree packing with learned partition policy."),
+    _hm("WISK", 2023, (109,), HybridComponent.RTREE, (_H, _CLS), (_R, _ST),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        influences=("Qd-tree",),
+        notes="Workload-aware learned index for spatial keyword queries."),
+    _hm("HELI", 2023, (113,), HybridComponent.GRID, (_L,), (_P, _R),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC, assigned_name=True,
+        influences=("LISA",),
+        notes="Fast hybrid spatial index with external-memory support."),
+    _hm("PA-LBF", 2023, (140,), HybridComponent.BLOOM_FILTER, (_NN,), (_M,),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        space=SpaceHandling.PROJECTED, influences=("LPBF",),
+        implemented="repro.multidim.spatial_lbf.SpatialLearnedBloomFilter",
+        notes="Prefix-based adaptive learned Bloom filter for spatial data."),
+    _hm("LPBF", 2022, (152,), HybridComponent.BLOOM_FILTER, (_NN,), (_M,),
+        mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
+        space=SpaceHandling.PROJECTED, influences=("LBF",),
+        notes="Learned prefix Bloom filter for spatial data."),
+)
+
+
+_BY_NAME = {info.name: info for info in REGISTRY}
+if len(_BY_NAME) != len(REGISTRY):  # pragma: no cover - guards data entry
+    raise RuntimeError("duplicate index names in registry")
+
+
+def get(name: str) -> IndexInfo:
+    """Return the registry record for ``name`` (exact match)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown index {name!r}") from None
+
+
+def query(**filters) -> list[IndexInfo]:
+    """Return registry records whose attributes equal the given filters.
+
+    Example::
+
+        query(mutability=Mutability.MUTABLE, spectrum=Spectrum.PURE)
+    """
+    out = []
+    for info in REGISTRY:
+        if all(getattr(info, attr) == value for attr, value in filters.items()):
+            out.append(info)
+    return out
+
+
+def counts_by(attr: str) -> dict:
+    """Histogram of registry records over one taxonomy attribute."""
+    counts: dict = {}
+    for info in REGISTRY:
+        key = getattr(info, attr)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def lineage_graph() -> nx.DiGraph:
+    """Directed graph of influence edges (earlier work -> later work).
+
+    Used to regenerate Figure 3.  Edges whose source is not itself a
+    registry entry are dropped; the graph is guaranteed acyclic.
+    """
+    graph = nx.DiGraph()
+    for info in REGISTRY:
+        graph.add_node(info.name, year=info.year)
+    for info in REGISTRY:
+        for parent in info.influences:
+            if parent in _BY_NAME:
+                graph.add_edge(parent, info.name)
+    if not nx.is_directed_acyclic_graph(graph):  # pragma: no cover
+        raise RuntimeError("lineage graph must be acyclic")
+    return graph

@@ -1,0 +1,87 @@
+"""Figure 1 generator: the spectrum of learned index structures.
+
+Figure 1 of the paper places learned indexes on a spectrum from *pure*
+(ML models fully replace the traditional structure) to *hybrid* (ML models
+enhance a traditional structure).  This module renders that spectrum from
+the registry, grouped by dimensionality, so the figure is reproducible
+as data rather than as a drawing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.registry import REGISTRY, IndexInfo
+from repro.core.taxonomy import Dimensionality, HybridComponent, Spectrum
+
+__all__ = ["SpectrumBucket", "spectrum_buckets", "render_spectrum"]
+
+
+@dataclass(frozen=True)
+class SpectrumBucket:
+    """One cell of the Figure 1 spectrum."""
+
+    dimensionality: Dimensionality
+    spectrum: Spectrum
+    members: tuple[str, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.members)
+
+
+def spectrum_buckets(records: tuple[IndexInfo, ...] = REGISTRY) -> list[SpectrumBucket]:
+    """Partition registry records into the four Figure 1 cells."""
+    buckets = []
+    for dim in Dimensionality:
+        for spec in Spectrum:
+            members = tuple(
+                sorted(
+                    info.name
+                    for info in records
+                    if info.dimensionality is dim and info.spectrum is spec
+                )
+            )
+            buckets.append(SpectrumBucket(dim, spec, members))
+    return buckets
+
+
+def _hybrid_components(records: tuple[IndexInfo, ...], dim: Dimensionality) -> list[str]:
+    seen: dict[str, int] = {}
+    for info in records:
+        if info.dimensionality is dim and info.spectrum is Spectrum.HYBRID:
+            if info.hybrid_component is not HybridComponent.NONE:
+                name = info.hybrid_component.value
+                seen[name] = seen.get(name, 0) + 1
+    return [f"{name} ({count})" for name, count in sorted(seen.items())]
+
+
+def render_spectrum(records: tuple[IndexInfo, ...] = REGISTRY) -> str:
+    """Render Figure 1 as fixed-width text.
+
+    The left pole is "pure" (traditional index fully replaced), the right
+    pole is "hybrid" (ML-enhanced traditional index); each row is a
+    dimensionality class with its index counts and, for hybrids, the
+    traditional components in use.
+    """
+    buckets = {(b.dimensionality, b.spectrum): b for b in spectrum_buckets(records)}
+    lines = [
+        "Figure 1: Spectrum of learned index structures",
+        "",
+        "  pure (replace traditional index)  <" + "-" * 24 + ">  hybrid (ML-enhanced traditional index)",
+        "",
+    ]
+    for dim, label in (
+        (Dimensionality.ONE_DIMENSIONAL, "One-dimensional"),
+        (Dimensionality.MULTI_DIMENSIONAL, "Multi-dimensional"),
+    ):
+        pure = buckets[(dim, Spectrum.PURE)]
+        hybrid = buckets[(dim, Spectrum.HYBRID)]
+        lines.append(f"  {label}:")
+        lines.append(f"    pure   ({pure.count:3d}): e.g. {', '.join(pure.members[:6])}, ...")
+        lines.append(f"    hybrid ({hybrid.count:3d}): e.g. {', '.join(hybrid.members[:6])}, ...")
+        components = _hybrid_components(records, dim)
+        if components:
+            lines.append(f"    hybrid components: {', '.join(components)}")
+        lines.append("")
+    return "\n".join(lines)

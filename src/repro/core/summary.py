@@ -1,0 +1,80 @@
+"""§5.6 generator: ML techniques and supported query types per index.
+
+The tutorial's Part 2 closes with "a summary of the various ML techniques
+used for learned one- and multi-dimensional indexes" and "a summary of the
+supported query types (point, range, kNN, join) for each of the 40+
+learned multi-dimensional indexes".  Both tables are generated here from
+the registry.
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import REGISTRY, IndexInfo
+from repro.core.taxonomy import Dimensionality, MLTechnique, QueryType
+
+__all__ = [
+    "ml_technique_histogram",
+    "query_support_rows",
+    "render_ml_summary",
+    "render_query_summary",
+]
+
+
+def ml_technique_histogram(
+    records: tuple[IndexInfo, ...] = REGISTRY,
+    dimensionality: Dimensionality | None = None,
+) -> dict[MLTechnique, int]:
+    """Count how many surveyed indexes use each ML technique."""
+    counts: dict[MLTechnique, int] = {}
+    for info in records:
+        if dimensionality is not None and info.dimensionality is not dimensionality:
+            continue
+        for technique in info.ml:
+            counts[technique] = counts.get(technique, 0) + 1
+    return counts
+
+
+def query_support_rows(
+    records: tuple[IndexInfo, ...] = REGISTRY,
+    dimensionality: Dimensionality = Dimensionality.MULTI_DIMENSIONAL,
+) -> list[tuple[str, dict[QueryType, bool]]]:
+    """One row per index: which query types it supports."""
+    rows = []
+    for info in sorted(records, key=lambda i: (i.year, i.name)):
+        if info.dimensionality is not dimensionality:
+            continue
+        support = {qt: qt in info.queries for qt in QueryType}
+        rows.append((info.name, support))
+    return rows
+
+
+def render_ml_summary(records: tuple[IndexInfo, ...] = REGISTRY) -> str:
+    """Render the ML-technique summary for both data spaces."""
+    lines = ["Summary: ML techniques used by learned indexes", ""]
+    for dim, label in (
+        (Dimensionality.ONE_DIMENSIONAL, "One-dimensional"),
+        (Dimensionality.MULTI_DIMENSIONAL, "Multi-dimensional"),
+    ):
+        counts = ml_technique_histogram(records, dim)
+        lines.append(f"{label}:")
+        for technique, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0].value)):
+            lines.append(f"  {technique.value:<24} {count:3d}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_query_summary(records: tuple[IndexInfo, ...] = REGISTRY) -> str:
+    """Render the query-type support matrix for multi-dimensional indexes."""
+    columns = [QueryType.POINT, QueryType.RANGE, QueryType.KNN,
+               QueryType.JOIN, QueryType.MEMBERSHIP, QueryType.SPATIAL_TEXTUAL]
+    header = f"{'index':<16}" + "".join(f"{qt.value:>10}" for qt in columns)
+    lines = [
+        "Summary: supported query types of learned multi-dimensional indexes",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    for name, support in query_support_rows(records):
+        cells = "".join(f"{'yes' if support[qt] else '-':>10}" for qt in columns)
+        lines.append(f"{name:<16}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""Taxonomy axes and tree for the survey's classification of learned indexes.
+
+The tutorial (Figure 2) classifies every learned index along these axes:
+
+1. **Mutability** — immutable vs. mutable (supports inserts/updates).
+2. **Layout** — for mutable indexes, fixed vs. dynamic data layout.
+3. **Dimensionality** — one-dimensional vs. multi-dimensional space.
+4. **Spectrum** — pure (replaces a traditional index) vs. hybrid
+   (ML-enhanced traditional index), see Figure 1.
+5. **Insert strategy** — for mutable *pure* indexes, in-place vs. delta
+   buffer.
+6. **Hybrid component** — for hybrid indexes, the traditional structure
+   they are built on (B-tree, R-tree, Bloom filter, LSM, ...).
+7. **Space handling** — for multi-dimensional indexes, projected (space
+   filling curve or other projection into 1-D) vs. native space.
+
+:class:`TaxonomyNode` builds the classification tree from a collection of
+:class:`~repro.core.registry.IndexInfo` records so that Figure 2 can be
+*generated* rather than hand-drawn.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Mutability",
+    "Layout",
+    "Dimensionality",
+    "Spectrum",
+    "InsertStrategy",
+    "HybridComponent",
+    "SpaceHandling",
+    "MLTechnique",
+    "QueryType",
+    "TaxonomyNode",
+    "build_taxonomy",
+    "TAXONOMY_AXES",
+]
+
+
+class Mutability(enum.Enum):
+    """Whether an index supports dynamic inserts/updates."""
+
+    IMMUTABLE = "immutable"
+    MUTABLE = "mutable"
+
+
+class Layout(enum.Enum):
+    """Data layout of a mutable index during construction.
+
+    ``FIXED`` layouts are decided before index construction; ``DYNAMIC``
+    layouts are re-arranged by the ML models during construction (e.g. the
+    gapped arrays of ALEX, the kernelised tree of LIPP).
+    """
+
+    FIXED = "fixed"
+    DYNAMIC = "dynamic"
+    NOT_APPLICABLE = "n/a"
+
+
+class Dimensionality(enum.Enum):
+    """Underlying data space of the index."""
+
+    ONE_DIMENSIONAL = "1-d"
+    MULTI_DIMENSIONAL = "multi-d"
+
+
+class Spectrum(enum.Enum):
+    """Position on the pure <-> hybrid spectrum of Figure 1."""
+
+    PURE = "pure"
+    HYBRID = "hybrid"
+
+
+class InsertStrategy(enum.Enum):
+    """How a mutable pure index absorbs new data."""
+
+    IN_PLACE = "in-place"
+    DELTA_BUFFER = "delta-buffer"
+    NOT_APPLICABLE = "n/a"
+
+
+class HybridComponent(enum.Enum):
+    """Traditional structure a hybrid learned index is built on."""
+
+    BTREE = "B-tree"
+    RTREE = "R-tree"
+    KDTREE = "KD-tree"
+    QUADTREE = "Quad-tree"
+    GRID = "Grid"
+    BLOOM_FILTER = "Bloom filter"
+    LSM_TREE = "LSM-tree"
+    SKIP_LIST = "Skip list"
+    HASH = "Hash"
+    TRIE = "Trie"
+    BRIN = "BRIN"
+    INVERTED_INDEX = "Inverted index"
+    METRIC_INDEX = "Metric index"
+    NONE = "none"
+
+
+class SpaceHandling(enum.Enum):
+    """Multi-dimensional indexes: projected into 1-D vs. native space."""
+
+    PROJECTED = "projected"
+    NATIVE = "native"
+    NOT_APPLICABLE = "n/a"
+
+
+class MLTechnique(enum.Enum):
+    """ML model families used by learned indexes (§5.6 summary)."""
+
+    LINEAR = "linear model"
+    PIECEWISE_LINEAR = "piecewise linear"
+    SPLINE = "spline"
+    POLYNOMIAL = "polynomial"
+    NEURAL_NETWORK = "neural network"
+    DECISION_TREE = "decision tree"
+    REINFORCEMENT_LEARNING = "reinforcement learning"
+    CLASSIFIER = "classifier"
+    CLUSTERING = "clustering"
+    HISTOGRAM = "histogram"
+    INTERPOLATION = "interpolation"
+    OTHER = "other"
+
+
+class QueryType(enum.Enum):
+    """Query types surveyed in the §5.6 summary."""
+
+    POINT = "point"
+    RANGE = "range"
+    KNN = "kNN"
+    JOIN = "join"
+    MEMBERSHIP = "membership"
+    AGGREGATE = "aggregate"
+    SPATIAL_TEXTUAL = "spatial-textual"
+
+
+#: Ordered axes used to build the Figure 2 tree, with display labels.
+TAXONOMY_AXES: list[tuple[str, str]] = [
+    ("mutability", "Mutability"),
+    ("layout", "Data layout"),
+    ("dimensionality", "Data space"),
+    ("spectrum", "Pure vs. hybrid"),
+    ("detail", "Insert strategy / hybrid component"),
+    ("space", "Projected vs. native"),
+]
+
+
+@dataclass
+class TaxonomyNode:
+    """A node of the generated Figure 2 classification tree."""
+
+    label: str
+    depth: int = 0
+    children: list["TaxonomyNode"] = field(default_factory=list)
+    members: list[object] = field(default_factory=list)
+
+    def add_child(self, label: str) -> "TaxonomyNode":
+        """Return the child named ``label``, creating it if necessary."""
+        for child in self.children:
+            if child.label == label:
+                return child
+        child = TaxonomyNode(label=label, depth=self.depth + 1)
+        self.children.append(child)
+        return child
+
+    def count(self) -> int:
+        """Number of index records in this subtree."""
+        return len(self.members) + sum(child.count() for child in self.children)
+
+    def walk(self) -> Iterable["TaxonomyNode"]:
+        """Yield this node and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, *labels: str) -> "TaxonomyNode | None":
+        """Descend through children matching ``labels`` in order."""
+        node: TaxonomyNode | None = self
+        for label in labels:
+            if node is None:
+                return None
+            node = next((c for c in node.children if c.label == label), None)
+        return node
+
+
+def _detail_label(info) -> str | None:
+    """The 5th-level label: insert strategy (pure) or component (hybrid)."""
+    if info.spectrum is Spectrum.HYBRID:
+        return f"on {info.hybrid_component.value}"
+    if info.mutability is Mutability.MUTABLE:
+        if info.insert_strategy is InsertStrategy.NOT_APPLICABLE:
+            return None
+        return info.insert_strategy.value
+    return None
+
+
+def build_taxonomy(records: Sequence[object]) -> TaxonomyNode:
+    """Build the Figure 2 tree from :class:`IndexInfo` records.
+
+    The tree mirrors the paper's axis order: mutability -> (layout, for
+    mutable) -> dimensionality -> pure/hybrid -> (insert strategy or hybrid
+    component) -> (projected/native, for multi-dimensional pure indexes).
+    """
+    root = TaxonomyNode(label="Learned indexes")
+    for info in records:
+        node = root.add_child(info.mutability.value)
+        if info.mutability is Mutability.MUTABLE and info.layout is not Layout.NOT_APPLICABLE:
+            node = node.add_child(f"{info.layout.value} layout")
+        node = node.add_child(info.dimensionality.value)
+        node = node.add_child(info.spectrum.value)
+        detail = _detail_label(info)
+        if detail is not None:
+            node = node.add_child(detail)
+        if (
+            info.dimensionality is Dimensionality.MULTI_DIMENSIONAL
+            and info.space is not SpaceHandling.NOT_APPLICABLE
+        ):
+            node = node.add_child(f"{info.space.value} space")
+        node.members.append(info)
+    return root

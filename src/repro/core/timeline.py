@@ -1,0 +1,75 @@
+"""Figure 3 generator: the evolution timeline of learned indexes.
+
+Figure 3 of the paper groups learned-index papers by publication year and
+draws lineage arrows from earlier work to the later work that builds on
+it.  This module regenerates that figure from the registry's ``influences``
+edges: :func:`timeline_rows` yields per-year groups and
+:func:`render_timeline` prints them with their lineage, using the paper's
+square/triangle convention for one- vs. multi-dimensional indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.registry import REGISTRY, IndexInfo, lineage_graph
+from repro.core.taxonomy import Dimensionality
+
+__all__ = ["TimelineRow", "timeline_rows", "render_timeline", "roots", "descendants"]
+
+#: Marker convention from the paper: [] = one-dimensional, <> = multi-dim
+#: (stand-ins for the square and triangle glyphs).
+_MARKERS = {
+    Dimensionality.ONE_DIMENSIONAL: "[]",
+    Dimensionality.MULTI_DIMENSIONAL: "<>",
+}
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """All surveyed indexes published in one year."""
+
+    year: int
+    entries: tuple[IndexInfo, ...]
+
+
+def timeline_rows(records: tuple[IndexInfo, ...] = REGISTRY) -> list[TimelineRow]:
+    """Group registry records by year, ascending."""
+    by_year: dict[int, list[IndexInfo]] = {}
+    for info in records:
+        by_year.setdefault(info.year, []).append(info)
+    return [
+        TimelineRow(year=year, entries=tuple(sorted(group, key=lambda i: i.name)))
+        for year, group in sorted(by_year.items())
+    ]
+
+
+def render_timeline(records: tuple[IndexInfo, ...] = REGISTRY) -> str:
+    """Render Figure 3 as text: one block per year, with lineage arrows."""
+    lines = [
+        "Figure 3: Evolution of learned indexes",
+        "([] = one-dimensional, <> = multi-dimensional; 'x <- y' means x builds on y)",
+        "",
+    ]
+    for row in timeline_rows(records):
+        lines.append(f"{row.year}:")
+        for info in row.entries:
+            marker = _MARKERS[info.dimensionality]
+            parents = ", ".join(info.influences) if info.influences else "-"
+            lines.append(f"  {marker} {info.name:<18} <- {parents}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def roots(graph: nx.DiGraph | None = None) -> list[str]:
+    """Indexes with no surveyed ancestor (the field's origin points)."""
+    g = graph if graph is not None else lineage_graph()
+    return sorted(node for node in g.nodes if g.in_degree(node) == 0 and g.out_degree(node) > 0)
+
+
+def descendants(name: str, graph: nx.DiGraph | None = None) -> list[str]:
+    """All surveyed indexes that transitively build on ``name``."""
+    g = graph if graph is not None else lineage_graph()
+    return sorted(nx.descendants(g, name))

@@ -1,0 +1,115 @@
+"""Figure 2 generator: render the taxonomy tree of learned indexes.
+
+The paper's Figure 2 is a large classification tree.  Here the tree is
+*built* from the registry by :func:`repro.core.taxonomy.build_taxonomy`
+and rendered as indented text.  Following the paper's conventions:
+
+* a wedge marker ``^`` follows names the survey authors assigned
+  themselves (the original paper did not name the index);
+* an asterisk ``*`` follows indexes that natively support concurrency;
+* branches that exist in the axis product but contain no surveyed paper
+  are shown as ``(no papers yet)``, matching the paper's note that "the
+  end of a branch indicates that there are no papers in that category".
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import REGISTRY, IndexInfo
+from repro.core.taxonomy import (
+    Dimensionality,
+    InsertStrategy,
+    Layout,
+    Mutability,
+    Spectrum,
+    TaxonomyNode,
+    build_taxonomy,
+)
+
+__all__ = ["render_taxonomy", "taxonomy_counts", "empty_branches"]
+
+
+def _decorate(info: IndexInfo) -> str:
+    name = info.name
+    if info.assigned_name:
+        name += "^"
+    if info.concurrent:
+        name += "*"
+    return name
+
+
+def _render_node(node: TaxonomyNode, lines: list[str], prefix: str = "") -> None:
+    members = ", ".join(_decorate(m) for m in sorted(node.members, key=lambda m: (m.year, m.name)))
+    suffix = f"  [{node.count()}]"
+    lines.append(f"{prefix}{node.label}{suffix}")
+    if members:
+        lines.append(f"{prefix}  -> {members}")
+    for child in node.children:
+        _render_node(child, lines, prefix + "    ")
+
+
+def render_taxonomy(records: tuple[IndexInfo, ...] = REGISTRY) -> str:
+    """Render Figure 2 as indented text with per-branch counts."""
+    root = build_taxonomy(records)
+    lines = [
+        "Figure 2: Taxonomy of learned indexes",
+        "(^ = name assigned by the survey; * = native concurrency support)",
+        "",
+    ]
+    _render_node(root, lines)
+    empties = empty_branches(records)
+    if empties:
+        lines.append("")
+        lines.append("Open branches (no papers yet):")
+        for branch in empties:
+            lines.append(f"  - {branch}")
+    return "\n".join(lines)
+
+
+def taxonomy_counts(records: tuple[IndexInfo, ...] = REGISTRY) -> dict[str, int]:
+    """Count records per top-level class, for checking against the paper."""
+    root = build_taxonomy(records)
+    counts = {}
+    for child in root.children:
+        counts[child.label] = child.count()
+    return counts
+
+
+#: Branch combinations the paper's figure marks as open (no papers).
+_CANDIDATE_BRANCHES = [
+    (Mutability.MUTABLE, Layout.FIXED, Dimensionality.ONE_DIMENSIONAL,
+     Spectrum.PURE, InsertStrategy.IN_PLACE),
+    (Mutability.MUTABLE, Layout.FIXED, Dimensionality.ONE_DIMENSIONAL,
+     Spectrum.PURE, InsertStrategy.DELTA_BUFFER),
+    (Mutability.MUTABLE, Layout.DYNAMIC, Dimensionality.ONE_DIMENSIONAL,
+     Spectrum.PURE, InsertStrategy.IN_PLACE),
+    (Mutability.MUTABLE, Layout.DYNAMIC, Dimensionality.ONE_DIMENSIONAL,
+     Spectrum.PURE, InsertStrategy.DELTA_BUFFER),
+    (Mutability.MUTABLE, Layout.FIXED, Dimensionality.MULTI_DIMENSIONAL,
+     Spectrum.PURE, InsertStrategy.IN_PLACE),
+    (Mutability.MUTABLE, Layout.FIXED, Dimensionality.MULTI_DIMENSIONAL,
+     Spectrum.PURE, InsertStrategy.DELTA_BUFFER),
+    (Mutability.MUTABLE, Layout.DYNAMIC, Dimensionality.MULTI_DIMENSIONAL,
+     Spectrum.PURE, InsertStrategy.IN_PLACE),
+    (Mutability.MUTABLE, Layout.DYNAMIC, Dimensionality.MULTI_DIMENSIONAL,
+     Spectrum.PURE, InsertStrategy.DELTA_BUFFER),
+]
+
+
+def empty_branches(records: tuple[IndexInfo, ...] = REGISTRY) -> list[str]:
+    """Return the candidate taxonomy branches with no surveyed paper."""
+    out = []
+    for mut, layout, dim, spec, strat in _CANDIDATE_BRANCHES:
+        found = any(
+            info.mutability is mut
+            and info.layout is layout
+            and info.dimensionality is dim
+            and info.spectrum is spec
+            and info.insert_strategy is strat
+            for info in records
+        )
+        if not found:
+            out.append(
+                f"{mut.value} / {layout.value} layout / {dim.value} / "
+                f"{spec.value} / {strat.value}"
+            )
+    return out

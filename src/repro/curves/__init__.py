@@ -1,0 +1,28 @@
+"""Space-filling curves: the projection substrate of the taxonomy's
+"projected space" branch."""
+
+from repro.curves.hilbert import hilbert_decode, hilbert_encode, hilbert_encode_array
+from repro.curves.zorder import (
+    bigmin,
+    deinterleave,
+    dequantize,
+    interleave,
+    quantize,
+    zdecode,
+    zencode,
+    zencode_array,
+)
+
+__all__ = [
+    "hilbert_decode",
+    "hilbert_encode",
+    "hilbert_encode_array",
+    "bigmin",
+    "deinterleave",
+    "dequantize",
+    "interleave",
+    "quantize",
+    "zdecode",
+    "zencode",
+    "zencode_array",
+]

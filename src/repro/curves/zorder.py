@@ -1,0 +1,181 @@
+"""Z-order (Morton) curve: bit interleaving, decoding, and BIGMIN.
+
+The Z-order curve (Morton 1966) is the projection function behind the
+ZM-index family: each dimension is quantised to ``bits`` integer bits and
+the bits are interleaved so nearby points receive nearby codes.
+
+:func:`bigmin` implements the classic BIGMIN/LITMAX range-splitting
+primitive: given a query box and a position on the curve, it returns the
+smallest Z-address >= that position that re-enters the box, letting range
+scans skip the curve's excursions outside the box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "interleave",
+    "deinterleave",
+    "zencode",
+    "zdecode",
+    "zencode_array",
+    "quantize",
+    "dequantize",
+    "bigmin",
+]
+
+
+def quantize(points: np.ndarray, lo: np.ndarray, hi: np.ndarray, bits: int) -> np.ndarray:
+    """Map float points in [lo, hi] to integer lattice coordinates.
+
+    Args:
+        points: ``(n, d)`` float array.
+        lo, hi: per-dimension bounds; points outside are clamped.
+        bits: bits per dimension (so coordinates lie in [0, 2^bits - 1]).
+    """
+    if bits < 1 or bits > 31:
+        raise ValueError("bits must be in [1, 31]")
+    pts = np.asarray(points, dtype=np.float64)
+    span = np.asarray(hi, dtype=np.float64) - np.asarray(lo, dtype=np.float64)
+    span[span == 0] = 1.0
+    frac = (pts - lo) / span
+    scaled = np.clip(frac, 0.0, 1.0) * ((1 << bits) - 1)
+    return np.rint(scaled).astype(np.int64)
+
+
+def dequantize(coords: np.ndarray, lo: np.ndarray, hi: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of :func:`quantize` (to cell-centre coordinates)."""
+    span = np.asarray(hi, dtype=np.float64) - np.asarray(lo, dtype=np.float64)
+    span[span == 0] = 1.0
+    return np.asarray(lo) + np.asarray(coords, dtype=np.float64) / ((1 << bits) - 1) * span
+
+
+def interleave(coords: tuple[int, ...] | np.ndarray, bits: int) -> int:
+    """Interleave d integer coordinates into one Morton code."""
+    code = 0
+    d = len(coords)
+    for bit in range(bits - 1, -1, -1):
+        for dim in range(d):
+            code = (code << 1) | ((int(coords[dim]) >> bit) & 1)
+    return code
+
+
+def deinterleave(code: int, dims: int, bits: int) -> tuple[int, ...]:
+    """Split a Morton code back into d integer coordinates."""
+    coords = [0] * dims
+    for bit in range(bits):
+        for dim in range(dims):
+            shift = (bits - 1 - bit) * dims + (dims - 1 - dim)
+            coords[dim] = (coords[dim] << 1) | ((code >> shift) & 1)
+    return tuple(coords)
+
+
+def zencode(point, lo, hi, bits: int) -> int:
+    """Quantise one float point and return its Morton code."""
+    coords = quantize(np.asarray(point, dtype=np.float64)[None, :], np.asarray(lo), np.asarray(hi), bits)[0]
+    return interleave(tuple(coords), bits)
+
+
+def zdecode(code: int, lo, hi, dims: int, bits: int) -> np.ndarray:
+    """Morton code back to (approximate) float coordinates."""
+    coords = deinterleave(code, dims, bits)
+    return dequantize(np.asarray(coords)[None, :], np.asarray(lo), np.asarray(hi), bits)[0]
+
+
+def zencode_array(points: np.ndarray, lo, hi, bits: int) -> np.ndarray:
+    """Vectorised Morton encoding of an ``(n, d)`` point array.
+
+    Uses magic-number bit spreading for d = 2 and a per-bit loop
+    otherwise; returns an ``object`` array of Python ints when the code
+    would overflow 63 bits, else ``int64``.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n, d = pts.shape
+    coords = quantize(pts, np.asarray(lo, dtype=np.float64), np.asarray(hi, dtype=np.float64), bits)
+    total_bits = d * bits
+    if total_bits <= 62:
+        codes = np.zeros(n, dtype=np.int64)
+        for bit in range(bits - 1, -1, -1):
+            for dim in range(d):
+                codes = (codes << 1) | ((coords[:, dim] >> bit) & 1)
+        return codes
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        out[i] = interleave(tuple(coords[i]), bits)
+    return out
+
+
+def _load_bits(code: int, dim: int, dims: int, bits: int) -> int:
+    """Extract dimension ``dim``'s coordinate from a Morton code."""
+    coord = 0
+    for bit in range(bits):
+        shift = (bits - 1 - bit) * dims + (dims - 1 - dim)
+        coord = (coord << 1) | ((code >> shift) & 1)
+    return coord
+
+
+def _set_bit_pattern(value: int, bit: int, kind: str) -> int:
+    """BIGMIN helpers: force bit patterns below position ``bit``.
+
+    ``kind='min'`` sets bit ``bit`` to 1 and all lower bits to 0
+    (smallest value with that prefix); ``kind='max'`` sets bit ``bit`` to
+    0 and all lower bits to 1 (largest value with that prefix).
+    """
+    mask_low = (1 << bit) - 1
+    if kind == "min":
+        return (value | (1 << bit)) & ~mask_low
+    return (value & ~(1 << bit)) | mask_low
+
+
+def bigmin(code: int, lo_code_coords: tuple[int, ...], hi_code_coords: tuple[int, ...],
+           dims: int, bits: int) -> int | None:
+    """Smallest Morton code > ``code`` whose point lies inside the box.
+
+    Args:
+        code: current position on the curve (typically just past a miss).
+        lo_code_coords, hi_code_coords: quantised box corners.
+        dims, bits: curve geometry.
+
+    Returns:
+        The BIGMIN code, or ``None`` if no curve point after ``code``
+        intersects the box.
+
+    This is the Tropf-Herzog algorithm walking the code's bits from the
+    most significant down, maintaining shrunken box corners.
+    """
+    lo = list(lo_code_coords)
+    hi = list(hi_code_coords)
+    result: int | None = None
+    total_bits = dims * bits
+    for pos in range(total_bits - 1, -1, -1):
+        dim = (total_bits - 1 - pos) % dims
+        bit_index = pos // dims  # bit position within the dimension
+        code_bit = (code >> pos) & 1
+        lo_bit = (lo[dim] >> bit_index) & 1
+        hi_bit = (hi[dim] >> bit_index) & 1
+        if code_bit == 0 and lo_bit == 0 and hi_bit == 0:
+            continue
+        if code_bit == 0 and lo_bit == 0 and hi_bit == 1:
+            # Candidate: jump into the upper half later; continue in lower.
+            candidate_lo = list(lo)
+            candidate_lo[dim] = _set_bit_pattern(lo[dim], bit_index, "min")
+            candidate = _compose(candidate_lo, dims, bits)
+            result = candidate if result is None else min(result, candidate)
+            hi[dim] = _set_bit_pattern(hi[dim], bit_index, "max")
+            continue
+        if code_bit == 0 and lo_bit == 1:
+            # Box entirely in upper half: BIGMIN is the box minimum.
+            return _compose(lo, dims, bits)
+        if code_bit == 1 and hi_bit == 0:
+            # Box entirely in lower half, code already above: no result here.
+            return result
+        if code_bit == 1 and lo_bit == 0 and hi_bit == 1:
+            lo[dim] = _set_bit_pattern(lo[dim], bit_index, "min")
+            continue
+        # code_bit == 1 and lo_bit == 1 and hi_bit == 1: continue.
+    return result
+
+
+def _compose(coords: list[int], dims: int, bits: int) -> int:
+    return interleave(tuple(coords), bits)

@@ -1,0 +1,31 @@
+"""Dataset and workload generators for the benchmark harness."""
+
+from repro.data.datasets import DATASETS_1D, DATASETS_ND, DatasetSpec, load_1d, load_nd
+from repro.data.queries import (
+    MixedOp,
+    insert_stream,
+    knn_queries,
+    mixed_workload,
+    negative_lookups,
+    point_lookups,
+    range_queries_1d,
+    range_queries_nd,
+    zipf_lookups,
+)
+
+__all__ = [
+    "DATASETS_1D",
+    "DATASETS_ND",
+    "DatasetSpec",
+    "load_1d",
+    "load_nd",
+    "MixedOp",
+    "insert_stream",
+    "knn_queries",
+    "mixed_workload",
+    "negative_lookups",
+    "point_lookups",
+    "range_queries_1d",
+    "range_queries_nd",
+    "zipf_lookups",
+]

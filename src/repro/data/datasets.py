@@ -1,0 +1,78 @@
+"""Named dataset registry with deterministic seeds.
+
+Benchmarks refer to datasets by name (``"books"``, ``"osm"``, ...), so
+every experiment can enumerate the same corpus the way SOSD does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data import distributions, spatial
+
+__all__ = ["DatasetSpec", "DATASETS_1D", "DATASETS_ND", "load_1d", "load_nd"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset: generator + human description."""
+
+    name: str
+    generator: Callable[..., np.ndarray]
+    description: str
+
+
+DATASETS_1D: dict[str, DatasetSpec] = {
+    "uniform": DatasetSpec("uniform", distributions.uniform_keys,
+                           "uniform keys (easy: one linear model suffices)"),
+    "normal": DatasetSpec("normal", distributions.normal_keys,
+                          "gaussian keys (smooth nonlinear CDF)"),
+    "lognormal": DatasetSpec("lognormal", distributions.lognormal_keys,
+                             "lognormal keys (strong skew)"),
+    "books": DatasetSpec("books", distributions.sosd_books,
+                         "SOSD books analogue (lognormal popularity)"),
+    "osm": DatasetSpec("osm", distributions.sosd_osm,
+                       "SOSD osm_cellids analogue (clustered, gappy)"),
+    "wiki": DatasetSpec("wiki", distributions.sosd_wiki,
+                        "SOSD wiki_ts analogue (bursty timestamps)"),
+    "fb": DatasetSpec("fb", distributions.sosd_fb,
+                      "SOSD fb analogue (heavy-tailed ids)"),
+    "zipf": DatasetSpec("zipf", distributions.zipf_gap_keys,
+                        "Zipf-distributed gaps (local hardness)"),
+}
+
+DATASETS_ND: dict[str, DatasetSpec] = {
+    "uniform": DatasetSpec("uniform", spatial.uniform_points,
+                           "uniform points (grids shine)"),
+    "clusters": DatasetSpec("clusters", spatial.gaussian_clusters,
+                            "gaussian clusters (learned layouts shine)"),
+    "skew": DatasetSpec("skew", spatial.skewed_points,
+                        "exponential skew toward the origin"),
+    "osm-like": DatasetSpec("osm-like", spatial.osm_like_points,
+                            "cities + roads + noise mixture"),
+    "correlated": DatasetSpec("correlated", spatial.correlated_points,
+                              "linearly correlated dimensions"),
+    "lattice": DatasetSpec("lattice", spatial.grid_lattice_points,
+                           "regular lattice (adversarial for clustering)"),
+}
+
+
+def load_1d(name: str, n: int, seed: int = 0, **kwargs) -> np.ndarray:
+    """Generate the named 1-d dataset with ``n`` unique keys."""
+    try:
+        spec = DATASETS_1D[name]
+    except KeyError:
+        raise KeyError(f"unknown 1-d dataset {name!r}; have {sorted(DATASETS_1D)}") from None
+    return spec.generator(n, seed=seed, **kwargs)
+
+
+def load_nd(name: str, n: int, seed: int = 0, **kwargs) -> np.ndarray:
+    """Generate the named multi-dimensional dataset with ``n`` points."""
+    try:
+        spec = DATASETS_ND[name]
+    except KeyError:
+        raise KeyError(f"unknown n-d dataset {name!r}; have {sorted(DATASETS_ND)}") from None
+    return spec.generator(n, seed=seed, **kwargs)

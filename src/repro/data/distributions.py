@@ -1,0 +1,133 @@
+"""One-dimensional key-set generators.
+
+Synthetic stand-ins for the SOSD benchmark datasets the learned-index
+literature evaluates on.  Each generator returns a *sorted, unique*
+float64 key array with a deterministic seed; the named SOSD analogues
+match the distributional character that drives learned-index behaviour:
+
+* ``books``  — Amazon book popularity: lognormal (smooth but skewed CDF).
+* ``osm``    — OpenStreetMap cell ids: heavily clustered with large gaps.
+* ``wiki``   — Wikipedia edit timestamps: near-sequential with bursts.
+* ``fb``     — Facebook user ids: uniform body with a heavy upper tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_keys",
+    "normal_keys",
+    "lognormal_keys",
+    "zipf_gap_keys",
+    "clustered_keys",
+    "sequential_burst_keys",
+    "heavy_tail_keys",
+    "sosd_books",
+    "sosd_osm",
+    "sosd_wiki",
+    "sosd_fb",
+]
+
+
+def _finalize(raw: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sort, dedupe, and adjust to exactly ``n`` unique keys.
+
+    Excess keys are removed by random subsampling (never by trimming the
+    ends, which would silently delete distribution tails).
+    """
+    keys = np.unique(raw.astype(np.float64))
+    while keys.size < n:
+        extra = rng.uniform(keys.min() if keys.size else 0.0,
+                            (keys.max() if keys.size else 1.0) + 1.0,
+                            n - keys.size)
+        keys = np.unique(np.concatenate([keys, extra]))
+    if keys.size > n:
+        keep = rng.choice(keys.size, size=n, replace=False)
+        keys = keys[np.sort(keep)]
+    return keys
+
+
+def uniform_keys(n: int, seed: int = 0, low: float = 0.0, high: float = 1e9) -> np.ndarray:
+    """Uniformly distributed keys in [low, high]."""
+    rng = np.random.default_rng(seed)
+    return _finalize(rng.uniform(low, high, int(n * 1.05)), n, rng)
+
+
+def normal_keys(n: int, seed: int = 0, mean: float = 0.0, std: float = 1e6) -> np.ndarray:
+    """Gaussian keys (dense middle, sparse tails)."""
+    rng = np.random.default_rng(seed)
+    return _finalize(rng.normal(mean, std, int(n * 1.05)), n, rng)
+
+
+def lognormal_keys(n: int, seed: int = 0, mu: float = 0.0, sigma: float = 2.0,
+                   scale: float = 1e6) -> np.ndarray:
+    """Lognormal keys — the classic hard case for single linear models."""
+    rng = np.random.default_rng(seed)
+    return _finalize(rng.lognormal(mu, sigma, int(n * 1.05)) * scale, n, rng)
+
+
+def zipf_gap_keys(n: int, seed: int = 0, a: float = 1.5) -> np.ndarray:
+    """Keys whose successive gaps follow a Zipf law (local hardness)."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.zipf(a, n).astype(np.float64)
+    return _finalize(np.cumsum(gaps), n, rng)
+
+
+def clustered_keys(n: int, seed: int = 0, clusters: int = 50,
+                   span: float = 1e9, cluster_width: float = 1e4) -> np.ndarray:
+    """Keys grouped into dense clusters separated by large empty gaps."""
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(0, span, clusters)
+    assignment = rng.integers(0, clusters, int(n * 1.1))
+    raw = centres[assignment] + rng.normal(0, cluster_width, assignment.size)
+    return _finalize(raw, n, rng)
+
+
+def sequential_burst_keys(n: int, seed: int = 0, burst_prob: float = 0.02,
+                          burst_size: int = 200) -> np.ndarray:
+    """Mostly unit-gap sequential keys with occasional dense bursts.
+
+    Models timestamp streams (wiki edits): long runs of near-regular
+    arrivals punctuated by bursts of sub-unit gaps.
+    """
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(100.0, int(n * 1.1))
+    burst_mask = rng.random(gaps.size) < burst_prob
+    gaps[burst_mask] = rng.exponential(0.05, int(burst_mask.sum()))
+    return _finalize(np.cumsum(gaps), n, rng)
+
+
+def heavy_tail_keys(n: int, seed: int = 0, tail_fraction: float = 0.01,
+                    body_high: float = 1e8, tail_high: float = 1e15) -> np.ndarray:
+    """Uniform body plus a tiny set of enormous outlier keys.
+
+    The outliers force any single linear model's slope toward zero, which
+    is what breaks naive learned indexes on the real ``fb`` dataset.
+    """
+    rng = np.random.default_rng(seed)
+    n_tail = max(1, int(n * tail_fraction))
+    body = rng.uniform(0, body_high, int((n - n_tail) * 1.05))
+    tail = rng.uniform(body_high * 10, tail_high, n_tail)
+    return _finalize(np.concatenate([body, tail]), n, rng)
+
+
+def sosd_books(n: int, seed: int = 0) -> np.ndarray:
+    """Synthetic analogue of SOSD ``books`` (lognormal popularity)."""
+    return lognormal_keys(n, seed=seed, mu=8.0, sigma=1.5, scale=1.0)
+
+
+def sosd_osm(n: int, seed: int = 0) -> np.ndarray:
+    """Synthetic analogue of SOSD ``osm_cellids`` (clustered cell ids)."""
+    return clustered_keys(n, seed=seed, clusters=max(20, n // 2000),
+                          span=2**40, cluster_width=2**16)
+
+
+def sosd_wiki(n: int, seed: int = 0) -> np.ndarray:
+    """Synthetic analogue of SOSD ``wiki_ts`` (bursty timestamps)."""
+    return sequential_burst_keys(n, seed=seed)
+
+
+def sosd_fb(n: int, seed: int = 0) -> np.ndarray:
+    """Synthetic analogue of SOSD ``fb`` (heavy-tailed user ids)."""
+    return heavy_tail_keys(n, seed=seed)

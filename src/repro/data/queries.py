@@ -1,0 +1,192 @@
+"""Query-workload generators for the benchmark harness.
+
+Workloads follow the SOSD / "Benchmarking learned indexes" methodology:
+point lookups over existing keys (optionally Zipf-skewed), negative
+lookups, range queries with controlled selectivity, kNN queries, insert
+streams, and mixed read/write streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+import numpy as np
+
+__all__ = [
+    "point_lookups",
+    "negative_lookups",
+    "zipf_lookups",
+    "range_queries_1d",
+    "range_queries_nd",
+    "knn_queries",
+    "insert_stream",
+    "MixedOp",
+    "mixed_workload",
+]
+
+
+def point_lookups(keys: np.ndarray, count: int, seed: int = 0) -> np.ndarray:
+    """Uniformly sampled existing keys."""
+    rng = np.random.default_rng(seed)
+    keys = np.asarray(keys)
+    return keys[rng.integers(0, keys.shape[0], count)]
+
+
+def negative_lookups(keys: np.ndarray, count: int, seed: int = 0) -> np.ndarray:
+    """Keys guaranteed absent from ``keys`` (gap midpoints + out of range)."""
+    rng = np.random.default_rng(seed)
+    sorted_keys = np.sort(np.asarray(keys, dtype=np.float64))
+    key_set = set(float(k) for k in sorted_keys)
+    out: list[float] = []
+    lo, hi = float(sorted_keys[0]), float(sorted_keys[-1])
+    while len(out) < count:
+        candidates = rng.uniform(lo - (hi - lo) * 0.1, hi + (hi - lo) * 0.1, count)
+        for c in candidates:
+            if float(c) not in key_set:
+                out.append(float(c))
+                if len(out) == count:
+                    break
+    return np.asarray(out)
+
+
+def zipf_lookups(keys: np.ndarray, count: int, seed: int = 0, a: float = 1.3) -> np.ndarray:
+    """Zipf-skewed lookups: a few hot keys dominate the workload."""
+    rng = np.random.default_rng(seed)
+    keys = np.asarray(keys)
+    n = keys.shape[0]
+    ranks = rng.zipf(a, count)
+    hot_order = rng.permutation(n)
+    idx = hot_order[np.minimum(ranks - 1, n - 1)]
+    return keys[idx]
+
+
+def range_queries_1d(keys: np.ndarray, count: int, selectivity: float,
+                     seed: int = 0) -> list[tuple[float, float]]:
+    """Ranges covering ~``selectivity`` fraction of the sorted key array.
+
+    Ranges are anchored at random positions so every query returns
+    approximately ``selectivity * n`` keys regardless of the key
+    distribution.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    sorted_keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = sorted_keys.size
+    width = max(1, int(round(selectivity * n)))
+    out = []
+    for _ in range(count):
+        start = int(rng.integers(0, max(n - width, 1)))
+        out.append((float(sorted_keys[start]), float(sorted_keys[min(start + width - 1, n - 1)])))
+    return out
+
+
+def range_queries_nd(points: np.ndarray, count: int, selectivity: float,
+                     seed: int = 0, skew_to: np.ndarray | None = None) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Axis-aligned boxes covering ~``selectivity`` of the data volume.
+
+    Boxes are centred on data points (so they are never empty in
+    clustered data); the side length is derived from the per-dimension
+    extent as ``extent * selectivity^(1/d)``.  If ``skew_to`` is given,
+    box centres are drawn near that location instead of uniformly.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    pts = np.asarray(points, dtype=np.float64)
+    n, d = pts.shape
+    extent = pts.max(axis=0) - pts.min(axis=0)
+    extent[extent == 0] = 1.0
+    side = extent * (selectivity ** (1.0 / d))
+    out = []
+    for _ in range(count):
+        if skew_to is not None:
+            centre = np.asarray(skew_to) + rng.normal(0, extent * 0.05, d)
+        else:
+            centre = pts[int(rng.integers(0, n))]
+        lo = centre - side / 2
+        hi = centre + side / 2
+        out.append((lo, hi))
+    return out
+
+
+def knn_queries(points: np.ndarray, count: int, seed: int = 0) -> np.ndarray:
+    """Query points jittered off existing data points."""
+    rng = np.random.default_rng(seed)
+    pts = np.asarray(points, dtype=np.float64)
+    n, d = pts.shape
+    extent = pts.max(axis=0) - pts.min(axis=0)
+    extent[extent == 0] = 1.0
+    base = pts[rng.integers(0, n, count)]
+    return base + rng.normal(0, extent * 0.01, (count, d))
+
+
+def insert_stream(existing: np.ndarray, count: int, seed: int = 0,
+                  mode: Literal["uniform", "hotspot", "append"] = "uniform") -> np.ndarray:
+    """New 1-d keys to insert, guaranteed distinct from ``existing``.
+
+    Modes: ``uniform`` spreads inserts over the key range, ``hotspot``
+    concentrates them in one decile, ``append`` generates strictly
+    increasing keys past the current maximum (time-series ingest).
+    """
+    rng = np.random.default_rng(seed)
+    keys = np.sort(np.asarray(existing, dtype=np.float64))
+    lo, hi = float(keys[0]), float(keys[-1])
+    existing_set = set(float(k) for k in keys)
+    out: list[float] = []
+    if mode == "append":
+        step = (hi - lo) / max(keys.size, 1) or 1.0
+        current = hi
+        for _ in range(count):
+            current += rng.exponential(step)
+            out.append(current)
+        return np.asarray(out)
+    if mode == "hotspot":
+        span = (hi - lo) or 1.0
+        region_lo = lo + 0.45 * span
+        region_hi = lo + 0.55 * span
+    else:
+        region_lo, region_hi = lo, hi
+    while len(out) < count:
+        for c in rng.uniform(region_lo, region_hi, count):
+            cf = float(c)
+            if cf not in existing_set:
+                out.append(cf)
+                existing_set.add(cf)
+                if len(out) == count:
+                    break
+    return np.asarray(out)
+
+
+@dataclass(frozen=True)
+class MixedOp:
+    """One operation of a mixed workload."""
+
+    kind: Literal["read", "insert"]
+    key: float
+
+
+def mixed_workload(keys: np.ndarray, count: int, read_ratio: float,
+                   seed: int = 0) -> Iterator[MixedOp]:
+    """Interleaved reads (existing keys) and inserts (fresh keys).
+
+    Yields exactly ``count`` operations with an expected ``read_ratio``
+    fraction of reads; deterministic for a fixed seed.
+    """
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError("read_ratio must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_inserts = int(round(count * (1.0 - read_ratio)))
+    inserts = insert_stream(keys, max(n_inserts, 1), seed=seed + 1)
+    insert_iter = iter(inserts)
+    reads = point_lookups(keys, count, seed=seed + 2)
+    read_iter = iter(reads)
+    for _ in range(count):
+        if rng.random() < read_ratio:
+            yield MixedOp("read", float(next(read_iter)))
+        else:
+            try:
+                yield MixedOp("insert", float(next(insert_iter)))
+            except StopIteration:
+                yield MixedOp("read", float(next(read_iter)))

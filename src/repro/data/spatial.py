@@ -1,0 +1,112 @@
+"""Multi-dimensional point-set generators.
+
+Synthetic stand-ins for the spatial datasets (OSM, Tiger, taxi trips)
+used by the learned multi-dimensional index literature.  The knobs that
+drive index behaviour are clusteredness, skew, and inter-dimension
+correlation; each generator controls exactly one of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_points",
+    "gaussian_clusters",
+    "skewed_points",
+    "correlated_points",
+    "osm_like_points",
+    "grid_lattice_points",
+]
+
+
+def _dedupe(points: np.ndarray, n: int, rng: np.random.Generator,
+            lo: float, hi: float) -> np.ndarray:
+    """Remove duplicate rows and top up to exactly ``n`` points."""
+    pts = np.unique(np.asarray(points, dtype=np.float64), axis=0)
+    d = pts.shape[1]
+    while pts.shape[0] < n:
+        extra = rng.uniform(lo, hi, (n - pts.shape[0], d))
+        pts = np.unique(np.concatenate([pts, extra]), axis=0)
+    idx = rng.permutation(pts.shape[0])[:n]
+    return pts[idx]
+
+
+def uniform_points(n: int, dims: int = 2, seed: int = 0,
+                   low: float = 0.0, high: float = 1000.0) -> np.ndarray:
+    """Uniform points in a [low, high]^dims box."""
+    rng = np.random.default_rng(seed)
+    return _dedupe(rng.uniform(low, high, (int(n * 1.02), dims)), n, rng, low, high)
+
+
+def gaussian_clusters(n: int, dims: int = 2, seed: int = 0, clusters: int = 10,
+                      span: float = 1000.0, cluster_std: float = 15.0) -> np.ndarray:
+    """Points drawn from a mixture of Gaussian clusters."""
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(0, span, (clusters, dims))
+    assignment = rng.integers(0, clusters, int(n * 1.05))
+    raw = centres[assignment] + rng.normal(0, cluster_std, (assignment.size, dims))
+    return _dedupe(raw, n, rng, 0.0, span)
+
+
+def skewed_points(n: int, dims: int = 2, seed: int = 0,
+                  span: float = 1000.0, shape: float = 2.0) -> np.ndarray:
+    """Exponentially skewed points: dense near the origin, sparse far out."""
+    rng = np.random.default_rng(seed)
+    raw = rng.exponential(span / shape / 4.0, (int(n * 1.05), dims))
+    raw = np.minimum(raw, span)
+    return _dedupe(raw, n, rng, 0.0, span)
+
+
+def correlated_points(n: int, seed: int = 0, rho: float = 0.9,
+                      span: float = 1000.0, dims: int = 2) -> np.ndarray:
+    """Points whose dimensions are linearly correlated with strength rho.
+
+    Dimension 0 is uniform; every other dimension is
+    ``rho * dim0 + sqrt(1 - rho^2) * noise``.  At rho near 1 the data
+    collapses toward the diagonal — the regime where uniform grids
+    (Flood) waste cells and region-splitting (Tsunami) wins.
+    """
+    if not -1.0 <= rho <= 1.0:
+        raise ValueError("rho must be in [-1, 1]")
+    rng = np.random.default_rng(seed)
+    m = int(n * 1.05)
+    base = rng.uniform(0, span, m)
+    cols = [base]
+    for _ in range(dims - 1):
+        noise = rng.uniform(0, span, m)
+        cols.append(rho * base + np.sqrt(max(0.0, 1 - rho * rho)) * noise)
+    raw = np.column_stack(cols)
+    return _dedupe(raw, n, rng, 0.0, span)
+
+
+def osm_like_points(n: int, seed: int = 0, span: float = 1000.0) -> np.ndarray:
+    """OSM-like mixture: dense 'cities', linear 'roads', uniform noise."""
+    rng = np.random.default_rng(seed)
+    n_city = int(n * 0.6)
+    n_road = int(n * 0.3)
+    n_noise = n - n_city - n_road
+    cities = gaussian_clusters(max(n_city, 1), seed=seed + 1, clusters=8,
+                               span=span, cluster_std=span * 0.01)
+    # Roads: points along random line segments.
+    starts = rng.uniform(0, span, (12, 2))
+    ends = rng.uniform(0, span, (12, 2))
+    seg = rng.integers(0, 12, max(n_road, 1))
+    t = rng.random(max(n_road, 1))[:, None]
+    roads = starts[seg] * (1 - t) + ends[seg] * t + rng.normal(0, span * 0.002, (max(n_road, 1), 2))
+    noise = rng.uniform(0, span, (max(n_noise, 1), 2))
+    raw = np.concatenate([cities, roads, noise])
+    return _dedupe(raw, n, rng, 0.0, span)
+
+
+def grid_lattice_points(n: int, dims: int = 2, seed: int = 0,
+                        span: float = 1000.0, jitter: float = 0.0) -> np.ndarray:
+    """Points on a regular lattice (worst case for learned clustering)."""
+    rng = np.random.default_rng(seed)
+    side = int(np.ceil(n ** (1.0 / dims)))
+    axes = [np.linspace(0, span, side) for _ in range(dims)]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    pts = np.column_stack([m.ravel() for m in mesh])[: int(n * 1.2)]
+    if jitter > 0:
+        pts = pts + rng.normal(0, jitter, pts.shape)
+    return _dedupe(pts, n, rng, 0.0, span)

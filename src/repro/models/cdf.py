@@ -1,0 +1,85 @@
+"""Cumulative distribution function models.
+
+The founding observation of the learned-index literature (RMI) is that a
+sorted-array index *is* the data's CDF scaled by ``n``: the position of a
+key equals ``n * F(key)``.  These helpers model the empirical CDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF", "QuantileModel"]
+
+
+@dataclass
+class EmpiricalCDF:
+    """The empirical CDF of a sample, evaluated by binary search."""
+
+    keys: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @classmethod
+    def fit(cls, keys: np.ndarray) -> "EmpiricalCDF":
+        """Store a sorted copy of ``keys``."""
+        arr = np.sort(np.asarray(keys, dtype=np.float64))
+        return cls(keys=arr)
+
+    def evaluate(self, x: float) -> float:
+        """Fraction of sample values <= ``x``."""
+        if self.keys.size == 0:
+            return 0.0
+        return float(np.searchsorted(self.keys, x, side="right")) / self.keys.size
+
+    def evaluate_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`evaluate`."""
+        if self.keys.size == 0:
+            return np.zeros(np.asarray(xs).shape)
+        ranks = np.searchsorted(self.keys, np.asarray(xs, dtype=np.float64), side="right")
+        return ranks / self.keys.size
+
+    def position(self, x: float) -> float:
+        """Predicted array position of ``x`` (CDF scaled by n)."""
+        return self.evaluate(x) * max(self.keys.size - 1, 0)
+
+
+@dataclass
+class QuantileModel:
+    """A compressed CDF: ``q`` evenly spaced quantiles, linear in between.
+
+    This is the model behind equi-depth bucketing: storage is ``O(q)``
+    instead of ``O(n)``, and evaluation interpolates between quantiles.
+    """
+
+    quantiles: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, num_quantiles: int = 64) -> "QuantileModel":
+        """Fit ``num_quantiles + 1`` quantile points over ``keys``."""
+        if num_quantiles < 1:
+            raise ValueError("num_quantiles must be >= 1")
+        arr = np.sort(np.asarray(keys, dtype=np.float64))
+        if arr.size == 0:
+            return cls()
+        probs = np.linspace(0.0, 1.0, num_quantiles + 1)
+        return cls(quantiles=np.quantile(arr, probs))
+
+    def evaluate(self, x: float) -> float:
+        """Approximate CDF value at ``x`` in [0, 1]."""
+        q = self.quantiles
+        if q.size == 0:
+            return 0.0
+        if x <= q[0]:
+            return 0.0
+        if x >= q[-1]:
+            return 1.0
+        idx = int(np.searchsorted(q, x, side="right")) - 1
+        idx = min(idx, q.size - 2)
+        left, right = float(q[idx]), float(q[idx + 1])
+        frac = 0.0 if right == left else (x - left) / (right - left)
+        return (idx + frac) / (q.size - 1)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * int(self.quantiles.size)

@@ -1,0 +1,112 @@
+"""Logistic-regression classifier (learned Bloom filter / AI+R-tree substrate).
+
+Learned Bloom filters score keys with a classifier and route
+high-confidence keys around the backup filter; the "AI+R"-tree classifies
+queries to predict which R-tree leaves hold their answers.  A plain
+logistic regression trained by full-batch gradient descent is enough for
+both, and keeps training deterministic and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LogisticClassifier", "ScalarFeaturizer", "featurize_scalar"]
+
+
+@dataclass
+class ScalarFeaturizer:
+    """Deterministic nonlinear feature map for scalar keys.
+
+    A raw scalar gives logistic regression only a single threshold; the
+    map ``[x, x^2, sin kt, cos kt, ...]`` (t = key normalised over the
+    *training* range) lets it carve the key space into several score
+    regions, which is what the learned Bloom filter needs.
+
+    The normalisation constants are fit once and reused, so a single-key
+    query is featurised identically to the training batch.
+    """
+
+    lo: float = 0.0
+    span: float = 1.0
+
+    @classmethod
+    def fit(cls, keys: np.ndarray) -> "ScalarFeaturizer":
+        x = np.asarray(keys, dtype=np.float64).reshape(-1)
+        if x.size == 0:
+            return cls()
+        lo = float(x.min())
+        span = float(x.max() - lo) or 1.0
+        return cls(lo=lo, span=span)
+
+    def transform(self, keys: np.ndarray) -> np.ndarray:
+        x = np.asarray(keys, dtype=np.float64).reshape(-1)
+        t = (x - self.lo) / self.span * (2 * np.pi)
+        return np.column_stack(
+            [x, x * x, np.sin(t), np.cos(t), np.sin(3 * t), np.cos(3 * t)]
+        )
+
+
+def featurize_scalar(keys: np.ndarray) -> np.ndarray:
+    """One-shot fit+transform (training-time convenience)."""
+    return ScalarFeaturizer.fit(keys).transform(keys)
+
+
+@dataclass
+class LogisticClassifier:
+    """Binary logistic regression with L2 regularisation.
+
+    Features are standardised internally; training is deterministic
+    full-batch gradient descent.
+    """
+
+    learning_rate: float = 0.5
+    epochs: int = 200
+    l2: float = 1e-4
+    _weights: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+    _bias: float = 0.0
+    _mean: np.ndarray = field(default_factory=lambda: np.zeros(1), repr=False)
+    _std: np.ndarray = field(default_factory=lambda: np.ones(1), repr=False)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticClassifier":
+        """Train on ``features`` of shape (n, d) and 0/1 ``labels``."""
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        y = np.asarray(labels, dtype=np.float64)
+        n, d = x.shape
+        if n == 0:
+            raise ValueError("cannot fit on empty data")
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        xn = (x - self._mean) / self._std
+        self._weights = np.zeros(d)
+        self._bias = float(np.log((y.mean() + 1e-9) / (1 - y.mean() + 1e-9)))
+        lr = self.learning_rate
+        for _ in range(self.epochs):
+            logits = xn @ self._weights + self._bias
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+            grad = (probs - y) / n
+            self._weights -= lr * (xn.T @ grad + self.l2 * self._weights)
+            self._bias -= lr * float(grad.sum())
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row."""
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        xn = (x - self._mean) / self._std
+        logits = xn @ self._weights + self._bias
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * int(self._weights.size) + 8

@@ -1,0 +1,106 @@
+"""Histogram models (the Hist-Tree substrate).
+
+Hist-Tree observed that hierarchies of simple histograms can replace
+trained models entirely.  Two classic variants are provided:
+
+* :class:`EquiWidthHistogram` — fixed-width bins with cumulative counts;
+  maps a key to the range of positions its bin covers in O(1).
+* :class:`EquiDepthHistogram` — bins holding (approximately) equal numbers
+  of keys; bin boundaries are data quantiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EquiWidthHistogram", "EquiDepthHistogram"]
+
+
+@dataclass
+class EquiWidthHistogram:
+    """Fixed-width bins over [lo, hi] with cumulative counts."""
+
+    lo: float = 0.0
+    hi: float = 1.0
+    cumulative: np.ndarray = field(default_factory=lambda: np.zeros(1, dtype=np.int64))
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, bins: int = 64) -> "EquiWidthHistogram":
+        """Build over sorted or unsorted ``keys`` with ``bins`` buckets."""
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        arr = np.asarray(keys, dtype=np.float64)
+        if arr.size == 0:
+            return cls(lo=0.0, hi=1.0, cumulative=np.zeros(bins + 1, dtype=np.int64))
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if hi == lo:
+            hi = lo + 1.0
+        counts, _ = np.histogram(arr, bins=bins, range=(lo, hi))
+        cumulative = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        return cls(lo=lo, hi=hi, cumulative=cumulative)
+
+    @property
+    def bins(self) -> int:
+        return int(self.cumulative.size - 1)
+
+    def bin_of(self, key: float) -> int:
+        """Bucket id of ``key``, clamped to the histogram range."""
+        width = (self.hi - self.lo) / self.bins
+        idx = int((key - self.lo) / width)
+        return min(max(idx, 0), self.bins - 1)
+
+    def position_range(self, key: float) -> tuple[int, int]:
+        """Half-open position range ``[first, last)`` of the key's bucket.
+
+        Positions index the *sorted* key array the histogram was built on.
+        """
+        b = self.bin_of(key)
+        return int(self.cumulative[b]), int(self.cumulative[b + 1])
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * int(self.cumulative.size) + 16
+
+
+@dataclass
+class EquiDepthHistogram:
+    """Quantile bins: every bucket holds ~n/bins keys."""
+
+    boundaries: np.ndarray = field(default_factory=lambda: np.zeros(2))
+    depth: int = 0
+    total: int = 0
+
+    @classmethod
+    def fit(cls, keys: np.ndarray, bins: int = 64) -> "EquiDepthHistogram":
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        arr = np.sort(np.asarray(keys, dtype=np.float64))
+        if arr.size == 0:
+            return cls(boundaries=np.array([0.0, 1.0]), depth=0, total=0)
+        probs = np.linspace(0.0, 1.0, bins + 1)
+        boundaries = np.quantile(arr, probs)
+        depth = int(np.ceil(arr.size / bins))
+        return cls(boundaries=boundaries, depth=depth, total=int(arr.size))
+
+    @property
+    def bins(self) -> int:
+        return int(self.boundaries.size - 1)
+
+    def bin_of(self, key: float) -> int:
+        """Bucket id of ``key`` (clamped)."""
+        idx = int(np.searchsorted(self.boundaries, key, side="right")) - 1
+        return min(max(idx, 0), self.bins - 1)
+
+    def position_range(self, key: float) -> tuple[int, int]:
+        """Approximate half-open position range of the key's bucket."""
+        b = self.bin_of(key)
+        first = min(b * self.depth, self.total)
+        last = min((b + 1) * self.depth, self.total)
+        return first, max(last, first)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * int(self.boundaries.size) + 16

@@ -1,0 +1,125 @@
+"""A tiny fully-connected neural network on numpy.
+
+RMI's root model and the learned Bloom filter family use small neural
+networks.  :class:`TinyMLP` is a one-hidden-layer ReLU network trained by
+full-batch gradient descent — deliberately simple, deterministic, and
+dependency-free, matching the survey's observation (§6.2) that learned
+indexes should use the simplest model that fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TinyMLP"]
+
+
+@dataclass
+class TinyMLP:
+    """One-hidden-layer MLP: ``y = W2 @ relu(W1 @ x + b1) + b2``.
+
+    Supports scalar regression (``loss='mse'``) and binary classification
+    (``loss='logistic'``, sigmoid output).  Inputs are normalised to zero
+    mean / unit variance internally.
+    """
+
+    hidden: int = 16
+    loss: str = "mse"
+    learning_rate: float = 0.05
+    epochs: int = 300
+    seed: int = 7
+    _w1: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+    _b1: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+    _w2: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+    _b2: float = 0.0
+    _x_mean: np.ndarray = field(default_factory=lambda: np.zeros(1), repr=False)
+    _x_std: np.ndarray = field(default_factory=lambda: np.ones(1), repr=False)
+    _y_mean: float = 0.0
+    _y_scale: float = 1.0
+
+    def fit(self, xs: np.ndarray, ys: np.ndarray) -> "TinyMLP":
+        """Train on ``xs`` of shape (n,) or (n, d) and targets ``ys``.
+
+        For ``loss='logistic'``, ``ys`` must be 0/1 labels.
+        """
+        if self.loss not in ("mse", "logistic"):
+            raise ValueError("loss must be 'mse' or 'logistic'")
+        x = np.asarray(xs, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        y = np.asarray(ys, dtype=np.float64)
+        n, d = x.shape
+        if n == 0:
+            raise ValueError("cannot fit on empty data")
+
+        self._x_mean = x.mean(axis=0)
+        self._x_std = x.std(axis=0)
+        self._x_std[self._x_std == 0] = 1.0
+        xn = (x - self._x_mean) / self._x_std
+        if self.loss == "mse":
+            self._y_mean = float(y.mean())
+            self._y_scale = float(y.std()) or 1.0
+            yt = (y - self._y_mean) / self._y_scale
+        else:
+            yt = y
+
+        rng = np.random.default_rng(self.seed)
+        h = self.hidden
+        self._w1 = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, h))
+        self._b1 = np.zeros(h)
+        self._w2 = rng.normal(0.0, 1.0 / np.sqrt(h), size=h)
+        self._b2 = 0.0
+
+        lr = self.learning_rate
+        for _ in range(self.epochs):
+            z1 = xn @ self._w1 + self._b1
+            a1 = np.maximum(z1, 0.0)
+            out = a1 @ self._w2 + self._b2
+            if self.loss == "logistic":
+                pred = 1.0 / (1.0 + np.exp(-out))
+                grad_out = (pred - yt) / n
+            else:
+                grad_out = 2.0 * (out - yt) / n
+            grad_w2 = a1.T @ grad_out
+            grad_b2 = float(grad_out.sum())
+            grad_a1 = np.outer(grad_out, self._w2)
+            grad_z1 = grad_a1 * (z1 > 0)
+            grad_w1 = xn.T @ grad_z1
+            grad_b1 = grad_z1.sum(axis=0)
+            self._w2 -= lr * grad_w2
+            self._b2 -= lr * grad_b2
+            self._w1 -= lr * grad_w1
+            self._b1 -= lr * grad_b1
+        return self
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        xn = (x - self._x_mean) / self._x_std
+        a1 = np.maximum(xn @ self._w1 + self._b1, 0.0)
+        return a1 @ self._w2 + self._b2
+
+    def predict(self, xs: np.ndarray) -> np.ndarray:
+        """Regression predictions (de-normalised) for ``xs``."""
+        x = np.asarray(xs, dtype=np.float64)
+        squeeze = x.ndim == 1 and self._x_mean.size == 1
+        if x.ndim == 1:
+            x = x[:, None] if self._x_mean.size == 1 else x[None, :]
+        out = self._forward(x)
+        if self.loss == "mse":
+            out = out * self._y_scale + self._y_mean
+        return out if not squeeze or out.ndim == 0 else out
+
+    def predict_proba(self, xs: np.ndarray) -> np.ndarray:
+        """Classification probabilities (sigmoid of the raw output)."""
+        x = np.asarray(xs, dtype=np.float64)
+        if x.ndim == 1 and self._x_mean.size == 1:
+            x = x[:, None]
+        elif x.ndim == 1:
+            x = x[None, :]
+        return 1.0 / (1.0 + np.exp(-self._forward(x)))
+
+    @property
+    def size_bytes(self) -> int:
+        """Parameter storage in bytes (float64)."""
+        return 8 * int(self._w1.size + self._b1.size + self._w2.size + 1)

@@ -1,0 +1,72 @@
+"""Least-squares polynomial models (PolyFit-style).
+
+PolyFit indexes range-aggregate queries with low-degree polynomial
+approximations of the cumulative function.  We fit with a numerically
+stable normalised Vandermonde least-squares solve and track the maximum
+absolute training error so callers can bound their correction search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PolynomialModel"]
+
+
+@dataclass
+class PolynomialModel:
+    """Polynomial ``y = sum_i coeffs[i] * x_norm**i`` with x normalised.
+
+    Normalising x to [-1, 1] over the training range keeps high-degree
+    fits stable; the normalisation constants are stored with the model.
+    """
+
+    coeffs: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    x_center: float = 0.0
+    x_half_range: float = 1.0
+    max_error: float = 0.0
+
+    @classmethod
+    def fit(cls, xs: np.ndarray, ys: np.ndarray, degree: int = 2) -> "PolynomialModel":
+        """Least-squares polynomial fit of the given degree."""
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.size == 0:
+            return cls()
+        center = float((xs.max() + xs.min()) / 2.0)
+        half = float((xs.max() - xs.min()) / 2.0) or 1.0
+        xn = (xs - center) / half
+        degree = min(degree, max(xs.size - 1, 0))
+        vander = np.vander(xn, degree + 1, increasing=True)
+        coeffs, *_ = np.linalg.lstsq(vander, ys, rcond=None)
+        model = cls(coeffs=coeffs, x_center=center, x_half_range=half)
+        model.max_error = float(np.max(np.abs(model.predict_array(xs) - ys)))
+        return model
+
+    def predict(self, x: float) -> float:
+        """Evaluate the polynomial at ``x`` (Horner's rule)."""
+        xn = (x - self.x_center) / self.x_half_range
+        result = 0.0
+        for coeff in self.coeffs[::-1]:
+            result = result * xn + float(coeff)
+        return result
+
+    def predict_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation."""
+        xn = (np.asarray(xs, dtype=np.float64) - self.x_center) / self.x_half_range
+        result = np.zeros_like(xn)
+        for coeff in self.coeffs[::-1]:
+            result = result * xn + float(coeff)
+        return result
+
+    @property
+    def degree(self) -> int:
+        return int(self.coeffs.size - 1)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * int(self.coeffs.size) + 16

@@ -1,0 +1,27 @@
+"""Learned multi-dimensional indexes (Part 2 of the tutorial)."""
+
+from repro.multidim.air_tree import AIRTreeIndex
+from repro.multidim.flood import FloodIndex
+from repro.multidim.learned_kd import LearnedKDIndex
+from repro.multidim.lisa import LISAIndex
+from repro.multidim.ml_index import MLIndex
+from repro.multidim.qdtree import QdTreeIndex
+from repro.multidim.rsmi import RSMIIndex
+from repro.multidim.spatial_lbf import SpatialLearnedBloomFilter
+from repro.multidim.sprig import SPRIGIndex
+from repro.multidim.tsunami import TsunamiIndex
+from repro.multidim.zm_index import ZMIndex
+
+__all__ = [
+    "AIRTreeIndex",
+    "FloodIndex",
+    "LearnedKDIndex",
+    "LISAIndex",
+    "MLIndex",
+    "QdTreeIndex",
+    "RSMIIndex",
+    "SpatialLearnedBloomFilter",
+    "SPRIGIndex",
+    "TsunamiIndex",
+    "ZMIndex",
+]

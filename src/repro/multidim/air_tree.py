@@ -1,0 +1,169 @@
+"""The "AI+R"-tree — Al-Mamun et al., 2022: an instance-optimized R-tree.
+
+The AI+R-tree keeps a classical R-tree but trains ML models on the query
+workload to predict, for each query, the small set of leaf nodes that
+actually contain its answers — skipping the (potentially large) set of
+internal-node traversals and overlapping-leaf visits.  Queries the model
+cannot serve fall back to the plain R-tree, so answers are always exact.
+
+Substitution note (documented in DESIGN.md): the paper trains multi-label
+classifiers over query features; with hundreds of leaves, the natural
+nonparametric equivalent is the grid-bucketed candidate-leaf map built
+here from the training workload — it is exactly the lookup structure the
+paper's classifier approximates, and it preserves the hit/fallback
+behaviour the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.rtree import RTreeIndex, _RNode
+from repro.core.interfaces import MutableMultiDimIndex
+
+__all__ = ["AIRTreeIndex"]
+
+
+class AIRTreeIndex(MutableMultiDimIndex):
+    """R-tree + learned query-to-leaf router.
+
+    Args:
+        grid: resolution of the query-feature grid (per dimension).
+        max_candidates: leaf candidates stored per grid bucket.
+        max_entries: R-tree node capacity.
+    """
+
+    name = "ai+r-tree"
+
+    def __init__(self, grid: int = 32, max_candidates: int = 4,
+                 max_entries: int = 32) -> None:
+        super().__init__()
+        if grid < 1:
+            raise ValueError("grid must be >= 1")
+        self.grid = grid
+        self.max_candidates = max_candidates
+        self._rtree = RTreeIndex(max_entries=max_entries)
+        self._router: dict[tuple[int, ...], list[_RNode]] = {}
+        self._lo = np.zeros(1)
+        self._hi = np.ones(1)
+        self._trained = False
+
+    # -- delegation to the R-tree substrate -----------------------------------
+    def build(self, points: np.ndarray, values: Sequence[object] | None = None) -> "AIRTreeIndex":
+        pts, vals = self._prepare_points(points, values)
+        self._rtree.build(pts, vals)
+        self.dims = self._rtree.dims
+        self._extent = getattr(self._rtree, "_extent", 1.0)
+        self._built = True
+        self._router = {}
+        self._trained = False
+        if pts.shape[0]:
+            self._lo = pts.min(axis=0)
+            self._hi = pts.max(axis=0)
+        self.stats.size_bytes = self._rtree.stats.size_bytes
+        return self
+
+    def _bucket_of(self, point: np.ndarray) -> tuple[int, ...]:
+        span = self._hi - self._lo
+        span[span == 0] = 1.0
+        frac = np.clip((point - self._lo) / span, 0.0, 1.0)
+        return tuple(int(i) for i in np.minimum((frac * self.grid).astype(int), self.grid - 1))
+
+    def _leaf_containing(self, q: np.ndarray) -> _RNode | None:
+        """The R-tree leaf whose MBR contains and entries include q."""
+        stack = [self._rtree._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr_lo is None:
+                continue
+            if np.any(q < node.mbr_lo) or np.any(q > node.mbr_hi):
+                continue
+            if node.leaf:
+                for p, _ in node.entries:
+                    if np.array_equal(p, q):
+                        return node
+            else:
+                stack.extend(node.entries)
+        return None
+
+    def train(self, queries: np.ndarray) -> "AIRTreeIndex":
+        """Learn the query -> candidate-leaves router from sample points.
+
+        Args:
+            queries: ``(m, d)`` array of training point queries (typically
+                drawn from the expected workload).
+        """
+        self._require_built()
+        self._router = {}
+        for row in np.asarray(queries, dtype=np.float64):
+            leaf = self._leaf_containing(row)
+            if leaf is None:
+                continue
+            bucket = self._bucket_of(row)
+            candidates = self._router.setdefault(bucket, [])
+            if leaf not in candidates:
+                candidates.append(leaf)
+                if len(candidates) > self.max_candidates:
+                    candidates.pop(0)
+        self._trained = True
+        self.stats.extra["router_buckets"] = len(self._router)
+        return self
+
+    # -- queries --------------------------------------------------------------
+    def point_query(self, point: Sequence[float]) -> object | None:
+        self._require_built()
+        q = np.asarray(point, dtype=np.float64)
+        if self._trained:
+            candidates = self._router.get(self._bucket_of(q))
+            if candidates:
+                for leaf in candidates:
+                    self.stats.nodes_visited += 1
+                    self.stats.model_predictions += 1
+                    if leaf.mbr_lo is None:
+                        continue
+                    if np.any(q < leaf.mbr_lo) or np.any(q > leaf.mbr_hi):
+                        continue
+                    for p, v in leaf.entries:
+                        self.stats.keys_scanned += 1
+                        if np.array_equal(p, q):
+                            self.stats.extra["router_hits"] = self.stats.extra.get("router_hits", 0) + 1
+                            return v
+        # Fallback: exact R-tree search.
+        self.stats.extra["fallbacks"] = self.stats.extra.get("fallbacks", 0) + 1
+        result = self._rtree.point_query(q)
+        self._merge_substrate_stats()
+        return result
+
+    def range_query(self, low: Sequence[float], high: Sequence[float]) -> list[tuple[tuple[float, ...], object]]:
+        self._require_built()
+        result = self._rtree.range_query(low, high)
+        self._merge_substrate_stats()
+        return result
+
+    def knn_query(self, point: Sequence[float], k: int) -> list[tuple[tuple[float, ...], object]]:
+        self._require_built()
+        result = self._rtree.knn_query(point, k)
+        self._merge_substrate_stats()
+        return result
+
+    def _merge_substrate_stats(self) -> None:
+        sub = self._rtree.stats
+        self.stats.nodes_visited += sub.nodes_visited
+        self.stats.keys_scanned += sub.keys_scanned
+        self.stats.comparisons += sub.comparisons
+        sub.reset_counters()
+
+    # -- updates (router entries for split leaves go stale; queries still
+    #    fall back to the exact R-tree, so answers stay correct) -------------
+    def insert(self, point: Sequence[float], value: object | None = None) -> None:
+        self._require_built()
+        self._rtree.insert(point, value)
+
+    def delete(self, point: Sequence[float]) -> bool:
+        self._require_built()
+        return self._rtree.delete(point)
+
+    def __len__(self) -> int:
+        return len(self._rtree)

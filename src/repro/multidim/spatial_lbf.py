@@ -1,0 +1,146 @@
+"""Spatial learned Bloom filters (LPBF / PA-LBF family, 2022-2023).
+
+Spatial membership filters project points onto the Z-order curve and
+partition the code space by curve *prefix*; each prefix region gets its
+own learned Bloom filter trained on that region's codes.  Prefixes with
+no keys answer "no" immediately, which is where the spatial variants
+beat a single flat filter on clustered data.
+
+Inserts (PA-LBF is adaptive) go straight into the region's backup filter,
+preserving the no-false-negative guarantee without retraining.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.bloom import BloomFilter
+from repro.core.interfaces import IndexStats
+from repro.curves.zorder import zencode_array
+from repro.onedim.learned_bloom import LearnedBloomFilter
+
+__all__ = ["SpatialLearnedBloomFilter"]
+
+
+class SpatialLearnedBloomFilter:
+    """Prefix-partitioned learned Bloom filter over Z-order codes.
+
+    Args:
+        bits_budget: total bit budget across all region filters.
+        prefix_bits: number of leading code bits defining a region
+            (``2**prefix_bits`` potential regions; only non-empty ones
+            materialise).
+        bits: Z-order quantisation bits per dimension.
+    """
+
+    name = "spatial-lbf"
+
+    def __init__(self, bits_budget: int = 65536, prefix_bits: int = 4,
+                 bits: int = 16) -> None:
+        if prefix_bits < 1:
+            raise ValueError("prefix_bits must be >= 1")
+        self.bits_budget = bits_budget
+        self.prefix_bits = prefix_bits
+        self.bits = bits
+        self.stats = IndexStats()
+        self.dims = 0
+        self._lo = np.zeros(1)
+        self._hi = np.ones(1)
+        self._total_bits = 0
+        self._regions: dict[int, LearnedBloomFilter | BloomFilter] = {}
+        self._count = 0
+        # Points inserted outside the built bounding box cannot be encoded
+        # faithfully (quantisation clamps them); they are tracked exactly.
+        self._outside: set[tuple[float, ...]] = set()
+
+    def _codes_of(self, points: np.ndarray) -> np.ndarray:
+        return zencode_array(points, self._lo, self._hi, self.bits).astype(np.float64)
+
+    def _prefix_of(self, code: float) -> int:
+        total_bits = self.bits * self.dims
+        return int(code) >> max(total_bits - self.prefix_bits, 0)
+
+    def build(self, points: np.ndarray) -> "SpatialLearnedBloomFilter":
+        """Construct region filters over the given point set."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        self.dims = int(pts.shape[1])
+        if self.bits * self.dims > 62:
+            raise ValueError("bits * dims must be <= 62")
+        self._lo = pts.min(axis=0)
+        self._hi = pts.max(axis=0)
+        self._count = int(pts.shape[0])
+        codes = self._codes_of(pts)
+        prefixes = np.array([self._prefix_of(c) for c in codes])
+
+        self._regions = {}
+        unique, counts = np.unique(prefixes, return_counts=True)
+        for prefix, count in zip(unique, counts):
+            region_codes = codes[prefixes == prefix]
+            budget = max(256, int(self.bits_budget * count / pts.shape[0]))
+            if count >= 64:
+                flt: LearnedBloomFilter | BloomFilter = LearnedBloomFilter(bits_budget=budget)
+            else:
+                # Too few keys to train on: plain Bloom filter region.
+                flt = BloomFilter(bits=budget)
+            flt.build(region_codes)
+            self._regions[int(prefix)] = flt
+        self._total_bits = sum(
+            f.stats.size_bytes * 8 if isinstance(f, LearnedBloomFilter) else f.bits
+            for f in self._regions.values()
+        )
+        self.stats.size_bytes = (self._total_bits + 7) // 8
+        self.stats.extra["regions"] = len(self._regions)
+        return self
+
+    def might_contain(self, point: Sequence[float]) -> bool:
+        """Approximate membership of an exact point (no false negatives
+        for built/inserted points whose coordinates are within the built
+        bounding box resolution)."""
+        q = np.asarray(point, dtype=np.float64)
+        if np.any(q < self._lo) or np.any(q > self._hi):
+            # Outside the built box: only explicitly tracked inserts match.
+            return tuple(float(c) for c in q) in self._outside
+        code = float(self._codes_of(q[None, :])[0])
+        region = self._regions.get(self._prefix_of(code))
+        self.stats.model_predictions += 1
+        if region is None:
+            return False
+        return region.might_contain(code)
+
+    def insert(self, point: Sequence[float]) -> None:
+        """Adaptive insert: add the code to the region's backup filter."""
+        q1 = np.asarray(point, dtype=np.float64)
+        if np.any(q1 < self._lo) or np.any(q1 > self._hi):
+            self._outside.add(tuple(float(c) for c in q1))
+            self._count += 1
+            return
+        q = q1[None, :]
+        code = float(self._codes_of(q)[0])
+        prefix = self._prefix_of(code)
+        region = self._regions.get(prefix)
+        if region is None:
+            region = BloomFilter(bits=max(256, self.bits_budget // (1 << self.prefix_bits)))
+            region.build([code])
+            self._regions[prefix] = region
+        elif isinstance(region, LearnedBloomFilter):
+            region._backup.add(code)
+        else:
+            region.add(code)
+        self._count += 1
+
+    def false_positive_rate(self, negatives: np.ndarray) -> float:
+        """Empirical FPR over non-member points."""
+        total = 0
+        hits = 0
+        for row in np.asarray(negatives, dtype=np.float64):
+            total += 1
+            if self.might_contain(row):
+                hits += 1
+        return hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return self._count

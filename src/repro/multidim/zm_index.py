@@ -1,0 +1,165 @@
+"""ZM-index — Wang et al., 2019: learned index over Z-order codes.
+
+The canonical *projected space* learned multi-dimensional index
+(Approach 2 of the survey): points are projected onto the Z-order curve,
+the codes are sorted, and a learned one-dimensional index (here: PGM
+segments) maps codes to positions.  Range queries scan the code interval
+of the query box and skip the curve's excursions with BIGMIN.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interfaces import MultiDimIndex
+from repro.curves.zorder import bigmin, quantize, zencode_array
+from repro.models.pla import Segment, segment_stream
+from repro.onedim._search import bounded_binary_search, lower_bound
+
+__all__ = ["ZMIndex"]
+
+
+class ZMIndex(MultiDimIndex):
+    """Z-order projection + learned model over the code sequence.
+
+    Args:
+        bits: bits per dimension for the Z-order quantisation (total code
+            width is ``bits * d``; keep ``bits * d <= 62``).
+        epsilon: error bound of the learned code -> position model.
+    """
+
+    name = "zm-index"
+
+    def __init__(self, bits: int = 16, epsilon: int = 32) -> None:
+        super().__init__()
+        if not 1 <= bits <= 31:
+            raise ValueError("bits must be in [1, 31]")
+        if epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        self.bits = bits
+        self.epsilon = epsilon
+        self._points = np.empty((0, 2))
+        self._values: list[object] = []
+        self._codes = np.empty(0, dtype=np.int64)
+        self._qcoords = np.empty((0, 2), dtype=np.int64)
+        self._lo = np.zeros(2)
+        self._hi = np.ones(2)
+        self._segments: list[Segment] = []
+        self._segment_keys = np.empty(0)
+
+    def build(self, points: np.ndarray, values: Sequence[object] | None = None) -> "ZMIndex":
+        pts, vals = self._prepare_points(points, values)
+        self.dims = int(pts.shape[1]) if pts.size else 0
+        self._built = True
+        if pts.shape[0] == 0:
+            self._points = pts
+            self._values = []
+            return self
+        if self.bits * self.dims > 62:
+            raise ValueError("bits * dims must be <= 62 for int64 codes")
+        self._lo = pts.min(axis=0)
+        self._hi = pts.max(axis=0)
+        self._extent = float(np.max(self._hi - self._lo)) or 1.0
+        codes = zencode_array(pts, self._lo, self._hi, self.bits).astype(np.int64)
+        order = np.argsort(codes, kind="mergesort")
+        self._codes = codes[order]
+        self._points = pts[order]
+        self._values = [vals[i] for i in order]
+        self._qcoords = quantize(self._points, self._lo, self._hi, self.bits)
+
+        # Learned 1-d model over the sorted codes.
+        self._segments = segment_stream(self._codes.astype(np.float64), float(self.epsilon))
+        self._segment_keys = np.array([seg.key for seg in self._segments])
+        self.stats.size_bytes = (
+            sum(seg.size_bytes for seg in self._segments)
+            + 8 * int(self._codes.size)  # the code column
+        )
+        self.stats.extra["segments"] = len(self._segments)
+        return self
+
+    # -- learned locate ------------------------------------------------------
+    def _locate_code(self, code: int) -> int:
+        """Lower-bound position of ``code`` via the learned model."""
+        n = self._codes.size
+        self.stats.model_predictions += 1
+        seg_idx = int(np.searchsorted(self._segment_keys, code, side="right")) - 1
+        seg_idx = min(max(seg_idx, 0), len(self._segments) - 1)
+        seg = self._segments[seg_idx]
+        predicted = int(np.clip(round(seg.predict(float(code))), seg.first, seg.last - 1))
+        return bounded_binary_search(self._codes, code, predicted, self.epsilon + 1, self.stats)
+
+    def _encode_point(self, point: np.ndarray) -> int:
+        q = quantize(point[None, :], self._lo, self._hi, self.bits)[0]
+        code = 0
+        for bit in range(self.bits - 1, -1, -1):
+            for dim in range(self.dims):
+                code = (code << 1) | ((int(q[dim]) >> bit) & 1)
+        return code
+
+    # -- queries -------------------------------------------------------------------
+    def point_query(self, point: Sequence[float]) -> object | None:
+        self._require_built()
+        if self._codes.size == 0:
+            return None
+        q = np.asarray(point, dtype=np.float64)
+        if np.any(q < self._lo) or np.any(q > self._hi):
+            return None
+        code = self._encode_point(q)
+        pos = self._locate_code(code)
+        # Several points can share a cell (code): scan the run.
+        while pos < self._codes.size and self._codes[pos] == code:
+            self.stats.keys_scanned += 1
+            if np.array_equal(self._points[pos], q):
+                return self._values[pos]
+            pos += 1
+        return None
+
+    def range_query(self, low: Sequence[float], high: Sequence[float]) -> list[tuple[tuple[float, ...], object]]:
+        self._require_built()
+        if self._codes.size == 0:
+            return []
+        lo = np.asarray(low, dtype=np.float64)
+        hi = np.asarray(high, dtype=np.float64)
+        if np.any(hi < lo):
+            return []
+        clo = np.maximum(lo, self._lo)
+        chi = np.minimum(hi, self._hi)
+        if np.any(chi < clo):
+            return []
+        lo_q = tuple(int(c) for c in quantize(clo[None, :], self._lo, self._hi, self.bits)[0])
+        hi_q = tuple(int(c) for c in quantize(chi[None, :], self._lo, self._hi, self.bits)[0])
+        z_lo = self._encode_coords(lo_q)
+        z_hi = self._encode_coords(hi_q)
+
+        out: list[tuple[tuple[float, ...], object]] = []
+        n = self._codes.size
+        i = self._locate_code(z_lo)
+        while i < n and self._codes[i] <= z_hi:
+            qc = self._qcoords[i]
+            inside_q = all(lo_q[d] <= int(qc[d]) <= hi_q[d] for d in range(self.dims))
+            self.stats.keys_scanned += 1
+            if inside_q:
+                p = self._points[i]
+                if np.all(p >= lo) and np.all(p <= hi):
+                    out.append((tuple(float(c) for c in p), self._values[i]))
+                i += 1
+                continue
+            # Off-box excursion of the curve: jump with BIGMIN.
+            nxt = bigmin(int(self._codes[i]), lo_q, hi_q, self.dims, self.bits)
+            self.stats.nodes_visited += 1
+            if nxt is None:
+                break
+            i = lower_bound(self._codes, nxt, i + 1, n, self.stats)
+        return out
+
+    def _encode_coords(self, coords: tuple[int, ...]) -> int:
+        code = 0
+        for bit in range(self.bits - 1, -1, -1):
+            for dim in range(self.dims):
+                code = (code << 1) | ((coords[dim] >> bit) & 1)
+        return code
+
+    def __len__(self) -> int:
+        return int(self._codes.size)

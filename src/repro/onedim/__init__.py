@@ -1,0 +1,48 @@
+"""Learned one-dimensional indexes (Part 1 of the tutorial)."""
+
+from repro.onedim.alex import ALEXIndex
+from repro.onedim.bourbon import BourbonLSM
+from repro.onedim.fiting_tree import FITingTreeIndex
+from repro.onedim.hist_tree import HistTreeIndex
+from repro.onedim.hybrid_rmi import HybridRMIIndex
+from repro.onedim.interpolation_btree import InterpolationBTreeIndex
+from repro.onedim.learned_bloom import (
+    LearnedBloomFilter,
+    PartitionedLearnedBloomFilter,
+    SandwichedLearnedBloomFilter,
+)
+from repro.onedim.learned_skiplist import LearnedSkipList
+from repro.onedim.learned_hash import LearnedHashIndex
+from repro.onedim.lipp import LIPPIndex
+from repro.onedim.nfl import NFLIndex
+from repro.onedim.pgm import DynamicPGMIndex, PGMIndex
+from repro.onedim.polyfit import PolyFitAggregator
+from repro.onedim.radix_spline import RadixSplineIndex
+from repro.onedim.rmi import RMIIndex
+from repro.onedim.snarf import SNARFFilter
+from repro.onedim.string_adapter import StringIndexAdapter
+from repro.onedim.xindex import XIndexStyleIndex
+
+__all__ = [
+    "ALEXIndex",
+    "BourbonLSM",
+    "FITingTreeIndex",
+    "HistTreeIndex",
+    "HybridRMIIndex",
+    "InterpolationBTreeIndex",
+    "LearnedBloomFilter",
+    "PartitionedLearnedBloomFilter",
+    "SandwichedLearnedBloomFilter",
+    "LearnedSkipList",
+    "LearnedHashIndex",
+    "LIPPIndex",
+    "NFLIndex",
+    "DynamicPGMIndex",
+    "PGMIndex",
+    "PolyFitAggregator",
+    "RadixSplineIndex",
+    "RMIIndex",
+    "SNARFFilter",
+    "StringIndexAdapter",
+    "XIndexStyleIndex",
+]

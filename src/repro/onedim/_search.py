@@ -1,0 +1,86 @@
+"""Last-mile search helpers shared by the learned 1-d indexes.
+
+Every learned index predicts an approximate position and then runs a
+bounded *correction* search around the prediction.  These helpers
+implement the two standard strategies — bounded binary search when an
+error bound is known, exponential (galloping) search when it is not —
+and record the search effort in the index's :class:`IndexStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interfaces import IndexStats
+
+__all__ = ["bounded_binary_search", "exponential_search", "lower_bound"]
+
+
+def lower_bound(keys: np.ndarray, key: float, lo: int, hi: int, stats: IndexStats | None = None) -> int:
+    """First index in [lo, hi) with ``keys[idx] >= key`` (plain binary)."""
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if stats is not None:
+            stats.comparisons += 1
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def bounded_binary_search(keys: np.ndarray, key: float, predicted: int, error: int,
+                          stats: IndexStats | None = None) -> int:
+    """Lower-bound position of ``key`` within ``predicted +- error``.
+
+    The window is clamped to the array; the caller guarantees that the
+    true position lies inside it (learned indexes with an epsilon bound).
+    Returns the insertion point (first index with ``keys[idx] >= key``).
+    """
+    n = keys.shape[0]
+    lo = max(predicted - error, 0)
+    hi = min(predicted + error + 1, n)
+    if stats is not None:
+        stats.corrections += hi - lo
+    return lower_bound(keys, key, lo, hi, stats)
+
+
+def exponential_search(keys: np.ndarray, key: float, predicted: int,
+                       stats: IndexStats | None = None) -> int:
+    """Lower-bound position of ``key`` by galloping out from ``predicted``.
+
+    Used when no error bound is available (e.g. ALEX's model-based
+    search): double the window until it brackets the key, then binary
+    search inside it.  Cost is O(log of the actual error).
+    """
+    n = keys.shape[0]
+    if n == 0:
+        return 0
+    pos = min(max(predicted, 0), n - 1)
+    if stats is not None:
+        stats.comparisons += 1
+    if keys[pos] < key:
+        # Answer lies in (pos, n]: gallop right.
+        step = 1
+        lo = pos + 1
+        while pos + step < n and keys[pos + step] < key:
+            if stats is not None:
+                stats.comparisons += 1
+            lo = pos + step + 1
+            step *= 2
+        hi = min(pos + step + 1, n)
+        if stats is not None:
+            stats.corrections += hi - lo
+        return lower_bound(keys, key, lo, hi, stats)
+    # keys[pos] >= key: answer lies in [0, pos], gallop left.
+    step = 1
+    hi = pos
+    while pos - step >= 0 and keys[pos - step] >= key:
+        if stats is not None:
+            stats.comparisons += 1
+        hi = pos - step
+        step *= 2
+    lo = max(pos - step, 0)
+    if stats is not None:
+        stats.corrections += hi - lo
+    return lower_bound(keys, key, lo, hi, stats)

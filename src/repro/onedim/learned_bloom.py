@@ -1,0 +1,265 @@
+"""Learned Bloom filters: LBF, Sandwiched LBF, and Partitioned LBF.
+
+The learned Bloom filter (Kraska et al., 2018) scores keys with a
+classifier; keys the model is confident about skip the bit array, the
+rest fall through to a *backup* Bloom filter that restores the
+no-false-negative guarantee.  Mitzenmacher (2018) sandwiches the model
+between two Bloom filters; Vaidya et al. (2020) partition the score range
+and give each region its own tuned backup filter.
+
+All three are implemented over the same classifier substrate
+(:class:`repro.models.classifier.LogisticClassifier` with simple scalar
+features), so their FPR-vs-bits trade-offs are directly comparable in the
+E6 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.baselines.bloom import BloomFilter
+from repro.core.interfaces import MembershipFilter
+from repro.models.classifier import LogisticClassifier, ScalarFeaturizer
+
+__all__ = [
+    "LearnedBloomFilter",
+    "SandwichedLearnedBloomFilter",
+    "PartitionedLearnedBloomFilter",
+]
+
+
+def _synthesize_negatives(keys: np.ndarray, count: int, seed: int = 99) -> np.ndarray:
+    """Generate non-member keys spanning the key range for training."""
+    rng = np.random.default_rng(seed)
+    lo = float(keys.min())
+    hi = float(keys.max())
+    span = (hi - lo) or 1.0
+    key_set = set(float(k) for k in keys)
+    out: list[float] = []
+    while len(out) < count:
+        for c in rng.uniform(lo - 0.2 * span, hi + 0.2 * span, count):
+            if float(c) not in key_set:
+                out.append(float(c))
+                if len(out) == count:
+                    break
+    return np.asarray(out)
+
+
+class LearnedBloomFilter(MembershipFilter):
+    """Classifier + backup Bloom filter (the original LBF).
+
+    Args:
+        bits_budget: total bit budget; the model's bytes are charged
+            against it and the remainder goes to the backup filter.
+        threshold_fpr: fraction of *negatives* allowed through the model
+            (drives the score threshold tau).
+        seed: RNG seed for synthetic training negatives.
+    """
+
+    name = "learned-bloom"
+
+    def __init__(self, bits_budget: int = 65536, threshold_fpr: float = 0.005,
+                 seed: int = 99) -> None:
+        super().__init__()
+        if bits_budget < 64:
+            raise ValueError("bits_budget must be >= 64")
+        self.bits_budget = bits_budget
+        self.threshold_fpr = threshold_fpr
+        self.seed = seed
+        self._classifier = LogisticClassifier()
+        self._featurizer = ScalarFeaturizer()
+        self._tau = 1.0
+        self._backup: BloomFilter | None = None
+
+    def build(self, keys: Iterable[float], negatives: np.ndarray | None = None) -> "LearnedBloomFilter":
+        key_arr = np.asarray([float(k) for k in keys])
+        if key_arr.size == 0:
+            raise ValueError("cannot build a filter over zero keys")
+        if negatives is None:
+            negatives = _synthesize_negatives(key_arr, key_arr.size, seed=self.seed)
+        combined_keys = np.concatenate([key_arr, negatives])
+        self._featurizer = ScalarFeaturizer.fit(combined_keys)
+        features = self._featurizer.transform(combined_keys)
+        labels = np.concatenate([np.ones(key_arr.size), np.zeros(negatives.size)])
+        self._classifier.fit(features, labels)
+
+        # tau = the score above which only `threshold_fpr` of negatives fall.
+        neg_scores = self._classifier.predict_proba(self._featurizer.transform(negatives))
+        self._tau = float(np.quantile(neg_scores, 1.0 - self.threshold_fpr))
+        self._tau = min(max(self._tau, 1e-6), 1.0)
+
+        pos_scores = self._classifier.predict_proba(self._featurizer.transform(key_arr))
+        fallthrough = key_arr[pos_scores < self._tau]
+        model_bits = self._classifier.size_bytes * 8
+        backup_bits = max(64, self.bits_budget - model_bits)
+        self._backup = BloomFilter(bits=backup_bits)
+        self._backup.build(fallthrough)
+        self.stats.size_bytes = (model_bits + backup_bits + 7) // 8
+        self.stats.extra["fallthrough_keys"] = int(fallthrough.size)
+        self.stats.extra["tau"] = self._tau
+        return self
+
+    def might_contain(self, key: float) -> bool:
+        score = float(self._classifier.predict_proba(self._featurizer.transform(np.array([key])))[0])
+        self.stats.model_predictions += 1
+        if score >= self._tau:
+            return True
+        return self._backup.might_contain(key)
+
+
+class SandwichedLearnedBloomFilter(MembershipFilter):
+    """Bloom -> classifier -> Bloom (Mitzenmacher, 2018).
+
+    The pre-filter rejects most negatives cheaply before the model runs,
+    which provably improves the FPR achievable per bit.
+
+    Args:
+        bits_budget: total bits split between pre- and backup filters.
+        pre_fraction: fraction of the (non-model) bits for the pre-filter.
+        threshold_fpr: model threshold, as in :class:`LearnedBloomFilter`.
+    """
+
+    name = "sandwiched-bloom"
+
+    def __init__(self, bits_budget: int = 65536, pre_fraction: float = 0.3,
+                 threshold_fpr: float = 0.01, seed: int = 99) -> None:
+        super().__init__()
+        if not 0.0 < pre_fraction < 1.0:
+            raise ValueError("pre_fraction must be in (0, 1)")
+        self.bits_budget = bits_budget
+        self.pre_fraction = pre_fraction
+        self.threshold_fpr = threshold_fpr
+        self.seed = seed
+        self._pre: BloomFilter | None = None
+        self._classifier = LogisticClassifier()
+        self._featurizer = ScalarFeaturizer()
+        self._tau = 1.0
+        self._backup: BloomFilter | None = None
+
+    def build(self, keys: Iterable[float], negatives: np.ndarray | None = None) -> "SandwichedLearnedBloomFilter":
+        key_arr = np.asarray([float(k) for k in keys])
+        if key_arr.size == 0:
+            raise ValueError("cannot build a filter over zero keys")
+        if negatives is None:
+            negatives = _synthesize_negatives(key_arr, key_arr.size, seed=self.seed)
+        combined_keys = np.concatenate([key_arr, negatives])
+        self._featurizer = ScalarFeaturizer.fit(combined_keys)
+        features = self._featurizer.transform(combined_keys)
+        labels = np.concatenate([np.ones(key_arr.size), np.zeros(negatives.size)])
+        self._classifier.fit(features, labels)
+        neg_scores = self._classifier.predict_proba(self._featurizer.transform(negatives))
+        self._tau = float(np.quantile(neg_scores, 1.0 - self.threshold_fpr))
+        self._tau = min(max(self._tau, 1e-6), 1.0)
+
+        model_bits = self._classifier.size_bytes * 8
+        usable = max(128, self.bits_budget - model_bits)
+        pre_bits = max(64, int(usable * self.pre_fraction))
+        self._pre = BloomFilter(bits=pre_bits)
+        self._pre.build(key_arr)
+        pos_scores = self._classifier.predict_proba(self._featurizer.transform(key_arr))
+        fallthrough = key_arr[pos_scores < self._tau]
+        self._backup = BloomFilter(bits=max(64, usable - pre_bits))
+        self._backup.build(fallthrough)
+        self.stats.size_bytes = (model_bits + usable + 7) // 8
+        self.stats.extra["fallthrough_keys"] = int(fallthrough.size)
+        return self
+
+    def might_contain(self, key: float) -> bool:
+        if not self._pre.might_contain(key):
+            return False
+        score = float(self._classifier.predict_proba(self._featurizer.transform(np.array([key])))[0])
+        self.stats.model_predictions += 1
+        if score >= self._tau:
+            return True
+        return self._backup.might_contain(key)
+
+
+class PartitionedLearnedBloomFilter(MembershipFilter):
+    """PLBF (Vaidya et al., 2020): per-score-region backup filters.
+
+    The score range is cut into ``regions`` quantile buckets; each region
+    gets its own Bloom filter whose false-positive budget follows the
+    paper's optimal allocation, FPR_i proportional to h_i / g_i (key
+    density over negative density in the region), normalised to meet the
+    overall target.  Regions where keys dominate get cheap, permissive
+    filters; regions where negatives dominate get tight ones.
+    """
+
+    name = "partitioned-bloom"
+
+    def __init__(self, bits_budget: int = 65536, regions: int = 5,
+                 target_fpr: float = 0.01, seed: int = 99) -> None:
+        super().__init__()
+        if regions < 2:
+            raise ValueError("regions must be >= 2")
+        self.bits_budget = bits_budget
+        self.regions = regions
+        self.target_fpr = target_fpr
+        self.seed = seed
+        self._classifier = LogisticClassifier()
+        self._featurizer = ScalarFeaturizer()
+        self._edges = np.empty(0)
+        self._filters: list[BloomFilter | None] = []
+
+    def build(self, keys: Iterable[float], negatives: np.ndarray | None = None) -> "PartitionedLearnedBloomFilter":
+        key_arr = np.asarray([float(k) for k in keys])
+        if key_arr.size == 0:
+            raise ValueError("cannot build a filter over zero keys")
+        if negatives is None:
+            negatives = _synthesize_negatives(key_arr, key_arr.size, seed=self.seed)
+        combined_keys = np.concatenate([key_arr, negatives])
+        self._featurizer = ScalarFeaturizer.fit(combined_keys)
+        features = self._featurizer.transform(combined_keys)
+        labels = np.concatenate([np.ones(key_arr.size), np.zeros(negatives.size)])
+        self._classifier.fit(features, labels)
+
+        pos_scores = self._classifier.predict_proba(self._featurizer.transform(key_arr))
+        neg_scores = self._classifier.predict_proba(self._featurizer.transform(negatives))
+        # Region edges: score quantiles of the combined distribution.
+        combined = np.concatenate([pos_scores, neg_scores])
+        self._edges = np.quantile(combined, np.linspace(0, 1, self.regions + 1))[1:-1]
+
+        pos_region = np.searchsorted(self._edges, pos_scores)
+        neg_region = np.searchsorted(self._edges, neg_scores)
+        h = np.array([(pos_region == r).mean() for r in range(self.regions)])
+        g = np.array([(neg_region == r).mean() for r in range(self.regions)])
+        g = np.maximum(g, 1e-6)
+        ratio = np.maximum(h, 1e-6) / g
+        # Optimal allocation: f_i = min(1, target * ratio_i / sum(g_i * ratio_i...)).
+        scale = self.target_fpr / float(np.sum(g * np.minimum(ratio, 1.0 / self.target_fpr)))
+        fprs = np.clip(ratio * scale * self.regions, 1e-5, 1.0)
+
+        model_bits = self._classifier.size_bytes * 8
+        usable = max(128 * self.regions, self.bits_budget - model_bits)
+        # Size regions proportionally to the bits their (n_i, fpr_i) need.
+        wanted = []
+        for r in range(self.regions):
+            n_r = int((pos_region == r).sum())
+            if n_r == 0 or fprs[r] >= 1.0:
+                wanted.append(0)
+            else:
+                wanted.append(max(64, int(-n_r * np.log(fprs[r]) / (np.log(2) ** 2))))
+        total_wanted = sum(wanted) or 1
+        self._filters = []
+        for r in range(self.regions):
+            if wanted[r] == 0:
+                self._filters.append(None)  # always-accept region
+                continue
+            bits = max(64, int(usable * wanted[r] / total_wanted))
+            flt = BloomFilter(bits=bits)
+            flt.build(key_arr[pos_region == r])
+            self._filters.append(flt)
+        self.stats.size_bytes = (model_bits + usable + 7) // 8
+        self.stats.extra["region_fprs"] = [float(f) for f in fprs]
+        return self
+
+    def might_contain(self, key: float) -> bool:
+        score = float(self._classifier.predict_proba(self._featurizer.transform(np.array([key])))[0])
+        self.stats.model_predictions += 1
+        region = int(np.searchsorted(self._edges, score))
+        flt = self._filters[region]
+        if flt is None:
+            return True
+        return flt.might_contain(key)

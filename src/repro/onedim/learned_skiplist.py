@@ -1,0 +1,116 @@
+"""S3-style learned skip list (Zhang et al., 2019).
+
+S3 accelerates a skip list with learned models: instead of descending the
+probabilistic tower levels, a model predicts where in the bottom-level
+chain a key lives, and the search starts there.  Updates go through the
+ordinary skip-list machinery; the model guide is rebuilt after enough
+updates accumulate (the paper's periodically refreshed "neural-guided"
+lanes, with a linear-segment model standing in for the tiny NN).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.skiplist import SkipListIndex, _SkipNode
+from repro.models.linear import LinearModel
+from repro.onedim._search import bounded_binary_search
+
+__all__ = ["LearnedSkipList"]
+
+
+class LearnedSkipList(SkipListIndex):
+    """Skip list with a learned fast lane.
+
+    Args:
+        rebuild_every: number of updates tolerated before the learned
+            guide is rebuilt from the current chain.
+        seed: tower RNG seed (see :class:`SkipListIndex`).
+    """
+
+    name = "learned-skiplist"
+
+    def __init__(self, rebuild_every: int = 512, seed: int = 42) -> None:
+        super().__init__(seed=seed)
+        if rebuild_every < 1:
+            raise ValueError("rebuild_every must be >= 1")
+        self.rebuild_every = rebuild_every
+        self._guide_keys = np.empty(0)
+        self._guide_nodes: list[_SkipNode] = []
+        self._guide_model = LinearModel()
+        self._guide_error = 0
+        self._dirty_ops = 0
+
+    # -- guide maintenance ---------------------------------------------------
+    def _rebuild_guide(self) -> None:
+        keys: list[float] = []
+        nodes: list[_SkipNode] = []
+        node = self._head.forward[0]
+        while node is not None:
+            keys.append(node.key)
+            nodes.append(node)
+            node = node.forward[0]
+        self._guide_keys = np.asarray(keys)
+        self._guide_nodes = nodes
+        n = self._guide_keys.size
+        if n:
+            positions = np.arange(n, dtype=np.float64)
+            self._guide_model = LinearModel.fit(self._guide_keys, positions)
+            preds = np.clip(np.rint(self._guide_model.predict_array(self._guide_keys)), 0, n - 1)
+            self._guide_error = int(np.max(np.abs(preds - positions)))
+        else:
+            self._guide_model = LinearModel()
+            self._guide_error = 0
+        self._dirty_ops = 0
+        self.stats.extra["guide_rebuilds"] = self.stats.extra.get("guide_rebuilds", 0) + 1
+
+    def build(self, keys: Sequence[float], values: Sequence[object] | None = None) -> "LearnedSkipList":
+        super().build(keys, values)
+        self._rebuild_guide()
+        return self
+
+    # -- accelerated reads ------------------------------------------------------
+    def lookup(self, key: float) -> object | None:
+        self._require_built()
+        key = float(key)
+        if self._dirty_ops >= self.rebuild_every:
+            self._rebuild_guide()
+        n = self._guide_keys.size
+        if n == 0:
+            return super().lookup(key)
+        self.stats.model_predictions += 1
+        predicted = int(np.clip(round(self._guide_model.predict(key)), 0, n - 1))
+        pos = bounded_binary_search(self._guide_keys, key, predicted, self._guide_error + 1, self.stats)
+        # Start walking the live chain one guide entry early: inserts since
+        # the last rebuild may sit between guide entries.
+        start = max(pos - 1, 0)
+        node: _SkipNode | None = self._guide_nodes[start] if start < n else None
+        if node is None or node.key > key:
+            node = self._head.forward[0]
+        steps = 0
+        while node is not None and node.key < key:
+            node = node.forward[0]
+            steps += 1
+            if steps > 4 * (self._dirty_ops + self._guide_error + 2):
+                # Guide too stale to be useful: fall back to tower search.
+                return super().lookup(key)
+        self.stats.keys_scanned += steps
+        if node is not None and node.key == key:
+            return node.value
+        return None
+
+    # -- updates invalidate the guide ----------------------------------------------
+    def insert(self, key: float, value: object | None = None) -> None:
+        super().insert(key, value)
+        self._dirty_ops += 1
+
+    def delete(self, key: float) -> bool:
+        result = super().delete(key)
+        if result:
+            self._dirty_ops += 1
+            # A deleted node may still be referenced by the guide; rebuild
+            # eagerly so stale pointers never serve reads.
+            self._rebuild_guide()
+        return result

@@ -1,0 +1,182 @@
+"""The Recursive Model Index (RMI) — Kraska et al., 2018.
+
+The first learned index.  A two-stage model hierarchy learns the CDF of
+the keys: the *root* model routes a key to one of ``num_models`` leaf
+models, each leaf predicts the key's position in the sorted array, and a
+per-leaf error bound drives a bounded binary search for correction.
+
+The root model is configurable (``'linear'``, ``'quadratic'``, or
+``'nn'`` for a small MLP), matching the original paper's exploration of
+root complexity; leaves are always linear, the configuration that every
+follow-up benchmark found dominant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interfaces import OneDimIndex
+from repro.models.linear import LinearModel
+from repro.models.nn import TinyMLP
+from repro.models.polynomial import PolynomialModel
+from repro.onedim._search import bounded_binary_search, exponential_search
+
+__all__ = ["RMIIndex"]
+
+
+class RMIIndex(OneDimIndex):
+    """Two-stage RMI over a sorted array.
+
+    Args:
+        num_models: number of second-stage (leaf) linear models.
+        root: root model type — ``'linear'``, ``'quadratic'``, or ``'nn'``.
+
+    The index is immutable (pure / immutable branch of the taxonomy).
+    """
+
+    name = "rmi"
+
+    def __init__(self, num_models: int = 128, root: str = "linear") -> None:
+        super().__init__()
+        if num_models < 1:
+            raise ValueError("num_models must be >= 1")
+        if root not in ("linear", "quadratic", "nn"):
+            raise ValueError("root must be 'linear', 'quadratic', or 'nn'")
+        self.num_models = num_models
+        self.root_kind = root
+        self._keys = np.empty(0)
+        self._values: list[object] = []
+        self._root_model: object | None = None
+        self._leaves: list[LinearModel] = []
+        self._leaf_errors: list[int] = []
+
+    # -- construction ----------------------------------------------------
+    def build(self, keys: Sequence[float], values: Sequence[object] | None = None) -> "RMIIndex":
+        self._keys, self._values = self._prepare(keys, values)
+        n = self._keys.size
+        self._built = True
+        if n == 0:
+            self._root_model = LinearModel()
+            self._leaves = [LinearModel()]
+            self._leaf_errors = [0]
+            return self
+
+        positions = np.arange(n, dtype=np.float64)
+        self._root_model = self._fit_root(self._keys, positions)
+
+        # Route every key through the root to its leaf model.
+        root_pred = self._root_predict_array(self._keys)
+        leaf_ids = np.clip((root_pred / n * self.num_models).astype(int), 0, self.num_models - 1)
+
+        self._leaves = []
+        self._leaf_errors = []
+        for m in range(self.num_models):
+            mask = leaf_ids == m
+            if not np.any(mask):
+                self._leaves.append(LinearModel())
+                self._leaf_errors.append(0)
+                continue
+            xs = self._keys[mask]
+            ys = positions[mask]
+            leaf = LinearModel.fit(xs, ys)
+            preds = np.clip(np.rint(leaf.predict_array(xs)), 0, n - 1)
+            err = int(np.max(np.abs(preds - ys))) if xs.size else 0
+            self._leaves.append(leaf)
+            self._leaf_errors.append(err)
+
+        self.stats.size_bytes = (
+            self._root_size_bytes()
+            + sum(leaf.size_bytes for leaf in self._leaves)
+            + 8 * len(self._leaf_errors)
+        )
+        self.stats.extra["max_leaf_error"] = max(self._leaf_errors, default=0)
+        self.stats.extra["mean_leaf_error"] = float(np.mean(self._leaf_errors)) if self._leaf_errors else 0.0
+        return self
+
+    def _fit_root(self, keys: np.ndarray, positions: np.ndarray):
+        if self.root_kind == "linear":
+            return LinearModel.fit(keys, positions)
+        if self.root_kind == "quadratic":
+            return PolynomialModel.fit(keys, positions, degree=2)
+        model = TinyMLP(hidden=16, epochs=200, learning_rate=0.05)
+        # Subsample for training speed on large key sets.
+        if keys.size > 20000:
+            idx = np.linspace(0, keys.size - 1, 20000).astype(int)
+            model.fit(keys[idx], positions[idx])
+        else:
+            model.fit(keys, positions)
+        return model
+
+    def _root_size_bytes(self) -> int:
+        model = self._root_model
+        if isinstance(model, (LinearModel, PolynomialModel)):
+            return model.size_bytes
+        if isinstance(model, TinyMLP):
+            return model.size_bytes
+        return 0
+
+    def _root_predict_array(self, keys: np.ndarray) -> np.ndarray:
+        model = self._root_model
+        if isinstance(model, TinyMLP):
+            return np.asarray(model.predict(keys))
+        return model.predict_array(keys)
+
+    def _root_predict(self, key: float) -> float:
+        model = self._root_model
+        if isinstance(model, TinyMLP):
+            return float(np.asarray(model.predict(np.array([key])))[0])
+        return model.predict(key)
+
+    # -- queries ----------------------------------------------------------
+    def _locate(self, key: float) -> int:
+        """Lower-bound position of ``key`` via root -> leaf -> correction."""
+        n = self._keys.size
+        self.stats.model_predictions += 1
+        root_pred = self._root_predict(key)
+        leaf_id = int(np.clip(root_pred / n * self.num_models, 0, self.num_models - 1))
+        leaf = self._leaves[leaf_id]
+        self.stats.model_predictions += 1
+        self.stats.nodes_visited += 2
+        predicted = int(np.clip(round(leaf.predict(key)), 0, n - 1))
+        error = self._leaf_errors[leaf_id]
+        pos = bounded_binary_search(self._keys, key, predicted, error, self.stats)
+        # Guard against routing misses near leaf boundaries: a key may be
+        # routed to a different leaf than its neighbours were at build
+        # time, so fall back to widening if the bound was violated.
+        if (pos < n and self._keys[pos] < key) or (pos > 0 and self._keys[pos - 1] >= key):
+            pos = exponential_search(self._keys, key, predicted, self.stats)
+        return pos
+
+    def lookup(self, key: float) -> object | None:
+        self._require_built()
+        if self._keys.size == 0:
+            return None
+        key = float(key)
+        pos = self._locate(key)
+        if pos < self._keys.size and self._keys[pos] == key:
+            self.stats.keys_scanned += 1
+            return self._values[pos]
+        return None
+
+    def range_query(self, low: float, high: float) -> list[tuple[float, object]]:
+        self._require_built()
+        if high < low or self._keys.size == 0:
+            return []
+        start = self._locate(float(low))
+        out: list[tuple[float, object]] = []
+        i = start
+        while i < self._keys.size and self._keys[i] <= high:
+            out.append((float(self._keys[i]), self._values[i]))
+            self.stats.keys_scanned += 1
+            i += 1
+        return out
+
+    @property
+    def leaf_errors(self) -> list[int]:
+        """Per-leaf max error bounds (for size/error trade-off studies)."""
+        return list(self._leaf_errors)
+
+    def __len__(self) -> int:
+        return int(self._keys.size)

@@ -1,0 +1,175 @@
+"""String keys over numeric learned indexes (the SIndex branch).
+
+SIndex (Wang et al., 2020) extends learned indexes to string keys.  The
+core trick every string learned index shares is an order-preserving
+numeric encoding of a bounded prefix, with exact keys kept for
+verification.  :class:`StringIndexAdapter` packs the first 8 bytes of
+each (UTF-8) key into a float that preserves lexicographic order, runs
+any numeric learned index underneath, and resolves prefix collisions
+with per-code sorted buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.interfaces import IndexStats, MutableOneDimIndex
+from repro.onedim.pgm import DynamicPGMIndex
+
+__all__ = ["StringIndexAdapter", "encode_prefix"]
+
+_PREFIX_BYTES = 8
+
+
+def encode_prefix(key: str) -> float:
+    """Order-preserving float encoding of a string's first 8 bytes.
+
+    The UTF-8 prefix is right-padded with zero bytes and read as a
+    big-endian unsigned integer; because float64 carries 53 mantissa
+    bits, the integer is scaled down to 6 bytes of precision, which
+    still preserves *prefix* order exactly (ties are resolved by the
+    adapter's buckets).
+    """
+    raw = key.encode("utf-8")[:_PREFIX_BYTES].ljust(_PREFIX_BYTES, b"\0")
+    as_int = int.from_bytes(raw, "big")
+    # Keep the top 6 bytes: exactly representable in a float64 mantissa.
+    return float(as_int >> 16)
+
+
+class StringIndexAdapter:
+    """String-keyed index over any numeric :class:`MutableOneDimIndex`.
+
+    Args:
+        backend_factory: constructor for the numeric index underneath
+            (default: :class:`DynamicPGMIndex`).
+
+    The backend maps each distinct prefix code to a *bucket* (sorted list
+    of ``(full_key, value)``), so keys sharing an 6-byte prefix still
+    resolve exactly.
+    """
+
+    name = "string-adapter"
+
+    def __init__(self, backend_factory: Callable[[], MutableOneDimIndex] = DynamicPGMIndex) -> None:
+        self.stats = IndexStats()
+        self._backend_factory = backend_factory
+        self._backend: MutableOneDimIndex | None = None
+        self._size = 0
+
+    # -- construction -----------------------------------------------------
+    def build(self, keys: Iterable[str], values: Iterable[object] | None = None) -> "StringIndexAdapter":
+        """Bulk-load from string keys (values default to sorted rank)."""
+        key_list = sorted(set(keys))
+        if values is None:
+            pairs = {k: i for i, k in enumerate(key_list)}
+        else:
+            pairs = dict(zip(keys, values))
+        buckets: dict[float, list[tuple[str, object]]] = {}
+        for k in key_list:
+            buckets.setdefault(encode_prefix(k), []).append((k, pairs[k]))
+        codes = np.array(sorted(buckets))
+        payloads = [sorted(buckets[float(c)]) for c in codes]
+        self._backend = self._backend_factory()
+        self._backend.build(codes, payloads)
+        self._size = len(key_list)
+        self.stats.size_bytes = self._backend.stats.size_bytes + self._size * 16
+        return self
+
+    def _require_built(self) -> None:
+        if self._backend is None:
+            raise RuntimeError("call build() before querying")
+
+    # -- queries ------------------------------------------------------------
+    def lookup(self, key: str) -> object | None:
+        """Exact-match lookup of a string key."""
+        self._require_built()
+        bucket = self._backend.lookup(encode_prefix(key))
+        if bucket is None:
+            return None
+        self.stats.comparisons += max(1, len(bucket).bit_length())
+        lo, hi = 0, len(bucket)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if bucket[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(bucket) and bucket[lo][0] == key:
+            return bucket[lo][1]
+        return None
+
+    def range_query(self, low: str, high: str) -> list[tuple[str, object]]:
+        """All ``(key, value)`` with ``low <= key <= high`` (lexicographic)."""
+        self._require_built()
+        if high < low:
+            return []
+        out: list[tuple[str, object]] = []
+        for _, bucket in self._backend.range_query(encode_prefix(low), encode_prefix(high)):
+            for k, v in bucket:
+                self.stats.keys_scanned += 1
+                if low <= k <= high:
+                    out.append((k, v))
+        return out
+
+    def prefix_query(self, prefix: str) -> list[tuple[str, object]]:
+        """All keys starting with ``prefix``, in order."""
+        self._require_built()
+        if not prefix:
+            return self.range_query("", "\U0010FFFF" * 2)
+        # The successor of the prefix in lexicographic order bounds the scan.
+        high = prefix + "\U0010FFFF"
+        return [
+            (k, v) for k, v in self.range_query(prefix, high)
+            if k.startswith(prefix)
+        ]
+
+    # -- updates ---------------------------------------------------------------
+    def insert(self, key: str, value: object | None = None) -> None:
+        """Insert or replace a string key."""
+        self._require_built()
+        code = encode_prefix(key)
+        bucket = self._backend.lookup(code)
+        if bucket is None:
+            self._backend.insert(code, [(key, value)])
+            self._size += 1
+            return
+        lo, hi = 0, len(bucket)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if bucket[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(bucket) and bucket[lo][0] == key:
+            bucket[lo] = (key, value)
+            return
+        bucket.insert(lo, (key, value))
+        self._size += 1
+
+    def delete(self, key: str) -> bool:
+        """Remove a string key; returns whether it was present."""
+        self._require_built()
+        code = encode_prefix(key)
+        bucket = self._backend.lookup(code)
+        if bucket is None:
+            return False
+        for i, (k, _) in enumerate(bucket):
+            if k == key:
+                del bucket[i]
+                self._size -= 1
+                if not bucket:
+                    self._backend.delete(code)
+                return True
+        return False
+
+    def items(self) -> Iterator[tuple[str, object]]:
+        """All entries in lexicographic key order."""
+        self._require_built()
+        huge = float(np.finfo(np.float64).max)
+        for _, bucket in self._backend.range_query(0.0, huge):
+            yield from bucket
+
+    def __len__(self) -> int:
+        return self._size

@@ -1,0 +1,83 @@
+"""Tests for the standard Bloom filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bloom import BloomFilter, optimal_bits, optimal_hashes
+
+
+class TestSizing:
+    def test_optimal_bits_grows_with_n(self):
+        assert optimal_bits(2000, 0.01) > optimal_bits(1000, 0.01)
+
+    def test_optimal_bits_grows_with_tighter_fpr(self):
+        assert optimal_bits(1000, 0.001) > optimal_bits(1000, 0.01)
+
+    def test_ten_bits_per_key_for_one_percent(self):
+        # Classic result: ~9.6 bits/key for 1% FPR.
+        bits = optimal_bits(10000, 0.01)
+        assert 9.0 <= bits / 10000 <= 10.5
+
+    def test_rejects_bad_fpr(self):
+        with pytest.raises(ValueError):
+            optimal_bits(100, 0.0)
+        with pytest.raises(ValueError):
+            optimal_bits(100, 1.5)
+
+    def test_optimal_hashes_positive(self):
+        assert optimal_hashes(10000, 1000) >= 1
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        rng = np.random.default_rng(0)
+        keys = rng.uniform(0, 1e9, 3000)
+        flt = BloomFilter(target_fpr=0.01).build(keys)
+        assert all(flt.might_contain(float(k)) for k in keys)
+
+    def test_fpr_near_target(self):
+        rng = np.random.default_rng(1)
+        keys = rng.uniform(0, 1e9, 5000)
+        flt = BloomFilter(target_fpr=0.02).build(keys)
+        negatives = rng.uniform(2e9, 3e9, 5000)
+        fpr = flt.false_positive_rate(negatives)
+        assert fpr < 0.05
+
+    def test_smaller_budget_higher_fpr(self):
+        rng = np.random.default_rng(2)
+        keys = rng.uniform(0, 1e9, 3000)
+        negatives = rng.uniform(2e9, 3e9, 3000)
+        tight = BloomFilter(bits=3000 * 16).build(keys)
+        loose = BloomFilter(bits=3000 * 4).build(keys)
+        assert tight.false_positive_rate(negatives) <= loose.false_positive_rate(negatives)
+
+    def test_incremental_add(self):
+        flt = BloomFilter(bits=4096).build([1.0, 2.0])
+        assert not flt.might_contain(99.0) or True  # may be FP, never FN below
+        flt.add(99.0)
+        assert flt.might_contain(99.0)
+
+    def test_len_counts_insertions(self):
+        flt = BloomFilter(bits=1024).build([1.0, 2.0, 3.0])
+        assert len(flt) == 3
+        flt.add(4.0)
+        assert len(flt) == 4
+
+    def test_size_bytes_matches_bits(self):
+        flt = BloomFilter(bits=8192).build([1.0])
+        assert flt.stats.size_bytes == 1024
+
+    def test_distinguishes_close_floats(self):
+        flt = BloomFilter(bits=1 << 16).build([1.0])
+        # Adjacent float must hash differently (bit-pattern hashing).
+        neighbour = np.nextafter(1.0, 2.0)
+        # Cannot assert False (could be FP) but the hash pair must differ.
+        assert flt._hash_pair(1.0) != flt._hash_pair(float(neighbour))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=100))
+    def test_property_no_false_negatives(self, keys):
+        flt = BloomFilter(bits=8192).build(keys)
+        assert all(flt.might_contain(k) for k in keys)

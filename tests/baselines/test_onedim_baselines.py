@@ -1,0 +1,188 @@
+"""Tests for the 1-d baseline structures, parameterised over all of them."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BPlusTreeIndex,
+    HashIndex,
+    LSMTreeIndex,
+    SkipListIndex,
+    SortedArrayIndex,
+)
+
+FACTORIES = {
+    "sorted-array": SortedArrayIndex,
+    "b+tree": BPlusTreeIndex,
+    "skiplist": SkipListIndex,
+    "hash": HashIndex,
+    "lsm": lambda: LSMTreeIndex(memtable_limit=128, max_runs=3),
+}
+
+
+@pytest.fixture(params=list(FACTORIES), ids=list(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+class TestBaselineContract:
+    def test_build_and_lookup_all_keys(self, factory, uniform_keys):
+        index = factory().build(uniform_keys)
+        sk = np.sort(uniform_keys)
+        for i in range(0, sk.size, 271):
+            assert index.lookup(float(sk[i])) == i
+
+    def test_negative_lookup(self, factory, uniform_keys):
+        index = factory().build(uniform_keys)
+        assert index.lookup(-1e18) is None
+        assert index.lookup(1e18) is None
+
+    def test_range_query_matches_oracle(self, factory, uniform_keys):
+        index = factory().build(uniform_keys)
+        sk = np.sort(uniform_keys)
+        result = index.range_query(float(sk[100]), float(sk[200]))
+        assert [v for _, v in result] == list(range(100, 201))
+        assert [k for k, _ in result] == [float(k) for k in sk[100:201]]
+
+    def test_empty_range(self, factory, uniform_keys):
+        index = factory().build(uniform_keys)
+        assert index.range_query(5.0, 4.0) == []
+
+    def test_insert_then_lookup(self, factory, uniform_keys):
+        index = factory().build(uniform_keys)
+        index.insert(-123.5, "payload")
+        assert index.lookup(-123.5) == "payload"
+
+    def test_insert_replaces_value(self, factory, uniform_keys):
+        index = factory().build(uniform_keys)
+        index.insert(7.25, "a")
+        index.insert(7.25, "b")
+        assert index.lookup(7.25) == "b"
+
+    def test_delete(self, factory, uniform_keys):
+        index = factory().build(uniform_keys)
+        sk = np.sort(uniform_keys)
+        assert index.delete(float(sk[10]))
+        assert index.lookup(float(sk[10])) is None
+        assert not index.delete(float(sk[10]))
+
+    def test_len_tracks_mutations(self, factory):
+        index = factory().build([1.0, 2.0, 3.0])
+        assert len(index) == 3
+        index.insert(4.0)
+        assert len(index) == 4
+        index.delete(1.0)
+        assert len(index) == 3
+
+    def test_build_empty(self, factory):
+        index = factory().build([])
+        assert index.lookup(1.0) is None
+        assert index.range_query(0.0, 1.0) == []
+
+    def test_build_single_key(self, factory):
+        index = factory().build([42.0])
+        assert index.lookup(42.0) == 0
+        assert index.range_query(0.0, 100.0) == [(42.0, 0)]
+
+    # The factory fixture is a stateless constructor, so sharing it across
+    # generated examples is safe.
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        keys=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                      max_size=60, unique=True),
+        probe=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+    def test_property_lookup_matches_dict(self, factory, keys, probe):
+        index = factory().build(keys)
+        oracle = {k: i for i, k in enumerate(sorted(keys))}
+        assert index.lookup(probe) == oracle.get(probe)
+
+
+class TestBPlusTreeSpecific:
+    def test_bulk_load_exhaustive(self):
+        keys = np.sort(np.random.default_rng(0).uniform(0, 1e9, 3000))
+        tree = BPlusTreeIndex(fanout=16).build(keys)
+        assert all(tree.lookup(float(k)) == i for i, k in enumerate(keys))
+
+    def test_height_grows_logarithmically(self):
+        small = BPlusTreeIndex(fanout=8).build(np.arange(10.0))
+        big = BPlusTreeIndex(fanout=8).build(np.arange(5000.0))
+        assert big.height > small.height
+        assert big.height <= 6
+
+    def test_splits_keep_order(self):
+        tree = BPlusTreeIndex(fanout=4).build([])
+        rng = np.random.default_rng(1)
+        keys = rng.permutation(500).astype(float)
+        for k in keys:
+            tree.insert(float(k), int(k))
+        items = list(tree.items())
+        assert [k for k, _ in items] == sorted(k for k in keys)
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            BPlusTreeIndex(fanout=2)
+
+    def test_iteration_via_leaf_chain(self):
+        tree = BPlusTreeIndex(fanout=8).build(np.arange(100.0))
+        assert [k for k, _ in tree.items()] == list(np.arange(100.0))
+
+
+class TestSkipListSpecific:
+    def test_deterministic_given_seed(self):
+        a = SkipListIndex(seed=3).build(np.arange(100.0))
+        b = SkipListIndex(seed=3).build(np.arange(100.0))
+        assert list(a.items()) == list(b.items())
+
+    def test_items_sorted_after_random_inserts(self):
+        index = SkipListIndex().build([])
+        rng = np.random.default_rng(2)
+        for k in rng.permutation(300).astype(float):
+            index.insert(float(k))
+        keys = [k for k, _ in index.items()]
+        assert keys == sorted(keys)
+
+
+class TestLSMSpecific:
+    def test_memtable_flush_creates_runs(self):
+        index = LSMTreeIndex(memtable_limit=10, max_runs=100).build([])
+        for i in range(35):
+            index.insert(float(i), i)
+        assert index.num_runs == 3
+
+    def test_compaction_caps_runs(self):
+        index = LSMTreeIndex(memtable_limit=10, max_runs=2).build([])
+        for i in range(100):
+            index.insert(float(i), i)
+        assert index.num_runs <= 3
+
+    def test_newer_run_wins(self):
+        index = LSMTreeIndex(memtable_limit=4, max_runs=100).build([])
+        index.insert(1.0, "old")
+        index.flush()
+        index.insert(1.0, "new")
+        index.flush()
+        assert index.lookup(1.0) == "new"
+
+    def test_tombstone_survives_compaction(self):
+        index = LSMTreeIndex(memtable_limit=4, max_runs=2).build(np.arange(20.0))
+        index.delete(5.0)
+        for i in range(100, 140):
+            index.insert(float(i), i)
+        assert index.lookup(5.0) is None
+
+    def test_range_merges_runs_and_memtable(self):
+        index = LSMTreeIndex(memtable_limit=5, max_runs=100).build([])
+        for i in range(12):
+            index.insert(float(i), i)
+        result = index.range_query(3.0, 8.0)
+        assert [k for k, _ in result] == [3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LSMTreeIndex(memtable_limit=0)
+        with pytest.raises(ValueError):
+            LSMTreeIndex(max_runs=0)

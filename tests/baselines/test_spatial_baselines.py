@@ -1,0 +1,191 @@
+"""Tests for the spatial baseline structures (R-tree, KD-tree, quadtree, grid)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridIndex, KDTreeIndex, QuadTreeIndex, RTreeIndex
+from tests.conftest import brute_force_knn, brute_force_range_nd
+
+FACTORIES = {
+    "r-tree": lambda: RTreeIndex(max_entries=16),
+    "kd-tree": KDTreeIndex,
+    "quadtree": lambda: QuadTreeIndex(capacity=8),
+    "grid": lambda: GridIndex(cells_per_dim=8),
+}
+
+
+@pytest.fixture(params=list(FACTORIES), ids=list(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+class TestSpatialContract:
+    def test_point_query_finds_every_point(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        for i in range(0, clustered_points.shape[0], 173):
+            assert index.point_query(clustered_points[i]) == i
+
+    def test_point_query_misses_absent(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        assert index.point_query([1e9, 1e9]) is None
+
+    def test_range_matches_brute_force(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            centre = clustered_points[rng.integers(0, clustered_points.shape[0])]
+            lo = centre - 40
+            hi = centre + 40
+            got = sorted(v for _, v in index.range_query(lo, hi))
+            assert got == brute_force_range_nd(clustered_points, lo, hi)
+
+    def test_range_with_no_hits(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        assert index.range_query([1e8, 1e8], [1e8 + 1, 1e8 + 1]) == []
+
+    def test_knn_matches_brute_force(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            q = clustered_points[rng.integers(0, clustered_points.shape[0])] + 0.5
+            got = {v for _, v in index.knn_query(q, 7)}
+            assert got == brute_force_knn(clustered_points, q, 7)
+
+    def test_knn_k_zero(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        assert index.knn_query([0.0, 0.0], 0) == []
+
+    def test_knn_k_exceeds_size(self, factory):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        index = factory().build(pts)
+        assert len(index.knn_query([0.0, 0.0], 10)) == 3
+
+    def test_insert_and_delete(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        index.insert([-500.0, -500.0], "new")
+        assert index.point_query([-500.0, -500.0]) == "new"
+        assert index.delete([-500.0, -500.0])
+        assert index.point_query([-500.0, -500.0]) is None
+        assert not index.delete([-500.0, -500.0])
+
+    def test_insert_replaces(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        p = clustered_points[0]
+        index.insert(p, "replaced")
+        assert index.point_query(p) == "replaced"
+        assert len(index) == clustered_points.shape[0]
+
+    def test_len(self, factory, clustered_points):
+        index = factory().build(clustered_points)
+        assert len(index) == clustered_points.shape[0]
+
+    def test_empty_build(self, factory):
+        index = factory().build(np.empty((0, 2)))
+        assert index.point_query([1.0, 1.0]) is None
+        assert index.range_query([0, 0], [1, 1]) == []
+
+
+class TestRTreeSpecific:
+    def test_str_packing_produces_bounded_nodes(self, uniform_points):
+        tree = RTreeIndex(max_entries=16).build(uniform_points)
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            assert len(node.entries) <= 16
+            if not node.leaf:
+                stack.extend(node.entries)
+
+    def test_mbrs_contain_children(self, uniform_points):
+        tree = RTreeIndex(max_entries=16).build(uniform_points)
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for p, _ in node.entries:
+                    assert np.all(p >= node.mbr_lo) and np.all(p <= node.mbr_hi)
+            else:
+                for child in node.entries:
+                    assert np.all(child.mbr_lo >= node.mbr_lo)
+                    assert np.all(child.mbr_hi <= node.mbr_hi)
+                    stack.append(child)
+
+    def test_guttman_inserts_keep_invariants(self):
+        tree = RTreeIndex(max_entries=8).build(np.empty((0, 2)))
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 100, (300, 2))
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        for i in range(0, 300, 17):
+            assert tree.point_query(pts[i]) == i
+        got = sorted(v for _, v in tree.range_query([20, 20], [60, 60]))
+        assert got == brute_force_range_nd(pts, [20, 20], [60, 60])
+
+    def test_three_dimensional_points(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 10, (500, 3))
+        tree = RTreeIndex().build(pts)
+        assert tree.point_query(pts[123]) == 123
+        got = sorted(v for _, v in tree.range_query([2, 2, 2], [5, 5, 5]))
+        assert got == brute_force_range_nd(pts, [2, 2, 2], [5, 5, 5])
+
+    def test_rejects_tiny_node_capacity(self):
+        with pytest.raises(ValueError):
+            RTreeIndex(max_entries=2)
+
+
+class TestQuadTreeSpecific:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            QuadTreeIndex().build(np.zeros((5, 3)))
+
+    def test_root_grows_for_outside_inserts(self):
+        tree = QuadTreeIndex().build(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        tree.insert([1000.0, 1000.0], "far")
+        assert tree.point_query([1000.0, 1000.0]) == "far"
+        assert tree.point_query([0.0, 0.0]) == 0
+
+    def test_duplicate_heavy_data_respects_max_depth(self):
+        pts = np.tile(np.array([[5.0, 5.0]]), (100, 1)) + np.random.default_rng(5).normal(0, 1e-12, (100, 2))
+        tree = QuadTreeIndex(capacity=4, max_depth=6).build(pts)
+        assert len(tree) == 100
+
+
+class TestGridSpecific:
+    def test_cell_count_bounded(self, uniform_points):
+        grid = GridIndex(cells_per_dim=4).build(uniform_points)
+        assert grid.stats.extra["cells"] <= 16
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            GridIndex(cells_per_dim=0)
+
+    def test_out_of_bounds_queries(self, uniform_points):
+        grid = GridIndex().build(uniform_points)
+        lo = uniform_points.min(axis=0) - 100
+        hi = uniform_points.max(axis=0) + 100
+        assert len(grid.range_query(lo, hi)) == uniform_points.shape[0]
+
+
+class TestKDTreeSpecific:
+    def test_handles_equal_axis_values(self):
+        pts = np.array([[1.0, 2.0], [1.0, 5.0], [1.0, 9.0], [2.0, 1.0]])
+        tree = KDTreeIndex().build(pts)
+        for i, p in enumerate(pts):
+            assert tree.point_query(p) == i
+
+    def test_tombstone_delete_keeps_subtree_reachable(self):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(0, 10, (200, 2))
+        tree = KDTreeIndex().build(pts)
+        assert tree.delete(pts[50])
+        assert tree.point_query(pts[50]) is None
+        # Other points remain reachable.
+        assert all(tree.point_query(pts[i]) == i for i in range(200) if i != 50)
+
+    def test_reinsert_after_delete(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        tree = KDTreeIndex().build(pts)
+        tree.delete([1.0, 1.0])
+        tree.insert([1.0, 1.0], "back")
+        assert tree.point_query([1.0, 1.0]) == "back"
+        assert len(tree) == 2

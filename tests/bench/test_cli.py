@@ -1,0 +1,44 @@
+"""Tests for the `python -m repro.bench` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCLI:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("F1", "E1", "E5", "E15"):
+            assert eid in out
+
+    def test_run_figure(self, capsys):
+        assert main(["run", "F1"]) == 0
+        assert "Spectrum" in capsys.readouterr().out
+
+    def test_run_experiment_with_params(self, capsys):
+        assert main(["run", "E5", "--param", "n=2000", "--param", "lookups=20"]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+        assert "segments" in out
+
+    def test_run_csv_output(self, capsys):
+        assert main(["run", "E5", "--param", "n=2000", "--param", "lookups=20",
+                     "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("epsilon,")
+
+    def test_param_type_coercion(self):
+        from repro.bench.__main__ import _parse_param
+
+        assert _parse_param("n=500") == ("n", 500)
+        assert _parse_param("ratio=0.5") == ("ratio", 0.5)
+        assert _parse_param("mode=append") == ("mode", "append")
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "E99"])
+
+    def test_bad_param_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E5", "--param", "not-a-pair"])

@@ -1,0 +1,64 @@
+"""Tests for the open-challenge extension experiments (E13, E14)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.extensions import poison_keys, run_e13, run_e14
+from repro.data import load_1d
+
+
+class TestPoisonKeys:
+    def test_fraction_controls_count(self):
+        base = load_1d("uniform", 1000, seed=1)
+        assert poison_keys(base, 0.1, seed=2).size == 100
+        assert poison_keys(base, 0.0).size == 0
+
+    def test_poison_is_concentrated(self):
+        base = load_1d("uniform", 1000, seed=1)
+        poison = poison_keys(base, 0.2, seed=2)
+        span = base.max() - base.min()
+        assert (poison.max() - poison.min()) < span * 1e-6
+
+    def test_poison_lands_inside_key_range(self):
+        base = load_1d("uniform", 1000, seed=1)
+        poison = poison_keys(base, 0.2, seed=2)
+        assert poison.min() >= base.min()
+        assert poison.max() <= base.max()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            poison_keys(np.arange(10.0), 1.5)
+
+
+class TestE13Poisoning:
+    def test_rmi_error_explodes_pgm_stays_bounded(self):
+        rows = run_e13(n=4000, lookups=80, poison_fractions=(0.0, 0.5))
+        by = {(r["index"], r["poison_fraction"]): r for r in rows}
+        rmi_clean = by[("rmi", 0.0)]["max_model_error"]
+        rmi_poisoned = by[("rmi", 0.5)]["max_model_error"]
+        assert rmi_poisoned > 10 * max(rmi_clean, 1)
+        assert by[("pgm (eps=32)", 0.5)]["max_model_error"] == 32
+
+    def test_pgm_search_effort_stays_near_clean(self):
+        rows = run_e13(n=4000, lookups=80, poison_fractions=(0.0, 0.5))
+        by = {(r["index"], r["poison_fraction"]): r for r in rows}
+        clean = by[("pgm (eps=32)", 0.0)]["victim_cmp_per_op"]
+        poisoned = by[("pgm (eps=32)", 0.5)]["victim_cmp_per_op"]
+        assert poisoned <= clean * 1.5 + 2
+
+
+class TestE14Drift:
+    def test_three_phases_per_index(self):
+        rows = run_e14(n=1500, drift_inserts=1500, lookups=60)
+        phases = {(r["index"], r["phase"]) for r in rows}
+        for name in ("alex", "dynamic-pgm", "learned-skiplist"):
+            for phase in ("initial", "drifted", "rebuilt"):
+                assert (name, phase) in phases
+
+    def test_rebuild_recovers_stale_guide(self):
+        rows = run_e14(n=1500, drift_inserts=1500, lookups=60)
+        by = {(r["index"], r["phase"]): r for r in rows}
+        drifted = by[("learned-skiplist", "drifted")]["lookup_us"]
+        rebuilt = by[("learned-skiplist", "rebuilt")]["lookup_us"]
+        # The stale-guide index must benefit from re-training.
+        assert rebuilt < drifted

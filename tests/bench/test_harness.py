@@ -1,0 +1,180 @@
+"""Tests for the benchmark harness: every experiment runs and reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    MULTI_DIM_FACTORIES,
+    ONE_DIM_FACTORIES,
+    build_index,
+    measure_inserts,
+    measure_lookups,
+    render_table,
+    run_experiment,
+    to_csv,
+)
+from repro.bench.experiments import (
+    run_e1,
+    run_e3,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+    run_e10,
+)
+from repro.bench.report import format_value
+
+
+class TestReport:
+    def test_render_table_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = render_table(rows, title="T")
+        assert "T" in text and "a" in text and "b" in text
+        assert "10" in text
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_explicit_columns(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_csv(self):
+        csv = to_csv([{"x": 1, "y": "z"}])
+        assert csv.splitlines() == ["x,y", "1,z"]
+
+    def test_format_value_variants(self):
+        assert format_value(True) == "yes"
+        assert format_value(2_000_000) == "2.00M"
+        assert format_value(15000) == "15.0k"
+        assert format_value(0.5).startswith("0.5")
+        assert format_value(1e-9) == "1.000e-09"
+        assert format_value("abc") == "abc"
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "F1", "F2", "F3", "T1",
+            "E1", "E2", "E3", "E4", "E5", "E6",
+            "E7", "E8", "E9", "E10", "E11", "E12",
+            "E13", "E14", "E15", "E16",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_figure_artifacts_are_text(self):
+        for fid in ("F1", "F2", "F3", "T1"):
+            artifact = run_experiment(fid)
+            assert isinstance(artifact, str)
+            assert len(artifact) > 100
+
+    def test_case_insensitive_ids(self):
+        assert run_experiment("f1") == run_experiment("F1")
+
+
+class TestMeasurement:
+    def test_build_index_returns_elapsed(self, uniform_keys):
+        index, seconds = build_index(ONE_DIM_FACTORIES["pgm"], uniform_keys)
+        assert seconds >= 0
+        assert index.stats.build_seconds == seconds
+
+    def test_measure_lookups_counts_hits(self, uniform_keys):
+        index, _ = build_index(ONE_DIM_FACTORIES["binary-search"], uniform_keys)
+        metrics = measure_lookups(index, uniform_keys[:50])
+        assert metrics["hits"] == 50
+        assert metrics["lookup_us"] > 0
+
+    def test_measure_inserts_throughput(self, uniform_keys):
+        index, _ = build_index(ONE_DIM_FACTORIES["b+tree"], uniform_keys)
+        metrics = measure_inserts(index, np.array([1e12, 2e12, 3e12]))
+        assert metrics["inserts_per_s"] > 0
+
+
+class TestExperimentsSmallScale:
+    """Each experiment must run end-to-end at tiny scale with sane rows."""
+
+    def test_e1_rows(self):
+        rows = run_e1(n=800, lookups=50, datasets=("uniform",),
+                      indexes=("binary-search", "pgm", "rmi"))
+        assert len(rows) == 3
+        assert all(r["hits"] == 50 for r in rows)
+
+    def test_e2_rows(self):
+        rows = run_experiment("E2", n=800, datasets=("uniform",),
+                              indexes=("pgm", "b+tree"))
+        assert all(r["size_bytes"] > 0 for r in rows)
+        pgm = next(r for r in rows if r["index"] == "pgm")
+        btree = next(r for r in rows if r["index"] == "b+tree")
+        # The headline learned-index size win.
+        assert pgm["size_bytes"] < btree["size_bytes"]
+
+    def test_e3_rows(self):
+        rows = run_e3(n=500, inserts=300, indexes=("alex", "b+tree"))
+        assert all(r["inserts_per_s"] > 0 for r in rows)
+
+    def test_e4_rows(self):
+        rows = run_experiment("E4", n=500, ops=200, indexes=("alex",),
+                              read_ratios=(0.5,))
+        assert len(rows) == 1 and rows[0]["ops_per_s"] > 0
+
+    def test_e5_epsilon_monotonicity(self):
+        rows = run_e5(n=5000, lookups=100, epsilons=(8, 64, 256))
+        sizes = [r["size_bytes"] for r in rows]
+        segs = [r["segments"] for r in rows]
+        assert sizes == sorted(sizes, reverse=True)
+        assert segs == sorted(segs, reverse=True)
+
+    def test_e6_rows(self):
+        rows = run_e6(n=1500, bits_per_key=(8,))
+        names = {r["filter"] for r in rows}
+        assert names == {"bloom", "learned", "sandwiched", "partitioned"}
+        assert all(0 <= r["fpr"] <= 1 for r in rows)
+
+    def test_e7_rows(self):
+        rows = run_e7(n=1000, lookups=50, datasets=("uniform",),
+                      indexes=("r-tree", "flood", "zm-index"))
+        assert all(r["hits"] == 50 for r in rows)
+
+    def test_e8_rows(self):
+        rows = run_e8(n=1000, queries=5, datasets=("uniform",),
+                      indexes=("grid", "flood"), selectivities=(0.01,))
+        assert all(r["avg_results"] > 0 for r in rows)
+
+    def test_e9_rows(self):
+        rows = run_experiment("E9", n=800, queries=5,
+                              indexes=("kd-tree", "flood"), ks=(5,))
+        assert all(r["knn_us"] > 0 for r in rows)
+
+    def test_e10_rows(self):
+        rows = run_e10(n=1500, queries=10, rhos=(0.99,))
+        names = {r["index"] for r in rows}
+        assert names == {"flood-untuned", "flood", "tsunami", "r-tree"}
+
+    def test_e11_rows(self):
+        rows = run_experiment("E11", n=800, datasets=("uniform",),
+                              indexes=("r-tree", "flood"))
+        assert all(r["build_s"] >= 0 for r in rows)
+
+    def test_e12_rows(self):
+        rows = run_experiment("E12", n=600, inserts=300,
+                              indexes=("r-tree", "lisa"))
+        assert all(r["inserts_per_s"] > 0 for r in rows)
+
+
+class TestFactoriesComplete:
+    def test_one_dim_factories_cover_learned_and_traditional(self):
+        assert "rmi" in ONE_DIM_FACTORIES and "b+tree" in ONE_DIM_FACTORIES
+        assert len(ONE_DIM_FACTORIES) >= 16
+
+    def test_multi_dim_factories_cover_learned_and_traditional(self):
+        assert "flood" in MULTI_DIM_FACTORIES and "r-tree" in MULTI_DIM_FACTORIES
+        assert len(MULTI_DIM_FACTORIES) >= 12
+
+    def test_factories_produce_fresh_instances(self):
+        a = ONE_DIM_FACTORIES["pgm"]()
+        b = ONE_DIM_FACTORIES["pgm"]()
+        assert a is not b

@@ -1,0 +1,127 @@
+"""Tests for the generated paper artifacts (Figures 1-3, §5.6 summary)."""
+
+from repro.core.registry import REGISTRY, get
+from repro.core.spectrum import render_spectrum, spectrum_buckets
+from repro.core.summary import (
+    ml_technique_histogram,
+    query_support_rows,
+    render_ml_summary,
+    render_query_summary,
+)
+from repro.core.taxonomy import Dimensionality, MLTechnique, QueryType, Spectrum
+from repro.core.timeline import descendants, render_timeline, roots, timeline_rows
+from repro.core.tree_render import empty_branches, render_taxonomy, taxonomy_counts
+
+
+class TestFigure1Spectrum:
+    def test_four_buckets(self):
+        buckets = spectrum_buckets()
+        assert len(buckets) == 4
+        assert sum(b.count for b in buckets) == len(REGISTRY)
+
+    def test_rmi_is_pure_one_dimensional(self):
+        buckets = {(b.dimensionality, b.spectrum): b for b in spectrum_buckets()}
+        bucket = buckets[(Dimensionality.ONE_DIMENSIONAL, Spectrum.PURE)]
+        assert "RMI" in bucket.members
+
+    def test_render_mentions_both_poles(self):
+        text = render_spectrum()
+        assert "pure" in text
+        assert "hybrid" in text
+        assert "One-dimensional" in text
+        assert "Multi-dimensional" in text
+
+    def test_render_lists_hybrid_components(self):
+        text = render_spectrum()
+        assert "B-tree" in text
+        assert "R-tree" in text
+        assert "Bloom filter" in text
+
+
+class TestFigure2Taxonomy:
+    def test_counts_cover_registry(self):
+        counts = taxonomy_counts()
+        assert sum(counts.values()) == len(REGISTRY)
+
+    def test_render_marks_assigned_names(self):
+        text = render_taxonomy()
+        assert "^" in text  # wedge convention
+        # Google-LI is a survey-assigned name.
+        assert "Google-LI^" in text
+
+    def test_render_marks_concurrency(self):
+        text = render_taxonomy()
+        assert "XIndex*" in text
+
+    def test_open_branches_reported(self):
+        # The survey notes some taxonomy branches have no papers yet; the
+        # function must at least run and return a list (possibly empty).
+        branches = empty_branches()
+        assert isinstance(branches, list)
+
+    def test_render_contains_all_top_level_classes(self):
+        text = render_taxonomy()
+        assert "immutable" in text
+        assert "mutable" in text
+        assert "delta-buffer" in text
+        assert "in-place" in text
+
+
+class TestFigure3Timeline:
+    def test_rows_are_chronological(self):
+        rows = timeline_rows()
+        years = [r.year for r in rows]
+        assert years == sorted(years)
+
+    def test_2018_row_contains_rmi(self):
+        rows = {r.year: r for r in timeline_rows()}
+        names = {e.name for e in rows[2018].entries}
+        assert "RMI" in names
+
+    def test_render_uses_dimension_markers(self):
+        text = render_timeline()
+        assert "[]" in text  # one-dimensional marker
+        assert "<>" in text  # multi-dimensional marker
+
+    def test_roots_include_rmi(self):
+        assert "RMI" in roots()
+
+    def test_descendants_of_flood(self):
+        assert "Tsunami" in descendants("Flood")
+
+
+class TestSummaryTables:
+    def test_linear_models_dominate(self):
+        counts = ml_technique_histogram()
+        linear_family = counts.get(MLTechnique.LINEAR, 0) + counts.get(
+            MLTechnique.PIECEWISE_LINEAR, 0
+        )
+        nn = counts.get(MLTechnique.NEURAL_NETWORK, 0)
+        # Survey §6.2: simple models are preferred whenever possible.
+        assert linear_family > nn
+
+    def test_query_rows_cover_multi_dim_indexes(self):
+        rows = query_support_rows()
+        assert len(rows) >= 40
+        names = {name for name, _ in rows}
+        assert "Flood" in names and "LISA" in names
+
+    def test_point_support_is_common_join_is_rare(self):
+        rows = query_support_rows()
+        point = sum(1 for _, s in rows if s[QueryType.POINT])
+        join = sum(1 for _, s in rows if s[QueryType.JOIN])
+        assert point > join
+
+    def test_render_ml_summary_sections(self):
+        text = render_ml_summary()
+        assert "One-dimensional" in text
+        assert "Multi-dimensional" in text
+
+    def test_render_query_summary_has_all_columns(self):
+        text = render_query_summary()
+        for col in ("point", "range", "kNN", "join"):
+            assert col in text
+
+    def test_knn_supported_by_spatial_indexes(self):
+        assert QueryType.KNN in get("LISA").queries
+        assert QueryType.KNN in get("ML-index").queries

@@ -1,0 +1,89 @@
+"""Tests for the shared index interfaces and IndexStats."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SortedArrayIndex
+from repro.core.interfaces import IndexStats, NotBuiltError, OneDimIndex
+
+
+class TestIndexStats:
+    def test_counters_start_at_zero(self):
+        stats = IndexStats()
+        assert stats.comparisons == 0
+        assert stats.keys_scanned == 0
+        assert stats.size_bytes == 0
+
+    def test_reset_counters_keeps_build_info(self):
+        stats = IndexStats(comparisons=5, build_seconds=1.5, size_bytes=100)
+        stats.reset_counters()
+        assert stats.comparisons == 0
+        assert stats.build_seconds == 1.5
+        assert stats.size_bytes == 100
+
+    def test_snapshot_is_plain_dict(self):
+        stats = IndexStats(comparisons=3, nodes_visited=2)
+        snap = stats.snapshot()
+        assert snap["comparisons"] == 3
+        assert snap["nodes_visited"] == 2
+        snap["comparisons"] = 99
+        assert stats.comparisons == 3
+
+
+class TestPrepare:
+    def test_sorts_keys_and_assigns_rank_values(self):
+        keys, values = OneDimIndex._prepare([3.0, 1.0, 2.0], None)
+        assert list(keys) == [1.0, 2.0, 3.0]
+        assert values == [0, 1, 2]
+
+    def test_aligns_explicit_values_with_sorted_keys(self):
+        keys, values = OneDimIndex._prepare([3.0, 1.0], ["c", "a"])
+        assert list(keys) == [1.0, 3.0]
+        assert values == ["a", "c"]
+
+    def test_rejects_mismatched_values(self):
+        with pytest.raises(ValueError):
+            OneDimIndex._prepare([1.0, 2.0], ["only-one"])
+
+    def test_rejects_non_finite_keys(self):
+        with pytest.raises(ValueError):
+            OneDimIndex._prepare([1.0, np.nan], None)
+        with pytest.raises(ValueError):
+            OneDimIndex._prepare([1.0, np.inf], None)
+
+    def test_rejects_2d_keys(self):
+        with pytest.raises(ValueError):
+            OneDimIndex._prepare(np.zeros((3, 2)), None)
+
+    def test_empty_keys_allowed(self):
+        keys, values = OneDimIndex._prepare([], None)
+        assert keys.size == 0
+        assert values == []
+
+
+class TestNotBuilt:
+    def test_query_before_build_raises(self):
+        index = SortedArrayIndex()
+        with pytest.raises(NotBuiltError):
+            index.lookup(1.0)
+
+    def test_range_before_build_raises(self):
+        index = SortedArrayIndex()
+        with pytest.raises(NotBuiltError):
+            index.range_query(0.0, 1.0)
+
+    def test_insert_before_build_raises(self):
+        index = SortedArrayIndex()
+        with pytest.raises(NotBuiltError):
+            index.insert(1.0)
+
+
+class TestBuildReturnsSelf:
+    def test_fluent_construction(self):
+        index = SortedArrayIndex().build([1.0, 2.0, 3.0])
+        assert index.lookup(2.0) == 1
+
+    def test_contains(self):
+        index = SortedArrayIndex().build([1.0, 2.0])
+        assert index.contains(1.0)
+        assert not index.contains(9.0)

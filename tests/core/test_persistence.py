@@ -1,0 +1,89 @@
+"""Tests for index persistence (save/load round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import MULTI_DIM_FACTORIES, ONE_DIM_FACTORIES
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    PersistenceError,
+    load_index,
+    save_index,
+)
+from repro.data import load_1d, load_nd
+
+ROUNDTRIP_1D = ["pgm", "rmi", "alex", "lipp", "radix-spline", "b+tree",
+                "fiting-tree", "hist-tree", "nfl"]
+ROUNDTRIP_ND = ["flood", "zm-index", "r-tree", "lisa", "qd-tree", "rsmi"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ROUNDTRIP_1D)
+    def test_one_dim_roundtrip(self, name, tmp_path):
+        keys = load_1d("lognormal", 1000, seed=5)
+        sk = np.sort(keys)
+        original = ONE_DIM_FACTORIES[name]().build(keys)
+        path = tmp_path / f"{name}.lidx"
+        written = save_index(original, path)
+        assert written == path.stat().st_size
+        restored = load_index(path)
+        for i in range(0, 1000, 97):
+            assert restored.lookup(float(sk[i])) == i
+        assert restored.range_query(float(sk[10]), float(sk[20])) == \
+            original.range_query(float(sk[10]), float(sk[20]))
+
+    @pytest.mark.parametrize("name", ROUNDTRIP_ND)
+    def test_multi_dim_roundtrip(self, name, tmp_path):
+        pts = load_nd("clusters", 800, seed=6)
+        original = MULTI_DIM_FACTORIES[name]().build(pts)
+        path = tmp_path / f"{name}.lidx"
+        save_index(original, path)
+        restored = load_index(path)
+        for i in range(0, 800, 111):
+            assert restored.point_query(pts[i]) == i
+
+    def test_mutable_index_usable_after_load(self, tmp_path):
+        keys = load_1d("uniform", 500, seed=7)
+        index = ONE_DIM_FACTORIES["alex"]().build(keys)
+        path = tmp_path / "alex.lidx"
+        save_index(index, path)
+        restored = load_index(path)
+        restored.insert(-42.0, "post-load")
+        assert restored.lookup(-42.0) == "post-load"
+        assert restored.delete(-42.0)
+
+
+class TestFormatSafety:
+    def test_rejects_non_index_file(self, tmp_path):
+        path = tmp_path / "garbage.lidx"
+        path.write_bytes(b"definitely not an index")
+        with pytest.raises(PersistenceError, match="not a learned-index"):
+            load_index(path)
+
+    def test_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "short.lidx"
+        path.write_bytes(b"LIDX")
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_detects_corruption(self, tmp_path):
+        keys = load_1d("uniform", 100, seed=8)
+        index = ONE_DIM_FACTORIES["pgm"]().build(keys)
+        path = tmp_path / "pgm.lidx"
+        save_index(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError, match="digest mismatch"):
+            load_index(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        keys = load_1d("uniform", 100, seed=9)
+        index = ONE_DIM_FACTORIES["pgm"]().build(keys)
+        path = tmp_path / "pgm.lidx"
+        save_index(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[4:6] = (FORMAT_VERSION + 1).to_bytes(2, "big")
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError, match="newer than supported"):
+            load_index(path)

@@ -1,0 +1,122 @@
+"""Tests for the survey registry: counts, structure, lineage."""
+
+import networkx as nx
+import pytest
+
+from repro.core.registry import REGISTRY, get, lineage_graph, query, counts_by
+from repro.core.taxonomy import (
+    Dimensionality,
+    HybridComponent,
+    InsertStrategy,
+    Layout,
+    Mutability,
+    Spectrum,
+)
+
+
+class TestRegistryShape:
+    def test_registry_covers_over_100_indexes(self):
+        assert len(REGISTRY) >= 100
+
+    def test_names_are_unique(self):
+        names = [info.name for info in REGISTRY]
+        assert len(names) == len(set(names))
+
+    def test_years_span_the_survey_period(self):
+        years = {info.year for info in REGISTRY}
+        assert min(years) == 2018  # RMI
+        assert max(years) >= 2023
+
+    def test_every_record_has_refs(self):
+        assert all(info.refs for info in REGISTRY)
+
+    def test_multi_dim_count_matches_paper_claim(self):
+        # The tutorial covers "over 40 learned multi-dimensional indexes".
+        multi = query(dimensionality=Dimensionality.MULTI_DIMENSIONAL)
+        assert len(multi) >= 40
+
+    def test_one_dim_immutable_count_matches_paper(self):
+        # Paper §4.1 counts 18 immutable one-dimensional indexes from its
+        # reference list; our registry additionally classifies the
+        # immutable Bloom-filter hybrids here, so >= 18.
+        immutable = query(
+            dimensionality=Dimensionality.ONE_DIMENSIONAL,
+            mutability=Mutability.IMMUTABLE,
+        )
+        assert len(immutable) >= 18
+
+    def test_one_dim_mutable_count_matches_paper(self):
+        # Paper §4.1 counts 48 mutable one-dimensional indexes; we cover
+        # the representative majority of them.
+        mutable = query(
+            dimensionality=Dimensionality.ONE_DIMENSIONAL,
+            mutability=Mutability.MUTABLE,
+        )
+        assert len(mutable) >= 35
+
+    def test_mutable_indexes_have_layouts(self):
+        for info in query(mutability=Mutability.MUTABLE, spectrum=Spectrum.PURE):
+            assert info.layout in (Layout.FIXED, Layout.DYNAMIC)
+
+    def test_pure_indexes_have_no_hybrid_component(self):
+        for info in query(spectrum=Spectrum.PURE):
+            assert info.hybrid_component is HybridComponent.NONE
+
+    def test_hybrid_indexes_name_their_component(self):
+        for info in query(spectrum=Spectrum.HYBRID):
+            assert info.hybrid_component is not HybridComponent.NONE
+
+
+class TestRegistryLookups:
+    def test_get_known_index(self):
+        rmi = get("RMI")
+        assert rmi.year == 2018
+        assert rmi.refs == (59,)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("definitely-not-an-index")
+
+    def test_query_by_multiple_attributes(self):
+        results = query(
+            mutability=Mutability.MUTABLE,
+            layout=Layout.DYNAMIC,
+            dimensionality=Dimensionality.ONE_DIMENSIONAL,
+            spectrum=Spectrum.PURE,
+            insert_strategy=InsertStrategy.IN_PLACE,
+        )
+        names = {info.name for info in results}
+        assert "ALEX" in names
+        assert "LIPP" in names
+
+    def test_counts_by_mutability(self):
+        counts = counts_by("mutability")
+        assert counts[Mutability.MUTABLE] > counts[Mutability.IMMUTABLE]
+
+    def test_key_representatives_are_implemented(self):
+        for name in ("RMI", "PGM-index", "ALEX", "LIPP", "RadixSpline",
+                     "ZM-index", "Flood", "Qd-tree", "LISA", "BOURBON"):
+            assert get(name).implemented is not None, name
+
+
+class TestLineage:
+    def test_lineage_is_acyclic(self):
+        graph = lineage_graph()
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_rmi_is_the_great_ancestor(self):
+        graph = lineage_graph()
+        descendants = nx.descendants(graph, "RMI")
+        # The survey's Figure 3 shows nearly everything descending from RMI.
+        assert len(descendants) >= 50
+
+    def test_edges_respect_chronology(self):
+        graph = lineage_graph()
+        for parent, child in graph.edges:
+            assert get(parent).year <= get(child).year, (parent, child)
+
+    def test_known_lineage_edges(self):
+        graph = lineage_graph()
+        assert graph.has_edge("RMI", "ALEX")
+        assert graph.has_edge("Flood", "Tsunami")
+        assert graph.has_edge("ALEX", "LIPP")

@@ -1,0 +1,91 @@
+"""Tests for the taxonomy tree construction."""
+
+from repro.core.registry import REGISTRY
+from repro.core.taxonomy import (
+    Dimensionality,
+    Mutability,
+    Spectrum,
+    TaxonomyNode,
+    build_taxonomy,
+)
+
+
+class TestTaxonomyNode:
+    def test_add_child_is_idempotent(self):
+        root = TaxonomyNode("root")
+        a1 = root.add_child("a")
+        a2 = root.add_child("a")
+        assert a1 is a2
+        assert len(root.children) == 1
+
+    def test_count_includes_descendants(self):
+        root = TaxonomyNode("root")
+        child = root.add_child("a")
+        child.members.append("x")
+        grand = child.add_child("b")
+        grand.members.extend(["y", "z"])
+        assert root.count() == 3
+        assert child.count() == 3
+        assert grand.count() == 2
+
+    def test_walk_visits_all_nodes(self):
+        root = TaxonomyNode("root")
+        root.add_child("a").add_child("b")
+        root.add_child("c")
+        labels = [n.label for n in root.walk()]
+        assert labels == ["root", "a", "b", "c"]
+
+    def test_find_descends_by_labels(self):
+        root = TaxonomyNode("root")
+        root.add_child("a").add_child("b")
+        assert root.find("a", "b") is not None
+        assert root.find("a", "nope") is None
+
+
+class TestBuildTaxonomy:
+    def test_root_covers_all_records(self):
+        root = build_taxonomy(REGISTRY)
+        assert root.count() == len(REGISTRY)
+
+    def test_top_level_split_is_mutability(self):
+        root = build_taxonomy(REGISTRY)
+        labels = {c.label for c in root.children}
+        assert labels == {"immutable", "mutable"}
+
+    def test_mutable_branch_splits_by_layout(self):
+        root = build_taxonomy(REGISTRY)
+        mutable = root.find("mutable")
+        labels = {c.label for c in mutable.children}
+        assert "fixed layout" in labels
+        assert "dynamic layout" in labels
+
+    def test_rmi_lands_in_the_immutable_pure_1d_branch(self):
+        root = build_taxonomy(REGISTRY)
+        node = root.find("immutable", "1-d", "pure")
+        names = {m.name for m in node.members}
+        assert "RMI" in names
+
+    def test_alex_lands_in_dynamic_inplace_branch(self):
+        root = build_taxonomy(REGISTRY)
+        node = root.find("mutable", "dynamic layout", "1-d", "pure", "in-place")
+        names = {m.name for m in node.members}
+        assert "ALEX" in names
+        assert "LIPP" in names
+
+    def test_multi_dim_pure_projected_branch_contains_zm(self):
+        root = build_taxonomy(REGISTRY)
+        node = root.find("immutable", "multi-d", "pure")
+        projected = node.find("projected space")
+        names = {m.name for m in projected.members}
+        assert "ZM-index" in names
+
+    def test_counts_by_space_partition_the_tree(self):
+        root = build_taxonomy(REGISTRY)
+        one_d = sum(
+            n.count() for n in root.walk()
+            if n.label == "1-d" and not any(c.label == "1-d" for c in n.children)
+        )
+        # Each record appears in exactly one leaf path.
+        total = root.count()
+        multi = sum(n.count() for n in root.walk() if n.label == "multi-d")
+        assert one_d + multi == total

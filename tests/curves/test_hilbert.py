@@ -1,0 +1,81 @@
+"""Tests for the Hilbert curve."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves.hilbert import hilbert_decode, hilbert_encode, hilbert_encode_array
+
+
+class TestRoundtrip:
+    def test_2d_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            c = tuple(int(x) for x in rng.integers(0, 256, 2))
+            assert hilbert_decode(hilbert_encode(c, 8), 2, 8) == c
+
+    def test_3d_roundtrip(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            c = tuple(int(x) for x in rng.integers(0, 32, 3))
+            assert hilbert_decode(hilbert_encode(c, 5), 3, 5) == c
+
+    def test_codes_are_a_bijection(self):
+        codes = {hilbert_encode((x, y), 4) for x in range(16) for y in range(16)}
+        assert codes == set(range(256))
+
+    @settings(max_examples=100, deadline=None)
+    @given(x=st.integers(0, 1023), y=st.integers(0, 1023))
+    def test_property_roundtrip(self, x, y):
+        assert hilbert_decode(hilbert_encode((x, y), 10), 2, 10) == (x, y)
+
+
+class TestLocality:
+    def test_consecutive_codes_are_adjacent_cells(self):
+        # The defining property of the Hilbert curve: successive curve
+        # positions are Manhattan-distance-1 neighbours.
+        bits = 5
+        for code in range((1 << (2 * bits)) - 1):
+            a = hilbert_decode(code, 2, bits)
+            b = hilbert_decode(code + 1, 2, bits)
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_fewer_clusters_than_zorder(self):
+        # The classic clustering result (Moon et al.): a query rectangle
+        # intersects fewer contiguous curve runs ("clusters") under the
+        # Hilbert order than under the Z order, on average.
+        from repro.curves.zorder import interleave
+
+        bits = 4
+        rng = np.random.default_rng(7)
+
+        def clusters(encode) -> float:
+            total = 0
+            trials = 40
+            for _ in range(trials):
+                x0, y0 = rng.integers(0, 10, 2)
+                w, h = rng.integers(2, 6, 2)
+                codes = sorted(
+                    encode((x, y), bits)
+                    for x in range(x0, min(x0 + w, 16))
+                    for y in range(y0, min(y0 + h, 16))
+                )
+                runs = 1 + sum(1 for a, b in zip(codes, codes[1:]) if b != a + 1)
+                total += runs
+            return total / trials
+
+        assert clusters(hilbert_encode) < clusters(interleave)
+
+
+class TestEncodeArray:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        coords = rng.integers(0, 64, (50, 2))
+        vec = hilbert_encode_array(coords, 6)
+        assert list(vec) == [hilbert_encode(tuple(int(v) for v in c), 6) for c in coords]
+
+    def test_raises_on_out_of_range(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            hilbert_encode((999, 0), 4)

@@ -1,0 +1,136 @@
+"""Tests for the Z-order curve: roundtrips, monotonicity, BIGMIN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves.zorder import (
+    bigmin,
+    deinterleave,
+    dequantize,
+    interleave,
+    quantize,
+    zencode,
+    zencode_array,
+)
+
+
+class TestInterleave:
+    def test_known_small_codes(self):
+        # (0,0)->0, (1,0)->1?, depends on bit order: dim0 contributes the
+        # higher bit at each level in our convention.
+        assert interleave((0, 0), 1) == 0
+        assert interleave((1, 1), 1) == 3
+        assert interleave((3, 3), 2) == 15
+
+    def test_roundtrip_2d(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            c = tuple(int(x) for x in rng.integers(0, 256, 2))
+            assert deinterleave(interleave(c, 8), 2, 8) == c
+
+    def test_roundtrip_3d_and_4d(self):
+        rng = np.random.default_rng(1)
+        for dims in (3, 4):
+            for _ in range(50):
+                c = tuple(int(x) for x in rng.integers(0, 32, dims))
+                assert deinterleave(interleave(c, 5), dims, 5) == c
+
+    def test_codes_are_unique(self):
+        codes = {interleave((x, y), 4) for x in range(16) for y in range(16)}
+        assert len(codes) == 256
+
+    def test_monotone_along_each_axis(self):
+        # Fixing one coordinate, the code grows with the other.
+        for y in (0, 5, 15):
+            codes = [interleave((x, y), 4) for x in range(16)]
+            assert codes == sorted(codes)
+
+
+class TestQuantize:
+    def test_roundtrip_within_cell(self):
+        lo = np.array([0.0, 0.0])
+        hi = np.array([100.0, 100.0])
+        pts = np.array([[12.3, 45.6], [99.9, 0.1]])
+        q = quantize(pts, lo, hi, 16)
+        back = dequantize(q, lo, hi, 16)
+        assert np.all(np.abs(back - pts) < 100 / (1 << 15))
+
+    def test_monotone(self):
+        lo = np.array([0.0])
+        hi = np.array([1.0])
+        xs = np.sort(np.random.default_rng(2).uniform(0, 1, 100))[:, None]
+        q = quantize(xs, lo, hi, 10)[:, 0]
+        assert all(a <= b for a, b in zip(q, q[1:]))
+
+    def test_clamps_out_of_range(self):
+        lo = np.array([0.0])
+        hi = np.array([1.0])
+        q = quantize(np.array([[-5.0], [5.0]]), lo, hi, 8)
+        assert q[0, 0] == 0
+        assert q[1, 0] == 255
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((1, 2)), np.zeros(2), np.ones(2), 0)
+
+
+class TestZencodeArray:
+    def test_matches_scalar_encoder(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 1000, (200, 2))
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        vec = zencode_array(pts, lo, hi, 12)
+        scalar = [zencode(p, lo, hi, 12) for p in pts]
+        assert list(vec) == scalar
+
+    def test_big_codes_use_object_dtype(self):
+        pts = np.random.default_rng(4).uniform(0, 1, (5, 3))
+        codes = zencode_array(pts, np.zeros(3), np.ones(3), 31)
+        assert codes.dtype == object
+
+
+class TestBigmin:
+    @staticmethod
+    def _brute(cur, lo, hi, bits):
+        inside = sorted(
+            interleave((x, y), bits)
+            for x in range(lo[0], hi[0] + 1)
+            for y in range(lo[1], hi[1] + 1)
+        )
+        return next((c for c in inside if c > cur), None)
+
+    def test_against_brute_force(self):
+        bits = 4
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            lo = rng.integers(0, 16, 2)
+            hi = np.minimum(lo + rng.integers(0, 6, 2), 15)
+            cur = int(rng.integers(0, 256))
+            got = bigmin(cur, tuple(int(v) for v in lo), tuple(int(v) for v in hi), 2, bits)
+            assert got == self._brute(cur, lo, hi, bits)
+
+    def test_inside_box_returns_next_inside_code(self):
+        # Starting below the box minimum returns the box minimum.
+        lo, hi = (4, 4), (7, 7)
+        box_min = interleave(lo, 4)
+        assert bigmin(0, lo, hi, 2, 4) == box_min
+
+    def test_past_box_returns_none(self):
+        lo, hi = (0, 0), (1, 1)
+        box_max = interleave(hi, 4)
+        assert bigmin(box_max, lo, hi, 2, 4) is None
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        lo_x=st.integers(0, 15), lo_y=st.integers(0, 15),
+        dx=st.integers(0, 8), dy=st.integers(0, 8),
+        cur=st.integers(0, 255),
+    )
+    def test_property_matches_brute_force(self, lo_x, lo_y, dx, dy, cur):
+        lo = (lo_x, lo_y)
+        hi = (min(lo_x + dx, 15), min(lo_y + dy, 15))
+        got = bigmin(cur, lo, hi, 2, 4)
+        assert got == self._brute(cur, np.array(lo), np.array(hi), 4)

@@ -1,0 +1,151 @@
+"""Tests for dataset and workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DATASETS_1D,
+    DATASETS_ND,
+    insert_stream,
+    knn_queries,
+    load_1d,
+    load_nd,
+    mixed_workload,
+    negative_lookups,
+    point_lookups,
+    range_queries_1d,
+    range_queries_nd,
+    zipf_lookups,
+)
+from repro.data.spatial import correlated_points
+
+
+class TestOneDimDatasets:
+    @pytest.mark.parametrize("name", sorted(DATASETS_1D))
+    def test_exact_size_unique_sorted(self, name):
+        keys = load_1d(name, 2000, seed=5)
+        assert keys.size == 2000
+        assert np.all(np.diff(keys) > 0)
+
+    @pytest.mark.parametrize("name", sorted(DATASETS_1D))
+    def test_deterministic(self, name):
+        a = load_1d(name, 500, seed=9)
+        b = load_1d(name, 500, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(load_1d("uniform", 500, seed=1),
+                                  load_1d("uniform", 500, seed=2))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_1d("nope", 10)
+
+    def test_fb_has_heavy_tail(self):
+        keys = load_1d("fb", 5000, seed=1)
+        # The tail keys dwarf the body - that is the point of the dataset.
+        assert keys.max() > keys[int(0.9 * keys.size)] * 100
+
+    def test_osm_is_clustered(self):
+        keys = load_1d("osm", 5000, seed=1)
+        gaps = np.diff(keys)
+        # Clustered data: the largest gaps dominate the median gap.
+        assert gaps.max() > np.median(gaps) * 1000
+
+
+class TestSpatialDatasets:
+    @pytest.mark.parametrize("name", sorted(DATASETS_ND))
+    def test_exact_size_unique(self, name):
+        pts = load_nd(name, 1500, seed=4)
+        assert pts.shape == (1500, 2)
+        assert np.unique(pts, axis=0).shape[0] == 1500
+
+    def test_correlated_rho_controls_correlation(self):
+        weak = correlated_points(3000, seed=2, rho=0.1)
+        strong = correlated_points(3000, seed=2, rho=0.99)
+        weak_r = abs(np.corrcoef(weak[:, 0], weak[:, 1])[0, 1])
+        strong_r = abs(np.corrcoef(strong[:, 0], strong[:, 1])[0, 1])
+        assert strong_r > 0.9 > weak_r
+
+    def test_correlated_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            correlated_points(100, rho=1.5)
+
+    def test_higher_dims(self):
+        pts = load_nd("uniform", 500, seed=3, dims=4)
+        assert pts.shape == (500, 4)
+
+
+class TestQueryWorkloads:
+    def test_point_lookups_hit_existing_keys(self, uniform_keys):
+        qs = point_lookups(uniform_keys, 200, seed=1)
+        key_set = set(float(k) for k in uniform_keys)
+        assert all(float(q) in key_set for q in qs)
+
+    def test_negative_lookups_miss(self, uniform_keys):
+        qs = negative_lookups(uniform_keys, 200, seed=2)
+        key_set = set(float(k) for k in uniform_keys)
+        assert all(float(q) not in key_set for q in qs)
+        assert qs.size == 200
+
+    def test_zipf_lookups_are_skewed(self, uniform_keys):
+        qs = zipf_lookups(uniform_keys, 3000, seed=3)
+        _, counts = np.unique(qs, return_counts=True)
+        # Top key should dominate under a Zipf law.
+        assert counts.max() > 3000 * 0.05
+
+    def test_range_1d_selectivity(self, uniform_keys):
+        for lo, hi in range_queries_1d(uniform_keys, 10, 0.01, seed=4):
+            count = int(np.sum((uniform_keys >= lo) & (uniform_keys <= hi)))
+            assert abs(count - 0.01 * uniform_keys.size) <= 2
+
+    def test_range_1d_rejects_bad_selectivity(self, uniform_keys):
+        with pytest.raises(ValueError):
+            range_queries_1d(uniform_keys, 1, 0.0)
+
+    def test_range_nd_never_empty_on_clustered(self, clustered_points):
+        for lo, hi in range_queries_nd(clustered_points, 10, 0.001, seed=5):
+            mask = np.all((clustered_points >= lo) & (clustered_points <= hi), axis=1)
+            assert mask.sum() >= 1  # centred on a data point
+
+    def test_knn_queries_shape(self, clustered_points):
+        qs = knn_queries(clustered_points, 25, seed=6)
+        assert qs.shape == (25, 2)
+
+    def test_insert_stream_avoids_existing(self, uniform_keys):
+        fresh = insert_stream(uniform_keys, 300, seed=7)
+        key_set = set(float(k) for k in uniform_keys)
+        assert all(float(k) not in key_set for k in fresh)
+        assert np.unique(fresh).size == 300
+
+    def test_insert_stream_append_mode_is_increasing(self, uniform_keys):
+        fresh = insert_stream(uniform_keys, 100, seed=8, mode="append")
+        assert fresh[0] > uniform_keys.max()
+        assert np.all(np.diff(fresh) > 0)
+
+    def test_insert_stream_hotspot_mode_is_concentrated(self, uniform_keys):
+        fresh = insert_stream(uniform_keys, 300, seed=9, mode="hotspot")
+        span = uniform_keys.max() - uniform_keys.min()
+        assert fresh.max() - fresh.min() < span * 0.2
+
+    def test_mixed_workload_ratio(self, uniform_keys):
+        ops = list(mixed_workload(uniform_keys, 1000, 0.8, seed=10))
+        assert len(ops) == 1000
+        reads = sum(1 for op in ops if op.kind == "read")
+        assert 700 <= reads <= 900
+
+    def test_mixed_workload_rejects_bad_ratio(self, uniform_keys):
+        with pytest.raises(ValueError):
+            list(mixed_workload(uniform_keys, 10, 1.5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(sel=st.sampled_from([0.001, 0.01, 0.05, 0.2]))
+    def test_property_range_nd_selectivity_order(self, sel):
+        pts = load_nd("uniform", 2000, seed=11)
+        boxes = range_queries_nd(pts, 5, sel, seed=12)
+        counts = [
+            int(np.sum(np.all((pts >= lo) & (pts <= hi), axis=1))) for lo, hi in boxes
+        ]
+        assert np.mean(counts) == pytest.approx(sel * 2000, rel=1.2, abs=4)

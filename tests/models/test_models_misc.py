@@ -1,0 +1,212 @@
+"""Tests for the CDF, polynomial, histogram, MLP, and classifier models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.cdf import EmpiricalCDF, QuantileModel
+from repro.models.classifier import LogisticClassifier, ScalarFeaturizer
+from repro.models.histogram import EquiDepthHistogram, EquiWidthHistogram
+from repro.models.nn import TinyMLP
+from repro.models.polynomial import PolynomialModel
+
+
+class TestEmpiricalCDF:
+    def test_basic_values(self):
+        cdf = EmpiricalCDF.fit(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert cdf.evaluate(0.0) == 0.0
+        assert cdf.evaluate(2.0) == 0.5
+        assert cdf.evaluate(100.0) == 1.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        cdf = EmpiricalCDF.fit(rng.normal(0, 1, 500))
+        probes = np.linspace(-4, 4, 100)
+        vals = cdf.evaluate_array(probes)
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_position_scales_with_n(self):
+        cdf = EmpiricalCDF.fit(np.arange(101, dtype=np.float64))
+        assert cdf.position(50.0) == pytest.approx(50.0 / 101 * 100 * 1.0, abs=2.0)
+
+    def test_empty(self):
+        cdf = EmpiricalCDF.fit(np.array([]))
+        assert cdf.evaluate(1.0) == 0.0
+
+
+class TestQuantileModel:
+    def test_uniform_data_is_linear(self):
+        keys = np.linspace(0, 100, 1001)
+        model = QuantileModel.fit(keys, num_quantiles=16)
+        assert model.evaluate(50.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_clamps_out_of_range(self):
+        model = QuantileModel.fit(np.arange(10.0), num_quantiles=4)
+        assert model.evaluate(-5.0) == 0.0
+        assert model.evaluate(99.0) == 1.0
+
+    def test_rejects_bad_quantile_count(self):
+        with pytest.raises(ValueError):
+            QuantileModel.fit(np.arange(10.0), num_quantiles=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=5, max_size=200))
+    def test_property_monotone(self, raw):
+        model = QuantileModel.fit(np.array(raw), num_quantiles=8)
+        probes = np.linspace(min(raw) - 1, max(raw) + 1, 50)
+        vals = [model.evaluate(float(p)) for p in probes]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+
+class TestEquiWidthHistogram:
+    def test_position_ranges_partition_the_data(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.uniform(0, 100, 1000))
+        hist = EquiWidthHistogram.fit(keys, bins=16)
+        assert hist.cumulative[0] == 0
+        assert hist.cumulative[-1] == 1000
+
+    def test_key_falls_in_its_bucket_range(self):
+        rng = np.random.default_rng(2)
+        keys = np.sort(rng.uniform(0, 100, 500))
+        hist = EquiWidthHistogram.fit(keys, bins=32)
+        for i in range(0, 500, 41):
+            first, last = hist.position_range(float(keys[i]))
+            assert first <= i < last or keys[first - 1] == keys[i]
+
+    def test_bin_of_clamps(self):
+        hist = EquiWidthHistogram.fit(np.arange(10.0), bins=4)
+        assert hist.bin_of(-100.0) == 0
+        assert hist.bin_of(1e9) == 3
+
+    def test_all_equal_keys(self):
+        hist = EquiWidthHistogram.fit(np.full(10, 5.0), bins=4)
+        first, last = hist.position_range(5.0)
+        assert (first, last) == (0, 10)
+
+    def test_empty(self):
+        hist = EquiWidthHistogram.fit(np.array([]), bins=4)
+        assert hist.position_range(1.0) == (0, 0)
+
+
+class TestEquiDepthHistogram:
+    def test_buckets_roughly_equal(self):
+        rng = np.random.default_rng(3)
+        keys = rng.lognormal(0, 2, 2000)
+        hist = EquiDepthHistogram.fit(keys, bins=8)
+        assert hist.depth == 250
+
+    def test_bin_of_monotone(self):
+        keys = np.sort(np.random.default_rng(4).uniform(0, 1, 500))
+        hist = EquiDepthHistogram.fit(keys, bins=8)
+        bins = [hist.bin_of(float(k)) for k in keys]
+        assert all(a <= b for a, b in zip(bins, bins[1:]))
+
+
+class TestTinyMLP:
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(5)
+        xs = rng.uniform(-1, 1, 400)
+        ys = 3 * xs + 1
+        mlp = TinyMLP(hidden=8, epochs=400, learning_rate=0.05).fit(xs, ys)
+        preds = mlp.predict(xs)
+        assert float(np.mean(np.abs(preds - ys))) < 0.2
+
+    def test_learns_nonlinear_cdf_shape(self):
+        rng = np.random.default_rng(6)
+        keys = np.sort(rng.lognormal(0, 1, 500))
+        positions = np.arange(keys.size, dtype=np.float64)
+        mlp = TinyMLP(hidden=16, epochs=400).fit(keys, positions)
+        preds = mlp.predict(keys)
+        # Must beat the best single *linear* model on this skewed CDF.
+        from repro.models.linear import LinearModel
+
+        linear = LinearModel.fit(keys, positions)
+        assert float(np.mean(np.abs(preds - positions))) < linear.max_error
+
+    def test_logistic_loss_classifies(self):
+        rng = np.random.default_rng(7)
+        xs = np.concatenate([rng.normal(-2, 0.5, 200), rng.normal(2, 0.5, 200)])
+        ys = np.concatenate([np.zeros(200), np.ones(200)])
+        mlp = TinyMLP(hidden=8, loss="logistic", epochs=300).fit(xs, ys)
+        probs = mlp.predict_proba(xs)
+        acc = float(np.mean((probs > 0.5) == ys))
+        assert acc > 0.95
+
+    def test_rejects_unknown_loss(self):
+        with pytest.raises(ValueError):
+            TinyMLP(loss="hinge").fit(np.zeros(3), np.zeros(3))
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError):
+            TinyMLP().fit(np.array([]), np.array([]))
+
+    def test_deterministic_given_seed(self):
+        xs = np.linspace(0, 1, 50)
+        ys = xs * 2
+        a = TinyMLP(seed=9).fit(xs, ys).predict(xs)
+        b = TinyMLP(seed=9).fit(xs, ys).predict(xs)
+        assert np.array_equal(a, b)
+
+
+class TestLogisticClassifier:
+    def test_separable_data(self):
+        rng = np.random.default_rng(8)
+        x0 = rng.normal(-1, 0.3, (100, 2))
+        x1 = rng.normal(1, 0.3, (100, 2))
+        features = np.vstack([x0, x1])
+        labels = np.concatenate([np.zeros(100), np.ones(100)])
+        clf = LogisticClassifier().fit(features, labels)
+        assert float(np.mean(clf.predict(features) == labels)) > 0.97
+
+    def test_probabilities_in_unit_interval(self):
+        clf = LogisticClassifier().fit(np.arange(10.0), (np.arange(10) > 4).astype(float))
+        probs = clf.predict_proba(np.arange(10.0))
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LogisticClassifier().fit(np.empty((0, 2)), np.empty(0))
+
+
+class TestScalarFeaturizer:
+    def test_single_key_matches_batch_featurization(self):
+        keys = np.array([1.0, 5.0, 9.0, 200.0])
+        feat = ScalarFeaturizer.fit(keys)
+        batch = feat.transform(keys)
+        single = feat.transform(np.array([5.0]))
+        assert np.allclose(batch[1], single[0])
+
+    def test_feature_count(self):
+        feat = ScalarFeaturizer.fit(np.array([0.0, 1.0]))
+        assert feat.transform(np.array([0.5])).shape == (1, 6)
+
+
+class TestPolynomialModel:
+    def test_recovers_quadratic(self):
+        xs = np.linspace(-5, 5, 100)
+        ys = 2 * xs ** 2 - 3 * xs + 1
+        model = PolynomialModel.fit(xs, ys, degree=2)
+        assert model.max_error < 1e-6
+
+    def test_horner_matches_vectorized(self):
+        xs = np.linspace(0, 10, 30)
+        model = PolynomialModel.fit(xs, np.sqrt(xs + 1), degree=3)
+        single = [model.predict(float(x)) for x in xs]
+        assert np.allclose(single, model.predict_array(xs))
+
+    def test_degree_clamped_to_data(self):
+        model = PolynomialModel.fit(np.array([1.0, 2.0]), np.array([1.0, 2.0]), degree=5)
+        assert model.degree <= 1
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialModel.fit(np.arange(3.0), np.arange(3.0), degree=-1)
+
+    def test_higher_degree_fits_no_worse(self):
+        xs = np.linspace(0, 1, 200)
+        ys = np.sin(xs * 6)
+        e2 = PolynomialModel.fit(xs, ys, degree=2).max_error
+        e6 = PolynomialModel.fit(xs, ys, degree=6).max_error
+        assert e6 <= e2 + 1e-9

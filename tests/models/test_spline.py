@@ -1,0 +1,96 @@
+"""Tests for the greedy error-bounded spline (RadixSpline substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.spline import GreedySpline, SplineKnot, fit_greedy_spline
+
+distinct_sorted_keys = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    min_size=2, max_size=300, unique=True,
+).map(lambda xs: np.array(sorted(xs)))
+
+
+class TestFitGreedySpline:
+    def test_linear_data_needs_two_knots(self):
+        keys = np.arange(500, dtype=np.float64)
+        spline = fit_greedy_spline(keys, 2)
+        assert len(spline.knots) == 2
+
+    def test_error_bound_on_random_distinct_keys(self):
+        rng = np.random.default_rng(0)
+        keys = np.sort(rng.uniform(0, 1e9, 4000))
+        for max_error in (2, 8, 32):
+            spline = fit_greedy_spline(keys, max_error)
+            worst = max(abs(spline.predict(float(k)) - i) for i, k in enumerate(keys))
+            assert worst <= max_error + 1e-6
+
+    def test_knots_are_strictly_increasing(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.lognormal(0, 2, 3000))
+        spline = fit_greedy_spline(keys, 16)
+        knot_keys = [k.key for k in spline.knots]
+        assert all(a < b for a, b in zip(knot_keys, knot_keys[1:]))
+
+    def test_predictions_are_monotone(self):
+        rng = np.random.default_rng(2)
+        keys = np.sort(rng.uniform(0, 1e6, 1000))
+        spline = fit_greedy_spline(keys, 8)
+        probes = np.linspace(keys[0], keys[-1], 500)
+        preds = [spline.predict(float(p)) for p in probes]
+        assert all(a <= b + 1e-9 for a, b in zip(preds, preds[1:]))
+
+    def test_tighter_error_means_more_knots(self):
+        rng = np.random.default_rng(3)
+        keys = np.sort(rng.zipf(1.4, 2000).cumsum().astype(np.float64))
+        tight = fit_greedy_spline(keys, 2)
+        loose = fit_greedy_spline(keys, 64)
+        assert len(tight.knots) >= len(loose.knots)
+
+    def test_single_key(self):
+        spline = fit_greedy_spline(np.array([42.0]), 4)
+        assert spline.predict(42.0) == 0.0
+
+    def test_empty_keys(self):
+        spline = fit_greedy_spline(np.array([]), 4)
+        assert spline.knots == []
+        assert spline.predict(1.0) == 0.0
+
+    def test_out_of_range_queries_clamp(self):
+        keys = np.arange(100, dtype=np.float64)
+        spline = fit_greedy_spline(keys, 4)
+        assert spline.predict(-50.0) == 0.0
+        assert spline.predict(1e9) == 99.0
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            fit_greedy_spline(np.array([1.0]), -1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=distinct_sorted_keys, max_error=st.integers(min_value=1, max_value=32))
+    def test_property_error_bound(self, keys, max_error):
+        spline = fit_greedy_spline(keys, max_error)
+        worst = max(abs(spline.predict(float(k)) - i) for i, k in enumerate(keys))
+        assert worst <= max_error + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=distinct_sorted_keys)
+    def test_property_endpoints_are_knots(self, keys):
+        spline = fit_greedy_spline(keys, 8)
+        assert spline.knots[0].key == keys[0]
+        assert spline.knots[-1].key == keys[-1]
+
+
+class TestGreedySplineSearch:
+    def test_segment_index_brackets_key(self):
+        keys = np.sort(np.random.default_rng(5).uniform(0, 1e6, 500))
+        spline = fit_greedy_spline(keys, 8)
+        for k in keys[::37]:
+            seg = spline.segment_index(float(k))
+            assert spline.knots[seg].key <= k
+
+    def test_size_bytes_scales_with_knots(self):
+        spline = GreedySpline(knots=[SplineKnot(0.0, 0.0), SplineKnot(1.0, 1.0)], max_error=1)
+        assert spline.size_bytes == 32

@@ -1,0 +1,72 @@
+"""Property-based oracle tests for mutable multi-dimensional indexes.
+
+Hypothesis drives random insert/delete/query sequences on a small integer
+lattice (to force collisions) and checks every observable against a plain
+dict-of-points oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import MUTABLE_MULTI_DIM_FACTORIES
+
+MUTABLE = list(MUTABLE_MULTI_DIM_FACTORIES)
+
+coord = st.integers(min_value=0, max_value=12).map(float)
+point = st.tuples(coord, coord)
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), point, st.integers(0, 99)),
+    st.tuples(st.just("delete"), point, st.just(0)),
+    st.tuples(st.just("query"), point, st.just(0)),
+    st.tuples(st.just("range"), point, point),
+)
+
+
+@pytest.fixture(params=MUTABLE, ids=MUTABLE)
+def mutable_factory(request):
+    return MUTABLE_MULTI_DIM_FACTORIES[request.param]
+
+
+class TestDictOracle:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        initial=st.lists(point, min_size=1, max_size=25, unique=True),
+        ops=st.lists(operation, max_size=30),
+    )
+    def test_operation_sequence_matches_oracle(self, mutable_factory, initial, ops):
+        pts = np.array(initial, dtype=np.float64)
+        index = mutable_factory().build(pts)
+        oracle: dict[tuple[float, float], object] = {}
+        # Reconstruct build-time values: row position in the input array.
+        for i, p in enumerate(initial):
+            oracle[p] = i
+        for kind, p, arg in ops:
+            if kind == "insert":
+                index.insert(np.array(p), arg)
+                oracle[p] = arg
+            elif kind == "delete":
+                assert index.delete(np.array(p)) == (p in oracle)
+                oracle.pop(p, None)
+            elif kind == "query":
+                assert index.point_query(np.array(p)) == oracle.get(p)
+            else:  # range
+                q = arg if isinstance(arg, tuple) else p
+                lo = np.minimum(np.array(p), np.array(q))
+                hi = np.maximum(np.array(p), np.array(q))
+                got = sorted(
+                    (tuple(pt), v) for pt, v in index.range_query(lo, hi)
+                )
+                expect = sorted(
+                    (pt, v) for pt, v in oracle.items()
+                    if lo[0] <= pt[0] <= hi[0] and lo[1] <= pt[1] <= hi[1]
+                )
+                assert got == expect
+        # Final state: full-box scan equals the oracle.
+        final = sorted((tuple(pt), v) for pt, v in
+                       index.range_query([-1.0, -1.0], [13.0, 13.0]))
+        assert final == sorted(oracle.items())
+        assert len(index) == len(oracle)

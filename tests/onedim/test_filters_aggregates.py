@@ -1,0 +1,152 @@
+"""Tests for SNARF (range filter) and PolyFit (range aggregates)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import load_1d
+from repro.onedim.polyfit import PolyFitAggregator
+from repro.onedim.snarf import SNARFFilter
+
+
+class TestSNARF:
+    @pytest.fixture()
+    def built(self):
+        keys = load_1d("lognormal", 4000, seed=1)
+        return keys, SNARFFilter(bits_per_key=8).build(keys)
+
+    def test_no_false_negatives_on_point_ranges(self, built):
+        keys, flt = built
+        assert all(flt.might_contain(float(k)) for k in keys[::17])
+
+    def test_no_false_negatives_on_ranges(self, built):
+        keys, flt = built
+        sk = np.sort(keys)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            i = int(rng.integers(0, sk.size - 1))
+            width = float(rng.uniform(0, sk[-1] - sk[0])) * 0.01
+            lo = float(sk[i]) - width / 2
+            hi = float(sk[i]) + width / 2
+            # The range contains sk[i], so the filter must say maybe.
+            assert flt.might_contain_range(lo, hi)
+
+    def test_empty_gaps_mostly_rejected(self):
+        # Clustered keys leave huge empty gaps the filter should reject.
+        keys = load_1d("osm", 4000, seed=3)
+        # Model resolution must be fine enough to resolve gaps that fall
+        # entirely inside one quantile bucket.
+        flt = SNARFFilter(bits_per_key=10, num_quantiles=1024).build(keys)
+        sk = np.sort(keys)
+        gaps = np.diff(sk)
+        big = np.argsort(gaps)[-50:]
+        rejected = 0
+        for gi in big:
+            lo = float(sk[gi]) + gaps[gi] * 0.3
+            hi = float(sk[gi]) + gaps[gi] * 0.7
+            if not flt.might_contain_range(lo, hi):
+                rejected += 1
+        assert rejected > 25  # most large empty gaps answer "no"
+
+    def test_out_of_range_rejected(self, built):
+        keys, flt = built
+        assert not flt.might_contain_range(keys.max() + 1, keys.max() + 100)
+        assert not flt.might_contain_range(keys.min() - 100, keys.min() - 1)
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = load_1d("uniform", 3000, seed=4)
+        sk = np.sort(keys)
+        rng = np.random.default_rng(5)
+        # Queries centred in gaps between consecutive keys.
+        ranges = []
+        truth = []
+        for _ in range(300):
+            i = int(rng.integers(0, sk.size - 1))
+            mid = (sk[i] + sk[i + 1]) / 2
+            eps = (sk[i + 1] - sk[i]) * 0.2
+            ranges.append((float(mid - eps), float(mid + eps)))
+            truth.append(False)
+        small = SNARFFilter(bits_per_key=2).build(keys)
+        large = SNARFFilter(bits_per_key=16).build(keys)
+        assert (large.false_positive_rate(ranges, truth)
+                <= small.false_positive_rate(ranges, truth))
+
+    def test_inverted_range_is_false(self, built):
+        _, flt = built
+        assert not flt.might_contain_range(10.0, 5.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SNARFFilter(bits_per_key=0)
+        with pytest.raises(ValueError):
+            SNARFFilter().build([])
+
+
+class TestPolyFit:
+    @pytest.fixture()
+    def built(self):
+        rng = np.random.default_rng(6)
+        keys = np.sort(rng.uniform(0, 1e6, 5000))
+        weights = rng.uniform(0, 10, 5000)
+        agg = PolyFitAggregator(degree=2, piece_size=256).build(keys, weights)
+        return keys, weights, agg
+
+    def test_count_within_error_bound(self, built):
+        keys, _, agg = built
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            a, b = sorted(rng.uniform(keys.min(), keys.max(), 2))
+            estimate = agg.count(a, b)
+            exact = agg.exact_count(a, b)
+            assert abs(estimate - exact) <= agg.count_error_bound + 1
+
+    def test_sum_within_error_bound(self, built):
+        keys, _, agg = built
+        rng = np.random.default_rng(8)
+        for _ in range(50):
+            a, b = sorted(rng.uniform(keys.min(), keys.max(), 2))
+            estimate = agg.sum(a, b)
+            exact = agg.exact_sum(a, b)
+            assert abs(estimate - exact) <= agg.sum_error_bound + 1
+
+    def test_full_range_count_is_n(self, built):
+        keys, _, agg = built
+        assert agg.count(keys.min() - 1, keys.max() + 1) == pytest.approx(
+            keys.size, abs=agg.count_error_bound)
+
+    def test_empty_and_inverted_ranges(self, built):
+        keys, _, agg = built
+        assert agg.count(10.0, 5.0) == 0.0
+        assert agg.sum(10.0, 5.0) == 0.0
+
+    def test_higher_degree_tighter_error(self):
+        rng = np.random.default_rng(9)
+        keys = np.sort(rng.lognormal(0, 2, 4000) * 1e5)
+        linear = PolyFitAggregator(degree=1, piece_size=512).build(keys)
+        cubic = PolyFitAggregator(degree=3, piece_size=512).build(keys)
+        assert cubic.count_error_bound <= linear.count_error_bound
+
+    def test_constant_time_versus_scan(self, built):
+        keys, _, agg = built
+        # The whole point: answering from models touches O(1) pieces.
+        agg.stats.reset_counters()
+        agg.count(float(keys[100]), float(keys[-100]))
+        assert agg.stats.model_predictions <= 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PolyFitAggregator(degree=0)
+        with pytest.raises(ValueError):
+            PolyFitAggregator(piece_size=2)
+        with pytest.raises(ValueError):
+            PolyFitAggregator().build([])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=16, max_size=200,
+                    unique=True))
+    def test_property_count_bound_holds(self, raw):
+        keys = np.sort(np.array(raw))
+        agg = PolyFitAggregator(degree=2, piece_size=32).build(keys)
+        a, b = float(keys[len(raw) // 4]), float(keys[3 * len(raw) // 4])
+        assert abs(agg.count(a, b) - agg.exact_count(a, b)) <= agg.count_error_bound + 1

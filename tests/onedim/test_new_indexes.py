@@ -1,0 +1,141 @@
+"""Behavioural tests for NFL, the learned hash index, and RSMI."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_1d, load_nd, range_queries_nd
+from repro.multidim import RSMIIndex
+from repro.onedim import LearnedHashIndex, NFLIndex
+from tests.conftest import brute_force_range_nd
+
+
+class TestNFL:
+    def test_transform_is_monotone(self, hard_keys):
+        index = NFLIndex().build(hard_keys)
+        probes = np.linspace(hard_keys.min() - 1, hard_keys.max() + 1, 500)
+        vals = [index.transform(float(p)) for p in probes]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_transform_uniformises_hard_distributions(self):
+        # The NFL claim: after the transform, the back-end needs about as
+        # few segments as it would on uniform data.
+        hard = load_1d("fb", 6000, seed=1)
+        uniform = load_1d("uniform", 6000, seed=1)
+        nfl_hard = NFLIndex(epsilon=16).build(hard)
+        nfl_uniform = NFLIndex(epsilon=16).build(uniform)
+        assert nfl_hard.transformed_hardness <= nfl_uniform.transformed_hardness * 3
+
+    def test_fewer_segments_than_raw_pgm_on_hard_keys(self):
+        from repro.onedim import PGMIndex
+
+        hard = load_1d("osm", 6000, seed=2)
+        nfl = NFLIndex(epsilon=16).build(hard)
+        raw = PGMIndex(epsilon=16).build(hard)
+        assert nfl.stats.extra["segments"] < raw.num_segments
+
+    def test_buffer_rebuild_threshold(self):
+        index = NFLIndex(buffer_limit=8).build(load_1d("uniform", 200, seed=3))
+        for i in range(20):
+            index.insert(1e12 + i, i)
+        assert index.stats.extra.get("rebuilds", 0) >= 1
+        assert index.lookup(1e12 + 5) == 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NFLIndex(num_anchors=1)
+        with pytest.raises(ValueError):
+            NFLIndex(epsilon=0)
+
+
+class TestLearnedHash:
+    def test_learned_hash_is_order_preserving(self, uniform_keys):
+        index = LearnedHashIndex(learned=True).build(uniform_keys)
+        sk = np.sort(uniform_keys)
+        buckets = [index._bucket_of(float(k)) for k in sk[::37]]
+        assert buckets == sorted(buckets)
+
+    def test_classic_hash_is_not_order_preserving(self, uniform_keys):
+        index = LearnedHashIndex(learned=False).build(uniform_keys)
+        sk = np.sort(uniform_keys)
+        buckets = [index._bucket_of(float(k)) for k in sk[::37]]
+        assert buckets != sorted(buckets)
+
+    def test_learned_range_scans_fewer_buckets(self, uniform_keys):
+        learned = LearnedHashIndex(learned=True).build(uniform_keys)
+        classic = LearnedHashIndex(learned=False).build(uniform_keys)
+        sk = np.sort(uniform_keys)
+        lo, hi = float(sk[100]), float(sk[150])
+        for index in (learned, classic):
+            index.stats.reset_counters()
+            result = index.range_query(lo, hi)
+            assert [v for _, v in result] == list(range(100, 151))
+        assert learned.stats.keys_scanned < classic.stats.keys_scanned / 10
+
+    def test_probe_statistics(self, uniform_keys):
+        index = LearnedHashIndex(learned=True, num_quantiles=256).build(uniform_keys)
+        assert 1.0 <= index.mean_probe_length() < 3.0
+        assert index.max_chain_length() >= 1
+        assert 0.0 < index.occupancy() <= 1.0
+
+    def test_more_buckets_fewer_collisions(self, uniform_keys):
+        dense = LearnedHashIndex(buckets_per_key=0.5).build(uniform_keys)
+        sparse = LearnedHashIndex(buckets_per_key=2.0).build(uniform_keys)
+        assert sparse.mean_probe_length() <= dense.mean_probe_length()
+
+    def test_rejects_bad_load_factor(self):
+        with pytest.raises(ValueError):
+            LearnedHashIndex(buckets_per_key=0)
+
+
+class TestRSMI:
+    def test_rank_space_balances_skew(self):
+        # Quantile cells put ~equal mass everywhere, so block scan waste
+        # on skewed data stays near the uniform-data level.
+        skew = load_nd("skew", 4000, seed=4)
+        index = RSMIIndex(block_size=128).build(skew)
+        boxes = range_queries_nd(skew, 10, 0.005, seed=5)
+        index.stats.reset_counters()
+        total = 0
+        for lo, hi in boxes:
+            total += len(index.range_query(lo, hi))
+        waste = index.stats.keys_scanned / max(total, 1)
+        assert waste < 40  # scans stay within a few blocks of the answer
+
+    def test_blocks_split_on_insert(self):
+        pts = load_nd("uniform", 1000, seed=6)
+        index = RSMIIndex(block_size=32).build(pts)
+        before = index.num_blocks
+        rng = np.random.default_rng(7)
+        for i, p in enumerate(rng.uniform(0, 1000, (1500, 2))):
+            index.insert(p, i)
+        assert index.num_blocks > before
+        assert index.stats.extra.get("splits", 0) > 0
+
+    def test_duplicate_code_runs_across_blocks(self):
+        # Many points in one rank cell share a Hilbert code; force the
+        # run to span blocks and check they all remain findable.
+        rng = np.random.default_rng(8)
+        cluster = rng.uniform(499.9, 500.1, (300, 2))
+        rest = rng.uniform(0, 1000, (300, 2))
+        pts = np.unique(np.concatenate([cluster, rest]), axis=0)
+        index = RSMIIndex(bits=3, block_size=16).build(pts)
+        for i in range(0, pts.shape[0], 7):
+            assert index.point_query(pts[i]) == i, i
+
+    def test_range_matches_brute_force_after_churn(self):
+        pts = load_nd("clusters", 2000, seed=9)
+        index = RSMIIndex(block_size=64).build(pts)
+        rng = np.random.default_rng(10)
+        extra = rng.uniform(0, 1000, (500, 2))
+        for i, p in enumerate(extra):
+            index.insert(p, 2000 + i)
+        merged = np.concatenate([pts, extra])
+        for lo, hi in range_queries_nd(pts, 5, 0.01, seed=11):
+            got = sorted(v for _, v in index.range_query(lo, hi))
+            assert got == brute_force_range_nd(merged, lo, hi)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RSMIIndex(bits=0)
+        with pytest.raises(ValueError):
+            RSMIIndex(block_size=4)

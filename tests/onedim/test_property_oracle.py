@@ -1,0 +1,69 @@
+"""Property-based oracle tests: mutable indexes vs a dict model.
+
+Hypothesis drives random build/insert/delete/lookup sequences against
+every mutable 1-d index and checks each observable result against a plain
+dict + sorted-list oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import MUTABLE_ONE_DIM_FACTORIES
+
+MUTABLE = list(MUTABLE_ONE_DIM_FACTORIES)
+
+# Small key domain to force collisions between operations.
+key_strategy = st.integers(min_value=0, max_value=50).map(float)
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), key_strategy, st.integers(0, 1000)),
+    st.tuples(st.just("delete"), key_strategy, st.just(0)),
+    st.tuples(st.just("lookup"), key_strategy, st.just(0)),
+    st.tuples(st.just("range"), key_strategy, key_strategy),
+)
+
+
+@pytest.fixture(params=MUTABLE, ids=MUTABLE)
+def mutable_factory(request):
+    return MUTABLE_ONE_DIM_FACTORIES[request.param]
+
+
+class TestDictOracle:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        initial=st.lists(key_strategy, max_size=30, unique=True),
+        ops=st.lists(operation, max_size=40),
+    )
+    def test_operation_sequence_matches_oracle(self, mutable_factory, initial, ops):
+        index = mutable_factory().build(initial)
+        oracle: dict[float, object] = {k: i for i, k in enumerate(sorted(initial))}
+        for kind, key, arg in ops:
+            if kind == "insert":
+                index.insert(key, arg)
+                oracle[key] = arg
+            elif kind == "delete":
+                assert index.delete(key) == (key in oracle)
+                oracle.pop(key, None)
+            elif kind == "lookup":
+                assert index.lookup(key) == oracle.get(key)
+            else:  # range
+                lo, hi = min(key, arg), max(key, arg)
+                got = index.range_query(lo, hi)
+                expect = sorted((k, v) for k, v in oracle.items() if lo <= k <= hi)
+                assert got == expect
+        # Final full scan must equal the oracle exactly.
+        final = index.range_query(-1e9, 1e9)
+        assert final == sorted(oracle.items())
+        assert len(index) == len(oracle)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(keys=st.lists(st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False),
+                         min_size=1, max_size=50, unique=True))
+    def test_build_then_full_scan_roundtrip(self, mutable_factory, keys):
+        index = mutable_factory().build(keys)
+        scan = index.range_query(min(keys), max(keys))
+        assert [k for k, _ in scan] == sorted(keys)

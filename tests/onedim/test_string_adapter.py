@@ -1,0 +1,111 @@
+"""Tests for the string-key adapter (SIndex branch)."""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.onedim.string_adapter import StringIndexAdapter, encode_prefix
+
+WORDS = [
+    "alpha", "alphabet", "beta", "gamma", "delta", "deltoid", "epsilon",
+    "zeta", "eta", "theta", "iota", "kappa", "lambda", "mu", "nu", "xi",
+    "omicron", "pi", "rho", "sigma", "tau", "upsilon", "phi", "chi",
+    "psi", "omega", "", "a", "aa", "ab", "z", "zz",
+]
+
+
+class TestEncodePrefix:
+    def test_preserves_lexicographic_order_on_prefixes(self):
+        codes = [encode_prefix(w) for w in sorted(WORDS)]
+        assert codes == sorted(codes)
+
+    def test_distinct_short_keys_get_distinct_codes(self):
+        assert encode_prefix("abc") != encode_prefix("abd")
+        assert encode_prefix("a") != encode_prefix("b")
+
+    def test_long_shared_prefix_collides(self):
+        # Keys identical in the first 6 bytes share a code (resolved by
+        # the adapter's buckets).
+        assert encode_prefix("prefix_aaaa") == encode_prefix("prefix_bbbb")
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, max_size=12),
+                    min_size=2, max_size=40, unique=True))
+    def test_property_order_preserving(self, words):
+        ordered = sorted(words)
+        codes = [encode_prefix(w) for w in ordered]
+        assert codes == sorted(codes)
+
+
+class TestStringIndexAdapter:
+    @pytest.fixture()
+    def index(self):
+        return StringIndexAdapter().build(WORDS)
+
+    def test_lookup_all(self, index):
+        ranks = {w: i for i, w in enumerate(sorted(set(WORDS)))}
+        for w in WORDS:
+            assert index.lookup(w) == ranks[w]
+
+    def test_lookup_absent(self, index):
+        assert index.lookup("nonexistent") is None
+        assert index.lookup("alph") is None  # prefix of a real key
+
+    def test_range_query_lexicographic(self, index):
+        result = index.range_query("b", "e")
+        keys = [k for k, _ in result]
+        expect = sorted(w for w in set(WORDS) if "b" <= w <= "e")
+        assert keys == expect
+
+    def test_prefix_query(self, index):
+        result = index.prefix_query("alpha")
+        assert [k for k, _ in result] == ["alpha", "alphabet"]
+
+    def test_prefix_query_on_colliding_prefixes(self):
+        index = StringIndexAdapter().build(
+            ["prefix_aaaa", "prefix_bbbb", "prefix_cccc", "other"]
+        )
+        result = index.prefix_query("prefix_b")
+        assert [k for k, _ in result] == ["prefix_bbbb"]
+
+    def test_insert_and_delete(self, index):
+        index.insert("newword", "payload")
+        assert index.lookup("newword") == "payload"
+        assert index.delete("newword")
+        assert index.lookup("newword") is None
+        assert not index.delete("newword")
+
+    def test_insert_into_colliding_bucket(self):
+        index = StringIndexAdapter().build(["shared_prefix_1"])
+        index.insert("shared_prefix_2", "two")
+        assert index.lookup("shared_prefix_1") == 0
+        assert index.lookup("shared_prefix_2") == "two"
+
+    def test_items_sorted(self, index):
+        keys = [k for k, _ in index.items()]
+        assert keys == sorted(set(WORDS))
+
+    def test_custom_values(self):
+        index = StringIndexAdapter().build(["x", "y"], values=[10, 20])
+        assert index.lookup("x") == 10
+        assert index.lookup("y") == 20
+
+    def test_len_tracks_mutations(self, index):
+        n = len(index)
+        index.insert("brandnew")
+        assert len(index) == n + 1
+        index.delete("brandnew")
+        assert len(index) == n
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10),
+                    min_size=1, max_size=30, unique=True))
+    def test_property_lookup_matches_dict(self, words):
+        index = StringIndexAdapter().build(words)
+        ranks = {w: i for i, w in enumerate(sorted(words))}
+        for w in words:
+            assert index.lookup(w) == ranks[w]
+        assert index.lookup("QQQ") is None

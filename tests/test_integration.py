@@ -1,0 +1,179 @@
+"""Integration tests: cross-module consistency across the whole library.
+
+These tests exercise the same workload through *every* index of a family
+and demand identical answers — the strongest cross-implementation check
+the library offers, and the invariant all benchmarks rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import (
+    MULTI_DIM_FACTORIES,
+    MUTABLE_ONE_DIM_FACTORIES,
+    ONE_DIM_FACTORIES,
+)
+from repro.core.registry import REGISTRY, get
+from repro.data import load_1d, load_nd, mixed_workload, range_queries_nd
+
+
+class TestOneDimConsistency:
+    """All 18 one-dimensional indexes agree on every query."""
+
+    @pytest.fixture(scope="class")
+    def built(self):
+        keys = load_1d("books", 3000, seed=42)
+        values = [f"v{i}" for i in range(keys.size)]
+        return keys, {
+            name: factory().build(keys, values)
+            for name, factory in ONE_DIM_FACTORIES.items()
+        }
+
+    def test_point_lookups_agree(self, built):
+        keys, indexes = built
+        oracle = indexes["binary-search"]
+        rng = np.random.default_rng(1)
+        probes = np.concatenate([
+            keys[rng.integers(0, keys.size, 60)],
+            rng.uniform(keys.min() - 10, keys.max() + 10, 60),
+        ])
+        for probe in probes:
+            expected = oracle.lookup(float(probe))
+            for name, index in indexes.items():
+                assert index.lookup(float(probe)) == expected, (name, probe)
+
+    def test_range_queries_agree(self, built):
+        keys, indexes = built
+        oracle = indexes["binary-search"]
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a, b = sorted(rng.uniform(keys.min(), keys.max(), 2))
+            expected = oracle.range_query(float(a), float(b))
+            for name, index in indexes.items():
+                assert index.range_query(float(a), float(b)) == expected, name
+
+
+class TestMutableOneDimConsistency:
+    """All mutable indexes replay the same mixed workload identically."""
+
+    def test_mixed_workload_replay(self):
+        keys = load_1d("lognormal", 1200, seed=7)
+        ops = list(mixed_workload(keys, 600, 0.6, seed=8))
+        final_scans = {}
+        for name, factory in MUTABLE_ONE_DIM_FACTORIES.items():
+            index = factory().build(keys)
+            for op in ops:
+                if op.kind == "read":
+                    index.lookup(op.key)
+                else:
+                    index.insert(op.key, round(op.key, 3))
+            final_scans[name] = index.range_query(-1e300, 1e300)
+        reference = final_scans.pop("b+tree")
+        for name, scan in final_scans.items():
+            assert scan == reference, name
+
+
+class TestMultiDimConsistency:
+    """All 13 multi-dimensional indexes agree with the R-tree."""
+
+    @pytest.fixture(scope="class")
+    def built(self):
+        pts = load_nd("osm-like", 2000, seed=9)
+        return pts, {
+            name: factory().build(pts)
+            for name, factory in MULTI_DIM_FACTORIES.items()
+        }
+
+    def test_point_queries_agree(self, built):
+        pts, indexes = built
+        oracle = indexes["r-tree"]
+        rng = np.random.default_rng(3)
+        probes = np.concatenate([
+            pts[rng.integers(0, pts.shape[0], 40)],
+            rng.uniform(pts.min(), pts.max(), (20, 2)),
+        ])
+        for probe in probes:
+            expected = oracle.point_query(probe)
+            for name, index in indexes.items():
+                assert index.point_query(probe) == expected, name
+
+    def test_range_queries_agree(self, built):
+        pts, indexes = built
+        oracle = indexes["r-tree"]
+        for lo, hi in range_queries_nd(pts, 6, 0.005, seed=10):
+            expected = sorted(v for _, v in oracle.range_query(lo, hi))
+            for name, index in indexes.items():
+                got = sorted(v for _, v in index.range_query(lo, hi))
+                assert got == expected, name
+
+
+class TestRegistryMatchesImplementations:
+    """Every `implemented` pointer in the registry resolves and builds."""
+
+    @pytest.mark.parametrize(
+        "info", [i for i in REGISTRY if i.implemented], ids=lambda i: i.name
+    )
+    def test_implemented_class_importable_and_buildable(self, info):
+        import importlib
+
+        module_name, _, class_name = info.implemented.rpartition(".")
+        cls = getattr(importlib.import_module(module_name), class_name)
+        instance = cls()
+        assert hasattr(instance, "build")
+        # Tiny end-to-end build per declared dimensionality.
+        from repro.core.taxonomy import Dimensionality, QueryType
+
+        if info.name == "SIndex":
+            # String-keyed adapter: exercised with string keys.
+            instance.build(["a", "b", "c"])
+            assert instance.lookup("b") == 1
+        elif QueryType.AGGREGATE in info.queries:
+            # Range-aggregate engine (PolyFit): count within its bound.
+            instance.build(np.arange(100.0))
+            estimate = instance.count(10.0, 20.0)
+            assert abs(estimate - 11) <= instance.count_error_bound + 1
+        elif QueryType.MEMBERSHIP in info.queries:
+            if info.dimensionality is Dimensionality.MULTI_DIMENSIONAL:
+                instance.build(np.random.default_rng(0).uniform(0, 10, (50, 2)))
+                assert instance.might_contain([0.0, 0.0]) in (True, False)
+            else:
+                instance.build(np.arange(50.0))
+                assert instance.might_contain(1.0) in (True, False)
+        elif info.dimensionality is Dimensionality.ONE_DIMENSIONAL:
+            instance.build(np.arange(50.0))
+            assert instance.lookup(7.0) == 7
+        else:
+            pts = np.random.default_rng(0).uniform(0, 10, (50, 2))
+            instance.build(pts)
+            assert instance.point_query(pts[3]) == 3
+
+
+class TestStatsAccounting:
+    """Counters behave consistently across the library."""
+
+    def test_reset_between_measurements(self):
+        keys = load_1d("uniform", 500, seed=11)
+        for name, factory in list(ONE_DIM_FACTORIES.items())[:6]:
+            index = factory().build(keys)
+            index.lookup(float(keys[0]))
+            index.stats.reset_counters()
+            snapshot = index.stats.snapshot()
+            assert snapshot["comparisons"] == 0, name
+            assert snapshot["keys_scanned"] == 0, name
+
+    def test_size_bytes_scales_sublinearly_for_pure_learned(self):
+        small = ONE_DIM_FACTORIES["pgm"]().build(load_1d("uniform", 1000, seed=12))
+        large = ONE_DIM_FACTORIES["pgm"]().build(load_1d("uniform", 16000, seed=12))
+        # 16x data must not mean 16x model (uniform data: same segments).
+        assert large.stats.size_bytes < small.stats.size_bytes * 8
+
+    def test_every_factory_reports_nonzero_cost_on_queries(self):
+        pts = load_nd("uniform", 500, seed=13)
+        for name, factory in MULTI_DIM_FACTORIES.items():
+            index = factory().build(pts)
+            index.stats.reset_counters()
+            index.point_query(pts[0])
+            index.range_query(pts.min(axis=0), pts.max(axis=0))
+            total = (index.stats.comparisons + index.stats.keys_scanned
+                     + index.stats.nodes_visited + index.stats.model_predictions)
+            assert total > 0, name
