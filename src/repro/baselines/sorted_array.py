@@ -8,11 +8,12 @@ performance baseline and as the correctness oracle for all other indexes.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.interfaces import MutableOneDimIndex
+from repro.core.interfaces import MutableOneDimIndex, as_object_array
 
 __all__ = ["SortedArrayIndex"]
 
@@ -31,11 +32,17 @@ class SortedArrayIndex(MutableOneDimIndex):
         super().__init__()
         self._keys: list[float] = []
         self._values: list[object] = []
+        #: numpy mirror of ``_keys``/``_values`` for the batch path,
+        #: rebuilt lazily after inserts/deletes invalidate it.
+        self._keys_np: np.ndarray | None = None
+        self._values_np: np.ndarray | None = None
 
     def build(self, keys: Sequence[float], values: Sequence[object] | None = None) -> "SortedArrayIndex":
         arr, vals = self._prepare(keys, values)
         self._keys = [float(k) for k in arr]
         self._values = vals
+        self._keys_np = arr
+        self._values_np = as_object_array(vals)
         self._built = True
         self.stats.size_bytes = 16 * len(self._keys)
         return self
@@ -60,6 +67,28 @@ class SortedArrayIndex(MutableOneDimIndex):
             return self._values[idx]
         return None
 
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Vectorized batch lookup: one ``np.searchsorted`` for the batch."""
+        self._require_built()
+        qs = np.asarray(keys, dtype=np.float64)
+        if qs.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        out = np.full(qs.size, None, dtype=object)
+        if self._keys_np is None:
+            self._keys_np = np.asarray(self._keys, dtype=np.float64)
+            self._values_np = as_object_array(self._values)
+        arr = self._keys_np
+        n = arr.size
+        if n == 0 or qs.size == 0:
+            return out
+        pos = np.searchsorted(arr, qs, side="left")
+        hit = (pos < n) & (arr[np.minimum(pos, n - 1)] == qs)
+        hit_idx = np.nonzero(hit)[0]
+        self.stats.comparisons += qs.size * int(math.ceil(math.log2(max(n, 2))))
+        self.stats.keys_scanned += int(hit_idx.size)
+        out[hit_idx] = self._values_np[pos[hit_idx]]
+        return out
+
     def range_query(self, low: float, high: float) -> list[tuple[float, object]]:
         self._require_built()
         if high < low:
@@ -76,6 +105,7 @@ class SortedArrayIndex(MutableOneDimIndex):
     def insert(self, key: float, value: object | None = None) -> None:
         self._require_built()
         key = float(key)
+        self._keys_np = self._values_np = None
         idx = bisect.bisect_left(self._keys, key)
         if idx < len(self._keys) and self._keys[idx] == key:
             self._values[idx] = value
@@ -89,6 +119,7 @@ class SortedArrayIndex(MutableOneDimIndex):
         key = float(key)
         idx = bisect.bisect_left(self._keys, key)
         if idx < len(self._keys) and self._keys[idx] == key:
+            self._keys_np = self._values_np = None
             del self._keys[idx]
             del self._values[idx]
             self.stats.size_bytes = 16 * len(self._keys)

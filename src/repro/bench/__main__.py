@@ -5,11 +5,13 @@ Usage::
     python -m repro.bench list
     python -m repro.bench run E5
     python -m repro.bench run E1 --param n=5000 --param lookups=100 --csv
+    python -m repro.bench E17 --smoke          # shorthand: id implies "run"
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
@@ -42,6 +44,15 @@ def main(argv: list[str] | None = None) -> int:
                             help="override an experiment parameter")
     run_parser.add_argument("--csv", action="store_true",
                             help="emit CSV instead of a table")
+    run_parser.add_argument("--smoke", action="store_true",
+                            help="shrink to a seconds-scale CI configuration "
+                                 "(experiments that support it)")
+
+    if argv is None:
+        argv = sys.argv[1:]
+    # `python -m repro.bench E17 ...` is shorthand for `run E17 ...`.
+    if argv and argv[0].upper() in EXPERIMENTS:
+        argv = ["run", *argv]
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -49,7 +60,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{exp.id:<4} {exp.description}")
         return 0
 
-    result = run_experiment(args.experiment, **dict(args.param))
+    params = dict(args.param)
+    if args.smoke:
+        runner = EXPERIMENTS[args.experiment.upper()].runner
+        if "smoke" in inspect.signature(runner).parameters:
+            params.setdefault("smoke", True)
+    result = run_experiment(args.experiment, **params)
     if isinstance(result, str):
         print(result)
     elif args.csv:

@@ -1,0 +1,107 @@
+"""E17 — batch-query throughput: per-key loops vs. vectorized batches.
+
+SOSD and "Benchmarking Learned Indexes" (Marcus et al.) report lookup
+throughput over large query batches because that is how index-serving
+systems are actually driven.  In this pure-Python reproduction the
+per-key query path is dominated by interpreter overhead, which buries
+the algorithmic differences the survey taxonomy is about; the batch API
+(:meth:`repro.core.interfaces.OneDimIndex.lookup_batch`) amortizes that
+overhead into numpy kernels.  E17 quantifies the gap: for each index it
+measures scalar ops/sec (a Python loop of ``lookup`` calls) against
+batched ops/sec (one ``lookup_batch`` call), and emits the results as a
+machine-readable ``BENCH_batch.json`` so later PRs can track the
+performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.runner import (
+    ONE_DIM_FACTORIES,
+    build_index,
+    measure_batch_lookups,
+    measure_lookups,
+)
+from repro.data import load_1d, point_lookups
+
+__all__ = ["run_e17", "DEFAULT_E17_INDEXES"]
+
+#: Contenders with vectorized fast paths plus the loop-fallback B+-tree
+#: as a control showing the fallback neither breaks nor regresses.
+DEFAULT_E17_INDEXES = ("binary-search", "rmi", "pgm", "radix-spline", "b+tree")
+
+
+def run_e17(n: int = 100000, batch: int = 10000, dataset: str = "uniform",
+            indexes=None, seed: int = 1, out: str | None = "BENCH_batch.json",
+            smoke: bool = False) -> list[dict]:
+    """E17: batched vs. per-key lookup throughput per index.
+
+    Args:
+        n: number of keys to index.
+        batch: number of point queries answered per measurement.
+        dataset: 1-d dataset name (see :func:`repro.data.load_1d`).
+        indexes: contender names from ``ONE_DIM_FACTORIES`` (sequence or
+            comma-separated string); defaults to the vectorized hot
+            paths plus a loop-fallback control.
+        seed: RNG seed for data and queries.
+        out: path of the JSON artifact, or ``None``/"" to skip writing.
+        smoke: shrink to a seconds-scale CI configuration.
+
+    Returns:
+        One row per index with scalar/batch ops/sec and the speedup.
+    """
+    if smoke:
+        n = min(n, 5000)
+        batch = min(batch, 1000)
+    if isinstance(indexes, str):  # e.g. --param indexes=rmi,pgm
+        indexes = [name for name in indexes.split(",") if name]
+    names = list(indexes) if indexes else list(DEFAULT_E17_INDEXES)
+    unknown = [name for name in names if name not in ONE_DIM_FACTORIES]
+    if unknown:
+        raise KeyError(f"unknown 1-d indexes {unknown!r}; have {sorted(ONE_DIM_FACTORIES)}")
+
+    keys = load_1d(dataset, n, seed=seed)
+    queries = point_lookups(keys, batch, seed=seed + 1)
+
+    rows = []
+    for name in names:
+        index, build_s = build_index(ONE_DIM_FACTORIES[name], keys)
+        scalar = measure_lookups(index, queries)
+        batched = measure_batch_lookups(index, queries)
+        scalar_ops = 1e6 / scalar["lookup_us"] if scalar["lookup_us"] else 0.0
+        batch_ops = batched["ops_per_s"]
+        rows.append({
+            "index": name,
+            "dataset": dataset,
+            "n": n,
+            "batch": batch,
+            "scalar_ops_per_s": scalar_ops,
+            "batch_ops_per_s": batch_ops,
+            "speedup": batch_ops / scalar_ops if scalar_ops else 0.0,
+            "hits_scalar": scalar["hits"],
+            "hits_batch": batched["hits"],
+            "build_s": build_s,
+        })
+
+    if out:
+        payload = {
+            "experiment": "E17",
+            "dataset": dataset,
+            "n": n,
+            "batch": batch,
+            "seed": seed,
+            "results": {
+                row["index"]: {
+                    "scalar_ops_per_s": row["scalar_ops_per_s"],
+                    "batch_ops_per_s": row["batch_ops_per_s"],
+                    "speedup": row["speedup"],
+                }
+                for row in rows
+            },
+        }
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return rows

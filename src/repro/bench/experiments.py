@@ -409,6 +409,7 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 def _register_extensions() -> None:
     """Register the open-challenge experiments (import-cycle-free)."""
+    from repro.bench.batch import run_e17
     from repro.bench.extensions import run_e13, run_e14, run_e15, run_e16
 
     EXPERIMENTS["E13"] = Experiment(
@@ -419,6 +420,8 @@ def _register_extensions() -> None:
         "E15", "learned models as hash functions (refs [102, 103])", run_e15)
     EXPERIMENTS["E16"] = Experiment(
         "E16", "SNARF learned range filter: FPR vs bits/key", run_e16)
+    EXPERIMENTS["E17"] = Experiment(
+        "E17", "batch-query throughput: vectorized vs per-key lookups", run_e17)
 
 
 _register_extensions()

@@ -35,11 +35,25 @@ __all__ = [
     "MutableMultiDimIndex",
     "MembershipFilter",
     "NotBuiltError",
+    "as_object_array",
 ]
 
 
 class NotBuiltError(RuntimeError):
     """Raised when querying an index that has not been built yet."""
+
+
+def as_object_array(values: Sequence[object]) -> np.ndarray:
+    """1-d object ndarray holding ``values`` verbatim.
+
+    ``np.asarray`` would recursively convert sequence-valued payloads
+    into multi-dimensional arrays; assigning element-wise keeps each
+    payload intact whatever its type.
+    """
+    out = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        out[i] = v
+    return out
 
 
 @dataclass
@@ -135,6 +149,34 @@ class OneDimIndex(abc.ABC):
         """Return whether ``key`` is present."""
         return self.lookup(key) is not None
 
+    # -- batch queries -----------------------------------------------------
+    def lookup_batch(self, keys: Sequence[float]) -> np.ndarray:
+        """Answer many point lookups at once.
+
+        Returns an object ndarray aligned with ``keys``: the stored value
+        for each hit, ``None`` for each miss — exactly what a loop of
+        scalar :meth:`lookup` calls would produce.  The base
+        implementation *is* that loop; hot indexes override it with
+        numpy-vectorized paths that amortize Python interpreter overhead
+        across the whole batch (their :class:`IndexStats` counters are
+        then aggregated per batch rather than per comparison).
+        """
+        self._require_built()
+        arr = np.asarray(keys, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        out = np.empty(arr.size, dtype=object)
+        for i in range(arr.size):
+            out[i] = self.lookup(float(arr[i]))
+        return out
+
+    def contains_batch(self, keys: Sequence[float]) -> np.ndarray:
+        """Boolean ndarray: presence of each key (batched :meth:`contains`)."""
+        results = self.lookup_batch(keys)
+        return np.fromiter(
+            (r is not None for r in results), dtype=bool, count=results.size
+        )
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -208,6 +250,23 @@ class MultiDimIndex(abc.ABC):
         implementation order; tests sort before comparing.
         """
 
+    def point_query_batch(self, points: np.ndarray) -> np.ndarray:
+        """Answer many point queries at once.
+
+        Returns an object ndarray aligned with the rows of ``points``
+        (shape ``(m, d)``): the stored value per hit, ``None`` per miss —
+        identical to looping scalar :meth:`point_query`.  Indexes with a
+        vectorizable layout override this loop fallback.
+        """
+        self._require_built()
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must have shape (m, d)")
+        out = np.empty(pts.shape[0], dtype=object)
+        for i in range(pts.shape[0]):
+            out[i] = self.point_query(pts[i])
+        return out
+
     def knn_query(self, point: Sequence[float], k: int) -> list[tuple[tuple[float, ...], object]]:
         """Return the ``k`` nearest neighbours of ``point`` (Euclidean).
 
@@ -220,7 +279,15 @@ class MultiDimIndex(abc.ABC):
         q = np.asarray(point, dtype=np.float64)
         # Expanding-radius search: start from a small box, grow until we
         # have k candidates whose true distance is within the box radius.
+        # Growth is clamped: once the box dwarfs the data extent, wider
+        # boxes cannot add candidates, and unclamped doubling of a large
+        # initial radius would overflow to inf (and then nan bounds).
         radius = self._initial_knn_radius(k)
+        max_radius = min(
+            max(float(getattr(self, "_extent", 1.0)), radius, 1.0) * 2.0 ** 40,
+            1e300,
+        )
+        candidates: list[tuple[tuple[float, ...], object]] = []
         for _ in range(64):
             lo = q - radius
             hi = q + radius
@@ -231,8 +298,13 @@ class MultiDimIndex(abc.ABC):
                 )
                 if dists[k - 1][0] <= radius:
                     return [(p, v) for _, p, v in dists[:k]]
-            radius *= 2.0
-        # Fall back to whatever we gathered (covers tiny datasets).
+            if radius >= max_radius:
+                break  # box already covers the whole data space
+            radius = min(radius * 2.0, max_radius)
+        # Fall back to whatever we gathered (covers tiny datasets and
+        # k > len(index)); the last query used the largest box.
+        if not candidates:
+            return []
         dists = sorted((float(np.linalg.norm(np.asarray(p) - q)), p, v) for p, v in candidates)
         return [(p, v) for _, p, v in dists[:k]]
 

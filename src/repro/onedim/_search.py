@@ -13,7 +13,12 @@ import numpy as np
 
 from repro.core.interfaces import IndexStats
 
-__all__ = ["bounded_binary_search", "exponential_search", "lower_bound"]
+__all__ = [
+    "bounded_binary_search",
+    "bounded_search_batch",
+    "exponential_search",
+    "lower_bound",
+]
 
 
 def lower_bound(keys: np.ndarray, key: float, lo: int, hi: int, stats: IndexStats | None = None) -> int:
@@ -52,6 +57,12 @@ def exponential_search(keys: np.ndarray, key: float, predicted: int,
     Used when no error bound is available (e.g. ALEX's model-based
     search): double the window until it brackets the key, then binary
     search inside it.  Cost is O(log of the actual error).
+
+    ``stats.corrections`` records the actual searched window: one per
+    galloped probe plus the width of the final binary-search window.
+    (Counting only the binary window would report zero effort whenever
+    the gallop is clamped at position 0 and the window collapses there,
+    despite having probed the whole prefix.)
     """
     n = keys.shape[0]
     if n == 0:
@@ -59,28 +70,72 @@ def exponential_search(keys: np.ndarray, key: float, predicted: int,
     pos = min(max(predicted, 0), n - 1)
     if stats is not None:
         stats.comparisons += 1
+    probes = 0
     if keys[pos] < key:
         # Answer lies in (pos, n]: gallop right.
         step = 1
         lo = pos + 1
-        while pos + step < n and keys[pos + step] < key:
+        while pos + step < n:
+            probes += 1
             if stats is not None:
                 stats.comparisons += 1
+            if keys[pos + step] >= key:
+                break
             lo = pos + step + 1
             step *= 2
         hi = min(pos + step + 1, n)
         if stats is not None:
-            stats.corrections += hi - lo
+            stats.corrections += probes + hi - lo
         return lower_bound(keys, key, lo, hi, stats)
     # keys[pos] >= key: answer lies in [0, pos], gallop left.
     step = 1
     hi = pos
-    while pos - step >= 0 and keys[pos - step] >= key:
+    lo = 0
+    while pos - step >= 0:
+        probes += 1
         if stats is not None:
             stats.comparisons += 1
+        if keys[pos - step] < key:
+            # The probe is known smaller than key: exclude it from the
+            # binary window rather than re-examining it.
+            lo = pos - step + 1
+            break
         hi = pos - step
         step *= 2
-    lo = max(pos - step, 0)
     if stats is not None:
-        stats.corrections += hi - lo
+        stats.corrections += probes + hi - lo
     return lower_bound(keys, key, lo, hi, stats)
+
+
+def bounded_search_batch(keys: np.ndarray, queries: np.ndarray,
+                         predicted: np.ndarray, errors: np.ndarray | int,
+                         stats: IndexStats | None = None) -> np.ndarray:
+    """Vectorized :func:`bounded_binary_search` over a whole query batch.
+
+    Because ``keys`` is globally sorted, the lower bound restricted to the
+    clamped window ``[predicted - error, predicted + error]`` equals the
+    *global* lower bound clipped into that window: if the global answer
+    lies left of the window every windowed position satisfies
+    ``keys[idx] >= key`` (so the window's start is returned), and if it
+    lies right of the window no windowed position does (so the window's
+    end is returned).  One ``np.searchsorted`` over the batch therefore
+    reproduces a loop of scalar calls exactly.
+
+    Counters are aggregated per batch: ``corrections`` sums the window
+    widths, ``comparisons`` the binary-search depths ``ceil(log2(w))``.
+
+    Returns:
+        int64 array of per-query insertion points.
+    """
+    n = keys.shape[0]
+    predicted = np.asarray(predicted, dtype=np.int64)
+    lo = np.maximum(predicted - errors, 0)
+    hi = np.minimum(predicted + errors + 1, n)
+    pos = np.clip(np.searchsorted(keys, queries, side="left"), lo, hi)
+    if stats is not None:
+        widths = hi - lo
+        stats.corrections += int(widths.sum())
+        stats.comparisons += int(
+            np.ceil(np.log2(np.maximum(widths, 1).astype(np.float64))).sum()
+        )
+    return pos

@@ -19,9 +19,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.interfaces import MutableOneDimIndex, OneDimIndex
+from repro.core.interfaces import MutableOneDimIndex, OneDimIndex, as_object_array
 from repro.models.pla import Segment, segment_stream
-from repro.onedim._search import bounded_binary_search, lower_bound
+from repro.onedim._search import bounded_binary_search, bounded_search_batch, lower_bound
 
 __all__ = ["PGMIndex", "DynamicPGMIndex"]
 
@@ -49,12 +49,18 @@ class PGMIndex(OneDimIndex):
         #: first-keys of the segments one level below.
         self._levels: list[list[Segment]] = []
         self._level_keys: list[np.ndarray] = []
+        #: per-level flat segment parameters (key, slope, anchor_pos,
+        #: first, last) for the vectorized batch-lookup path.
+        self._level_arrays: list[tuple[np.ndarray, ...]] = []
+        self._values_arr = np.empty(0, dtype=object)
 
     def build(self, keys: Sequence[float], values: Sequence[object] | None = None) -> "PGMIndex":
         self._keys, self._values = self._prepare(keys, values)
         self._built = True
         self._levels = []
         self._level_keys = []
+        self._level_arrays = []
+        self._values_arr = as_object_array(self._values)
         n = self._keys.size
         if n == 0:
             return self
@@ -69,6 +75,15 @@ class PGMIndex(OneDimIndex):
                 break
             level_keys = np.array([seg.key for seg in segments])
             epsilon = self.epsilon_recursive
+
+        for segments in self._levels:
+            self._level_arrays.append((
+                np.array([seg.key for seg in segments]),
+                np.array([seg.slope for seg in segments]),
+                np.array([seg.anchor_pos for seg in segments]),
+                np.array([seg.first for seg in segments], dtype=np.int64),
+                np.array([seg.last for seg in segments], dtype=np.int64),
+            ))
 
         self.stats.size_bytes = sum(
             seg.size_bytes for level in self._levels for seg in level
@@ -129,6 +144,67 @@ class PGMIndex(OneDimIndex):
             self.stats.keys_scanned += 1
             return self._values[pos]
         return None
+
+    def _locate_batch(self, qs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_locate` over a whole query batch.
+
+        Walks the PLA levels top-down exactly like the scalar path, but
+        carries an int64 array of per-query segment indexes instead of a
+        single one.  The scalar ``_segment_containing`` walk resolves to
+        the last segment whose first-key is <= the query (clamped to 0),
+        which is one ``np.searchsorted(side='right') - 1`` per level.
+        """
+        top = len(self._levels) - 1
+        m = qs.size
+        seg_idx = np.zeros(m, dtype=np.int64)
+        for level in range(top, -1, -1):
+            seg_keys, slopes, anchors, firsts, lasts = self._level_arrays[level]
+            level_keys = self._level_keys[level]
+            epsilon = self.epsilon if level == 0 else self.epsilon_recursive
+            raw = slopes[seg_idx] * (qs - seg_keys[seg_idx]) + anchors[seg_idx]
+            bad = ~np.isfinite(raw)
+            if bad.any():
+                # +-inf probes: saturate exactly like the scalar path
+                # (NaN compares false, so it saturates high there too).
+                with np.errstate(invalid="ignore"):
+                    raw = np.where(
+                        bad,
+                        np.where(raw < 0, firsts[seg_idx],
+                                 lasts[seg_idx] - 1).astype(np.float64),
+                        raw,
+                    )
+            predicted = np.clip(np.rint(raw), firsts[seg_idx],
+                                lasts[seg_idx] - 1).astype(np.int64)
+            self.stats.model_predictions += m
+            self.stats.nodes_visited += m
+            pos = bounded_search_batch(level_keys, qs, predicted,
+                                       epsilon + 1, self.stats)
+            if level == 0:
+                return pos
+            below_keys = self._level_arrays[level - 1][0]
+            seg_idx = np.clip(
+                np.searchsorted(below_keys, qs, side="right") - 1,
+                0, below_keys.size - 1,
+            )
+        return np.zeros(m, dtype=np.int64)  # pragma: no cover
+
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Vectorized batch lookup (element-wise equal to scalar lookups)."""
+        self._require_built()
+        qs = np.asarray(keys, dtype=np.float64)
+        if qs.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        m = qs.size
+        out = np.full(m, None, dtype=object)
+        n = self._keys.size
+        if n == 0 or m == 0:
+            return out
+        pos = self._locate_batch(qs)
+        hit = (pos < n) & (self._keys[np.minimum(pos, n - 1)] == qs)
+        hit_idx = np.nonzero(hit)[0]
+        self.stats.keys_scanned += int(hit_idx.size)
+        out[hit_idx] = self._values_arr[pos[hit_idx]]
+        return out
 
     def range_query(self, low: float, high: float) -> list[tuple[float, object]]:
         self._require_built()

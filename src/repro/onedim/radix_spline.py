@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.interfaces import OneDimIndex
+from repro.core.interfaces import OneDimIndex, as_object_array
 from repro.models.spline import GreedySpline, fit_greedy_spline
 from repro.onedim._search import bounded_binary_search, lower_bound
 
@@ -42,6 +42,8 @@ class RadixSplineIndex(OneDimIndex):
         self._values: list[object] = []
         self._spline: GreedySpline | None = None
         self._knot_keys = np.empty(0)
+        self._knot_positions = np.empty(0)
+        self._values_arr = np.empty(0, dtype=object)
         self._radix_table = np.empty(0, dtype=np.int64)
         self._key_min = 0.0
         self._key_span = 1.0
@@ -58,6 +60,8 @@ class RadixSplineIndex(OneDimIndex):
 
         self._spline = fit_greedy_spline(self._keys, float(self.max_error))
         self._knot_keys = np.array([k.key for k in self._spline.knots])
+        self._knot_positions = np.array([k.position for k in self._spline.knots])
+        self._values_arr = as_object_array(self._values)
 
         # Measure the spline's actual max error over the data (also covers
         # the duplicate-key corner where the corridor guarantee is void).
@@ -126,6 +130,57 @@ class RadixSplineIndex(OneDimIndex):
             self.stats.keys_scanned += 1
             return self._values[pos]
         return None
+
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Vectorized batch lookup: radix routing, spline interpolation,
+        and the bounded correction all run as whole-batch numpy kernels,
+        mirroring the scalar arithmetic exactly."""
+        self._require_built()
+        qs = np.asarray(keys, dtype=np.float64)
+        if qs.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        m = qs.size
+        out = np.full(m, None, dtype=object)
+        n = self._keys.size
+        if n == 0 or m == 0:
+            return out
+        kk = self._knot_keys
+        kp = self._knot_positions
+        # Radix routing + knot lower bound, clipped into the table window
+        # (the windowed lower bound equals the global one clipped).
+        prefixes = self._prefix_array(qs)
+        knot_lo = np.maximum(self._radix_table[prefixes] - 1, 0)
+        knot_hi = np.minimum(
+            self._radix_table[np.minimum(prefixes + 1, self._radix_table.size - 1)],
+            kk.size,
+        )
+        seg = np.clip(np.searchsorted(kk, qs, side="left"), knot_lo, knot_hi)
+        seg = np.maximum(seg - 1, 0)
+        self.stats.model_predictions += m
+        self.stats.comparisons += int(
+            np.ceil(np.log2(np.maximum(knot_hi - knot_lo, 1).astype(np.float64))).sum()
+        )
+        # Spline interpolation between the bracketing knots.
+        right = np.minimum(seg + 1, kk.size - 1)
+        denom = kk[right] - kk[seg]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = (qs - kk[seg]) / denom
+            predicted = kp[seg] + t * (kp[right] - kp[seg])
+        predicted = np.where(denom == 0.0, kp[seg], predicted)
+        predicted = np.where(qs >= kk[-1], kp[-1], predicted)
+        predicted = np.where(qs <= kk[0], 0.0, predicted)
+        pred_int = np.clip(np.rint(predicted), 0, n - 1).astype(np.int64)
+        # Bounded last-mile correction over clamped per-key windows.
+        error = self._true_error + 1
+        lo = np.maximum(pred_int - error, 0)
+        hi = np.minimum(pred_int + error + 1, n)
+        pos = np.clip(np.searchsorted(self._keys, qs, side="left"), lo, hi)
+        self.stats.corrections += int((hi - lo).sum())
+        hit = (pos < n) & (self._keys[np.minimum(pos, n - 1)] == qs)
+        hit_idx = np.nonzero(hit)[0]
+        self.stats.keys_scanned += int(hit_idx.size)
+        out[hit_idx] = self._values_arr[pos[hit_idx]]
+        return out
 
     def range_query(self, low: float, high: float) -> list[tuple[float, object]]:
         self._require_built()

@@ -17,11 +17,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.interfaces import OneDimIndex
+from repro.core.interfaces import OneDimIndex, as_object_array
 from repro.models.linear import LinearModel
 from repro.models.nn import TinyMLP
 from repro.models.polynomial import PolynomialModel
-from repro.onedim._search import bounded_binary_search, exponential_search
+from repro.onedim._search import (
+    bounded_binary_search,
+    bounded_search_batch,
+    exponential_search,
+)
 
 __all__ = ["RMIIndex"]
 
@@ -51,6 +55,12 @@ class RMIIndex(OneDimIndex):
         self._root_model: object | None = None
         self._leaves: list[LinearModel] = []
         self._leaf_errors: list[int] = []
+        # Flat per-leaf parameter arrays + an object copy of the values,
+        # prepared at build time for the vectorized batch-lookup path.
+        self._leaf_slopes = np.empty(0)
+        self._leaf_intercepts = np.empty(0)
+        self._leaf_error_arr = np.empty(0, dtype=np.int64)
+        self._values_arr = np.empty(0, dtype=object)
 
     # -- construction ----------------------------------------------------
     def build(self, keys: Sequence[float], values: Sequence[object] | None = None) -> "RMIIndex":
@@ -61,6 +71,7 @@ class RMIIndex(OneDimIndex):
             self._root_model = LinearModel()
             self._leaves = [LinearModel()]
             self._leaf_errors = [0]
+            self._finalize_batch_arrays()
             return self
 
         positions = np.arange(n, dtype=np.float64)
@@ -93,7 +104,14 @@ class RMIIndex(OneDimIndex):
         )
         self.stats.extra["max_leaf_error"] = max(self._leaf_errors, default=0)
         self.stats.extra["mean_leaf_error"] = float(np.mean(self._leaf_errors)) if self._leaf_errors else 0.0
+        self._finalize_batch_arrays()
         return self
+
+    def _finalize_batch_arrays(self) -> None:
+        self._leaf_slopes = np.array([leaf.slope for leaf in self._leaves])
+        self._leaf_intercepts = np.array([leaf.intercept for leaf in self._leaves])
+        self._leaf_error_arr = np.array(self._leaf_errors, dtype=np.int64)
+        self._values_arr = as_object_array(self._values)
 
     def _fit_root(self, keys: np.ndarray, positions: np.ndarray):
         if self.root_kind == "linear":
@@ -159,6 +177,53 @@ class RMIIndex(OneDimIndex):
             self.stats.keys_scanned += 1
             return self._values[pos]
         return None
+
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Vectorized batch lookup: one numpy pass over the whole batch.
+
+        Mirrors the scalar path arithmetic exactly — root prediction,
+        leaf routing, per-leaf bounded window, and the leaf-boundary
+        fallback (replaced by the global insertion point, which is what
+        the scalar ``exponential_search`` fallback converges to) — so a
+        batch equals a loop of :meth:`lookup` calls element-wise.
+        """
+        self._require_built()
+        qs = np.asarray(keys, dtype=np.float64)
+        if qs.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        m = qs.size
+        out = np.full(m, None, dtype=object)
+        n = self._keys.size
+        if n == 0 or m == 0:
+            return out
+        root_pred = self._root_predict_array(qs)
+        leaf_ids = np.clip(
+            root_pred / n * self.num_models, 0, self.num_models - 1
+        ).astype(np.int64)
+        self.stats.model_predictions += 2 * m
+        self.stats.nodes_visited += 2 * m
+        predicted = np.clip(
+            np.rint(self._leaf_slopes[leaf_ids] * qs + self._leaf_intercepts[leaf_ids]),
+            0, n - 1,
+        ).astype(np.int64)
+        errors = self._leaf_error_arr[leaf_ids]
+        lo = np.maximum(predicted - errors, 0)
+        hi = np.minimum(predicted + errors + 1, n)
+        global_pos = np.searchsorted(self._keys, qs, side="left")
+        pos = np.clip(global_pos, lo, hi)
+        self.stats.corrections += int((hi - lo).sum())
+        # Leaf-boundary routing misses: same violation test as _locate,
+        # resolved to the exact global lower bound.
+        capped = np.minimum(pos, n - 1)
+        violated = ((pos < n) & (self._keys[capped] < qs)) | (
+            (pos > 0) & (self._keys[np.maximum(pos - 1, 0)] >= qs)
+        )
+        pos = np.where(violated, global_pos, pos)
+        hit = (pos < n) & (self._keys[np.minimum(pos, n - 1)] == qs)
+        hit_idx = np.nonzero(hit)[0]
+        self.stats.keys_scanned += int(hit_idx.size)
+        out[hit_idx] = self._values_arr[pos[hit_idx]]
+        return out
 
     def range_query(self, low: float, high: float) -> list[tuple[float, object]]:
         self._require_built()

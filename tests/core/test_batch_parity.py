@@ -1,0 +1,104 @@
+"""Batch/scalar parity: ``lookup_batch`` must equal a loop of ``lookup``.
+
+The contract of the batch query API (the vectorized overrides in the hot
+indexes as much as the generic loop fallback) is strict element-wise
+equality with the scalar path — including misses, duplicate keys at the
+array boundary, and empty indexes.  These tests enforce it for every
+registered factory so a future vectorized override cannot silently
+diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import MULTI_DIM_FACTORIES, ONE_DIM_FACTORIES
+
+RNG = np.random.default_rng(7)
+
+#: 1-d build keys with duplicate runs at both boundaries and in the middle.
+KEYS_1D = np.sort(RNG.uniform(0.0, 1000.0, 400))
+KEYS_1D[:3] = KEYS_1D[0]
+KEYS_1D[-3:] = KEYS_1D[-1]
+KEYS_1D[200:203] = KEYS_1D[200]
+
+#: Queries covering hits, duplicated keys, misses inside and outside range.
+QUERIES_1D = np.concatenate([
+    KEYS_1D[[0, 1, 2, 199, 200, 201, 202, 397, 398, 399]],
+    RNG.choice(KEYS_1D, 30),
+    RNG.uniform(-50.0, 1050.0, 30),
+    [KEYS_1D[0] - 1.0, KEYS_1D[-1] + 1.0],
+])
+
+POINTS_ND = RNG.uniform(0.0, 100.0, (250, 2))
+QUERIES_ND = np.vstack([
+    POINTS_ND[RNG.integers(0, POINTS_ND.shape[0], 30)],
+    RNG.uniform(-10.0, 110.0, (15, 2)),
+])
+
+
+@pytest.mark.parametrize("name", sorted(ONE_DIM_FACTORIES))
+class TestOneDimBatchParity:
+    def test_lookup_batch_matches_scalar_loop(self, name):
+        index = ONE_DIM_FACTORIES[name]().build(KEYS_1D)
+        batch = index.lookup_batch(QUERIES_1D)
+        scalar = [index.lookup(float(q)) for q in QUERIES_1D]
+        assert batch.dtype == object
+        assert batch.shape == (QUERIES_1D.size,)
+        for i, (b, s) in enumerate(zip(batch, scalar)):
+            assert b == s, f"{name}: query {QUERIES_1D[i]} -> batch {b!r}, scalar {s!r}"
+
+    def test_contains_batch_matches_scalar(self, name):
+        index = ONE_DIM_FACTORIES[name]().build(KEYS_1D)
+        got = index.contains_batch(QUERIES_1D)
+        expect = [index.contains(float(q)) for q in QUERIES_1D]
+        assert got.dtype == bool
+        assert list(got) == expect
+
+    def test_empty_index_all_misses(self, name):
+        index = ONE_DIM_FACTORIES[name]().build([])
+        batch = index.lookup_batch(QUERIES_1D[:5])
+        assert all(r is None for r in batch)
+        assert index.lookup_batch([]).shape == (0,)
+
+    def test_rejects_2d_query_array(self, name):
+        index = ONE_DIM_FACTORIES[name]().build(KEYS_1D[:20])
+        with pytest.raises(ValueError):
+            index.lookup_batch(np.ones((3, 3)))
+
+
+@pytest.mark.parametrize("name", sorted(MULTI_DIM_FACTORIES))
+class TestMultiDimBatchParity:
+    def test_point_query_batch_matches_scalar_loop(self, name):
+        index = MULTI_DIM_FACTORIES[name]().build(POINTS_ND)
+        batch = index.point_query_batch(QUERIES_ND)
+        scalar = [index.point_query(q) for q in QUERIES_ND]
+        assert batch.dtype == object
+        assert batch.shape == (QUERIES_ND.shape[0],)
+        for i, (b, s) in enumerate(zip(batch, scalar)):
+            assert b == s, f"{name}: query {QUERIES_ND[i]} -> batch {b!r}, scalar {s!r}"
+
+    def test_rejects_1d_query_array(self, name):
+        index = MULTI_DIM_FACTORIES[name]().build(POINTS_ND)
+        with pytest.raises(ValueError):
+            index.point_query_batch(QUERIES_ND[0])
+
+
+class TestVectorizedOverridesStayVectorized:
+    """Guard: the hot indexes must not fall back to the scalar loop."""
+
+    @pytest.mark.parametrize("name", ["binary-search", "rmi", "pgm", "radix-spline"])
+    def test_override_defined_on_class(self, name):
+        from repro.core.interfaces import OneDimIndex
+
+        cls = type(ONE_DIM_FACTORIES[name]())
+        assert cls.lookup_batch is not OneDimIndex.lookup_batch
+
+    @pytest.mark.parametrize("name", ["rmi", "pgm", "radix-spline"])
+    def test_batch_counters_aggregate(self, name):
+        index = ONE_DIM_FACTORIES[name]().build(KEYS_1D)
+        index.stats.reset_counters()
+        index.lookup_batch(QUERIES_1D)
+        assert index.stats.model_predictions >= QUERIES_1D.size
+        assert index.stats.corrections > 0

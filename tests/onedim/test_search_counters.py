@@ -1,0 +1,89 @@
+"""Counter-accounting tests for the last-mile search helpers.
+
+``exponential_search`` must record the *actual* searched window in
+``stats.corrections``: one unit per galloped probe plus the width of the
+final binary-search window.  Before the fix, the left-gallop branch
+recorded only the binary window, which collapses to zero when the gallop
+is clamped at position 0 — reporting zero search effort for a search
+that probed the whole prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import IndexStats
+from repro.onedim._search import (
+    bounded_search_batch,
+    exponential_search,
+    lower_bound,
+)
+
+KEYS = np.arange(0.0, 64.0)  # 64 distinct keys, position == key
+
+
+class TestExponentialSearchCounters:
+    def test_left_gallop_clamped_at_zero_records_probes(self):
+        # Key below every stored key, predicted at the top: the gallop
+        # probes 62, 61, 59, 55, 47, 31, and is then clamped at 0.
+        stats = IndexStats()
+        assert exponential_search(KEYS, -1.0, 63, stats) == 0
+        assert stats.corrections > 0  # was 0 before the fix
+
+    def test_left_gallop_probe_exit_records_window(self):
+        # predicted=32, key=30.5: probe at 31 succeeds (31 >= 30.5),
+        # probe at 30 fails -> binary window [31, 31), 2 probes total.
+        stats = IndexStats()
+        assert exponential_search(KEYS, 30.5, 32, stats) == 31
+        assert stats.corrections == 2
+
+    def test_right_gallop_records_probes_and_window(self):
+        # predicted=0, key=40.5: gallop probes 1, 2, 4, 8, 16, 32, 64->63
+        # wait: probes at 1,2,4,8,16,32 succeed, 63 overshoots ->
+        # window [33, 64), 7 probes.
+        stats = IndexStats()
+        pos = exponential_search(KEYS, 40.5, 0, stats)
+        assert pos == 41
+        window = stats.corrections
+        assert window > 0
+        # The recorded effort must cover at least log2 of the error.
+        assert stats.comparisons >= int(np.log2(41))
+
+    def test_effort_monotone_in_prediction_error(self):
+        near, far = IndexStats(), IndexStats()
+        exponential_search(KEYS, 32.0, 31, near)
+        exponential_search(KEYS, 32.0, 0, far)
+        assert far.corrections > near.corrections
+        assert far.comparisons > near.comparisons
+
+    @pytest.mark.parametrize("predicted", [-5, 0, 17, 63, 90])
+    def test_counter_fix_preserves_results(self, predicted):
+        for key in (-1.0, 0.0, 13.0, 13.5, 63.0, 99.0):
+            expect = int(np.searchsorted(KEYS, key, side="left"))
+            assert exponential_search(KEYS, key, predicted) == expect
+
+
+class TestBoundedSearchBatch:
+    def test_matches_scalar_windowed_lower_bound(self):
+        rng = np.random.default_rng(11)
+        keys = np.sort(rng.uniform(0, 100, 500))
+        queries = np.concatenate([rng.choice(keys, 50), rng.uniform(-5, 105, 50)])
+        true_pos = np.searchsorted(keys, queries, side="left")
+        predicted = np.clip(
+            true_pos + rng.integers(-20, 21, queries.size), 0, keys.size - 1
+        )
+        got = bounded_search_batch(keys, queries, predicted, 8)
+        for q, pred, g in zip(queries, predicted, got):
+            lo = max(int(pred) - 8, 0)
+            hi = min(int(pred) + 9, keys.size)
+            assert g == lower_bound(keys, float(q), lo, hi)
+
+    def test_aggregates_corrections_per_batch(self):
+        stats = IndexStats()
+        keys = np.arange(0.0, 100.0)
+        queries = np.array([10.0, 50.0, 90.0])
+        predicted = np.array([10, 50, 90])
+        bounded_search_batch(keys, queries, predicted, 4, stats)
+        assert stats.corrections == 3 * 9  # three windows of width 2*4+1
+        assert stats.comparisons > 0
