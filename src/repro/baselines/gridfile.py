@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.interfaces import MutableMultiDimIndex
+from repro.core.interfaces import MutableMultiDimIndex, as_object_array
 
 __all__ = ["GridIndex"]
 
@@ -34,6 +34,9 @@ class GridIndex(MutableMultiDimIndex):
             raise ValueError("cells_per_dim must be >= 1")
         self.cells_per_dim = cells_per_dim
         self._cells: dict[tuple[int, ...], list[tuple[np.ndarray, object]]] = {}
+        #: Per-cell stacked (points, values) arrays for the batch paths;
+        #: entries are dropped when the underlying bucket mutates.
+        self._stacked: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
         self._lo = np.zeros(1)
         self._hi = np.ones(1)
         self._size = 0
@@ -42,6 +45,7 @@ class GridIndex(MutableMultiDimIndex):
         pts, vals = self._prepare_points(points, values)
         self.dims = int(pts.shape[1]) if pts.size else 0
         self._cells = {}
+        self._stacked = {}
         self._size = int(pts.shape[0])
         self._built = True
         if pts.shape[0] == 0:
@@ -54,6 +58,8 @@ class GridIndex(MutableMultiDimIndex):
         self._extent = float(span.max())
         for i in range(pts.shape[0]):
             self._cells.setdefault(self._cell_of(pts[i]), []).append((pts[i].copy(), vals[i]))
+        for cid, bucket in self._cells.items():  # warm the batch-path cache
+            self._bucket_arrays(cid, bucket)
         self.stats.size_bytes = self._size * (8 * self.dims + 16) + len(self._cells) * 64
         self.stats.extra["cells"] = len(self._cells)
         return self
@@ -75,6 +81,97 @@ class GridIndex(MutableMultiDimIndex):
             if np.array_equal(p, q):
                 return v
         return None
+
+    def _bucket_arrays(self, cid: tuple[int, ...],
+                       bucket: list[tuple[np.ndarray, object]]) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked (points, values) arrays of one cell, cached per cell."""
+        cached = self._stacked.get(cid)
+        if cached is None:
+            cached = (
+                np.vstack([p for p, _ in bucket]),
+                as_object_array([v for _, v in bucket]),
+            )
+            self._stacked[cid] = cached
+        return cached
+
+    def point_query_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized batch point queries (element-wise equal to scalar).
+
+        Routes all queries to their cells with one clipped-lattice
+        computation, groups them per cell, and matches each group against
+        the stacked cell bucket with a single (chunked) equality kernel —
+        the first matching bucket entry wins, exactly like the scalar
+        scan order.
+        """
+        self._require_built()
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must have shape (m, d)")
+        m = pts.shape[0]
+        out = np.full(m, None, dtype=object)
+        if m == 0 or not self._cells:
+            return out
+        frac = (pts - self._lo) / (self._hi - self._lo)
+        ids = np.clip((frac * self.cells_per_dim).astype(int), 0, self.cells_per_dim - 1)
+        flat = np.zeros(m, dtype=np.int64)
+        for j in range(ids.shape[1]):
+            flat = flat * self.cells_per_dim + ids[:, j]
+        order = np.argsort(flat, kind="stable")
+        sf = flat[order]
+        starts = np.concatenate(([0], np.nonzero(np.diff(sf))[0] + 1, [m]))
+        self.stats.nodes_visited += m
+        for s, e in zip(starts[:-1], starts[1:]):
+            gidx = order[s:e]
+            cid = tuple(int(c) for c in ids[gidx[0]])
+            bucket = self._cells.get(cid)
+            if not bucket:
+                continue
+            bucket_pts, bucket_vals = self._bucket_arrays(cid, bucket)
+            b = bucket_pts.shape[0]
+            self.stats.keys_scanned += b * gidx.size
+            chunk = max(1, 4_000_000 // b)
+            for c0 in range(0, gidx.size, chunk):
+                cidx = gidx[c0:c0 + chunk]
+                eq = np.all(bucket_pts[None, :, :] == pts[cidx, None, :], axis=2)
+                hit = eq.any(axis=1)
+                out[cidx[hit]] = bucket_vals[eq.argmax(axis=1)[hit]]
+        return out
+
+    def range_query_batch(self, lows: np.ndarray, highs: np.ndarray) -> list[list[tuple[tuple[float, ...], object]]]:
+        """Vectorized batch range queries (element-wise equal to scalar).
+
+        Box corners are routed to cells vectorially; each visited bucket
+        is stacked once per batch and filtered with a numpy mask instead
+        of a per-point Python loop.
+        """
+        self._require_built()
+        lo_arr = np.asarray(lows, dtype=np.float64)
+        hi_arr = np.asarray(highs, dtype=np.float64)
+        if lo_arr.ndim != 2 or hi_arr.shape != lo_arr.shape:
+            raise ValueError("lows/highs must both have shape (m, d)")
+        m = lo_arr.shape[0]
+        results: list[list[tuple[tuple[float, ...], object]]] = [[] for _ in range(m)]
+        if m == 0 or self._size == 0:
+            return results
+        empty = np.any(hi_arr < lo_arr, axis=1)
+        for i in range(m):
+            if empty[i]:
+                continue
+            lo, hi = lo_arr[i], hi_arr[i]
+            lo_cell = self._cell_of(np.maximum(lo, self._lo))
+            hi_cell = self._cell_of(np.minimum(hi, self._hi))
+            out_i = results[i]
+            for cell_idx in itertools.product(*(range(a, b + 1) for a, b in zip(lo_cell, hi_cell))):
+                bucket = self._cells.get(cell_idx)
+                self.stats.nodes_visited += 1
+                if not bucket:
+                    continue
+                bucket_pts, bucket_vals = self._bucket_arrays(cell_idx, bucket)
+                self.stats.keys_scanned += bucket_pts.shape[0]
+                mask = np.all(bucket_pts >= lo, axis=1) & np.all(bucket_pts <= hi, axis=1)
+                for j in np.nonzero(mask)[0]:
+                    out_i.append((tuple(float(c) for c in bucket_pts[j]), bucket_vals[j]))
+        return results
 
     def range_query(self, low: Sequence[float], high: Sequence[float]) -> list[tuple[tuple[float, ...], object]]:
         self._require_built()
@@ -154,7 +251,9 @@ class GridIndex(MutableMultiDimIndex):
             self._lo = p - 0.5
             self._hi = p + 0.5
             self._extent = 1.0
-        bucket = self._cells.setdefault(self._cell_of(np.clip(p, self._lo, self._hi)), [])
+        cid = self._cell_of(np.clip(p, self._lo, self._hi))
+        self._stacked.pop(cid, None)
+        bucket = self._cells.setdefault(cid, [])
         for i, (existing, _) in enumerate(bucket):
             if np.array_equal(existing, p):
                 bucket[i] = (p.copy(), value)
@@ -165,12 +264,14 @@ class GridIndex(MutableMultiDimIndex):
     def delete(self, point: Sequence[float]) -> bool:
         self._require_built()
         p = np.asarray(point, dtype=np.float64)
-        bucket = self._cells.get(self._cell_of(np.clip(p, self._lo, self._hi)))
+        cid = self._cell_of(np.clip(p, self._lo, self._hi))
+        bucket = self._cells.get(cid)
         if not bucket:
             return False
         for i, (existing, _) in enumerate(bucket):
             if np.array_equal(existing, p):
                 del bucket[i]
+                self._stacked.pop(cid, None)
                 self._size -= 1
                 return True
         return False

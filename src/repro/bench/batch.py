@@ -1,38 +1,59 @@
-"""E17 — batch-query throughput: per-key loops vs. vectorized batches.
+"""E17/E18 — batch-query throughput: per-key loops vs. vectorized batches.
 
 SOSD and "Benchmarking Learned Indexes" (Marcus et al.) report lookup
 throughput over large query batches because that is how index-serving
 systems are actually driven.  In this pure-Python reproduction the
 per-key query path is dominated by interpreter overhead, which buries
 the algorithmic differences the survey taxonomy is about; the batch API
-(:meth:`repro.core.interfaces.OneDimIndex.lookup_batch`) amortizes that
-overhead into numpy kernels.  E17 quantifies the gap: for each index it
-measures scalar ops/sec (a Python loop of ``lookup`` calls) against
-batched ops/sec (one ``lookup_batch`` call), and emits the results as a
-machine-readable ``BENCH_batch.json`` so later PRs can track the
-performance trajectory.
+(:meth:`repro.core.interfaces.OneDimIndex.lookup_batch` and its
+multi-dimensional counterparts) amortizes that overhead into numpy
+kernels.  E17 quantifies the gap for the one-dimensional indexes;
+E18 extends the measurement to the multi-dimensional space (projected
+curves, learned grids, LISA shards) across uniform/clustered/skewed
+spatial data.  Both emit machine-readable artifacts
+(``BENCH_batch.json`` / ``BENCH_batch_md.json``) so later PRs can track
+the performance trajectory.
 """
 
 from __future__ import annotations
 
 import json
+import platform
 from pathlib import Path
 
 import numpy as np
 
 from repro.bench.runner import (
+    MULTI_DIM_FACTORIES,
     ONE_DIM_FACTORIES,
     build_index,
     measure_batch_lookups,
     measure_lookups,
 )
-from repro.data import load_1d, point_lookups
+from repro.core.interfaces import MultiDimIndex
+from repro.data import load_1d, load_nd, point_lookups, range_queries_nd
 
-__all__ = ["run_e17", "DEFAULT_E17_INDEXES"]
+__all__ = ["run_e17", "run_e18", "DEFAULT_E17_INDEXES", "DEFAULT_E18_INDEXES"]
 
 #: Contenders with vectorized fast paths plus the loop-fallback B+-tree
 #: as a control showing the fallback neither breaks nor regresses.
 DEFAULT_E17_INDEXES = ("binary-search", "rmi", "pgm", "radix-spline", "b+tree")
+
+#: Multi-d contenders with vectorized fast paths (projected curve, learned
+#: grid, uniform grid, learned shards) plus the loop-fallback KD-tree as
+#: the control.
+DEFAULT_E18_INDEXES = ("zm-index", "flood", "grid", "lisa", "kd-tree")
+
+#: Spatial distributions driving the multi-d batch measurement.
+DEFAULT_E18_DATASETS = ("uniform", "clusters", "skew")
+
+
+def _environment_metadata() -> dict:
+    """Interpreter/library versions recorded in the bench artifacts."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
 
 
 def run_e17(n: int = 100000, batch: int = 10000, dataset: str = "uniform",
@@ -94,6 +115,7 @@ def run_e17(n: int = 100000, batch: int = 10000, dataset: str = "uniform",
             "n": n,
             "batch": batch,
             "seed": seed,
+            "environment": _environment_metadata(),
             "results": {
                 row["index"]: {
                     "scalar_ops_per_s": row["scalar_ops_per_s"],
@@ -105,3 +127,136 @@ def run_e17(n: int = 100000, batch: int = 10000, dataset: str = "uniform",
         }
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
     return rows
+
+
+def run_e18(n: int = 100000, batch: int = 10000, dims: int = 2,
+            datasets=None, indexes=None, seed: int = 1,
+            range_batch: int = 200, scalar_sample: int = 2000,
+            out: str | None = "BENCH_batch_md.json",
+            smoke: bool = False) -> list[dict]:
+    """E18: batched vs. per-point query throughput for multi-d indexes.
+
+    Mirrors E17 in the multi-dimensional space: for each (dataset, index)
+    pair it measures scalar point-query ops/sec (a Python loop of
+    ``point_query`` calls over a sample of the batch) against batched
+    ops/sec (one ``point_query_batch`` call over the full batch).  For
+    indexes that override ``range_query_batch`` it additionally measures
+    batched vs. looped range-query throughput over a small box workload.
+    The KD-tree rides along as the loop-fallback control — its "speedup"
+    is the overhead of the generic fallback, expected ~1x.
+
+    Args:
+        n: number of points to index.
+        batch: number of point queries per batched measurement.
+        dims: dimensionality of the spatial data.
+        datasets: spatial dataset names (see :func:`repro.data.load_nd`);
+            sequence or comma-separated string.
+        indexes: contender names from ``MULTI_DIM_FACTORIES`` (sequence
+            or comma-separated string).
+        seed: RNG seed for data and queries.
+        range_batch: number of range queries for the range-batch probe.
+        scalar_sample: cap on the scalar-loop sample (the slow side);
+            throughput extrapolates, parity is covered by the test suite.
+        out: path of the JSON artifact, or ``None``/"" to skip writing.
+        smoke: shrink to a seconds-scale CI configuration.
+
+    Returns:
+        One row per (dataset, index) with scalar/batch ops/sec and speedups.
+    """
+    if smoke:
+        n = min(n, 4000)
+        batch = min(batch, 800)
+        range_batch = min(range_batch, 40)
+        scalar_sample = min(scalar_sample, 400)
+        if datasets is None:
+            datasets = ("uniform",)
+    if isinstance(datasets, str):
+        datasets = [name for name in datasets.split(",") if name]
+    if isinstance(indexes, str):
+        indexes = [name for name in indexes.split(",") if name]
+    dataset_names = list(datasets) if datasets else list(DEFAULT_E18_DATASETS)
+    names = list(indexes) if indexes else list(DEFAULT_E18_INDEXES)
+    unknown = [name for name in names if name not in MULTI_DIM_FACTORIES]
+    if unknown:
+        raise KeyError(f"unknown multi-d indexes {unknown!r}; have {sorted(MULTI_DIM_FACTORIES)}")
+
+    rows = []
+    for dataset in dataset_names:
+        points = load_nd(dataset, n, dims=dims, seed=seed)
+        queries = point_lookups(points, batch, seed=seed + 1)
+        boxes = range_queries_nd(points, range_batch, selectivity=0.0005, seed=seed + 2)
+        box_lows = np.vstack([lo for lo, _ in boxes]) if boxes else np.empty((0, dims))
+        box_highs = np.vstack([hi for _, hi in boxes]) if boxes else np.empty((0, dims))
+        for name in names:
+            index, build_s = build_index(MULTI_DIM_FACTORIES[name], points)
+            sample = queries[: min(scalar_sample, len(queries))]
+            scalar = measure_lookups(index, sample, is_multi_dim=True)
+            batched = measure_batch_lookups(index, queries, is_multi_dim=True)
+            scalar_ops = 1e6 / scalar["lookup_us"] if scalar["lookup_us"] else 0.0
+            batch_ops = batched["ops_per_s"]
+            row = {
+                "index": name,
+                "dataset": dataset,
+                "n": n,
+                "dims": dims,
+                "batch": batch,
+                "scalar_ops_per_s": scalar_ops,
+                "batch_ops_per_s": batch_ops,
+                "speedup": batch_ops / scalar_ops if scalar_ops else 0.0,
+                "hits_batch": batched["hits"],
+                "build_s": build_s,
+            }
+            # Range-batch probe only where an override exists: the generic
+            # fallback is the same loop as the scalar side, so timing it
+            # would just measure noise.
+            if type(index).range_query_batch is not MultiDimIndex.range_query_batch:
+                row.update(_measure_range_batch(index, box_lows, box_highs))
+            rows.append(row)
+
+    if out:
+        payload = {
+            "experiment": "E18",
+            "datasets": dataset_names,
+            "n": n,
+            "dims": dims,
+            "batch": batch,
+            "range_batch": range_batch,
+            "seed": seed,
+            "environment": _environment_metadata(),
+            "results": {
+                f"{row['dataset']}/{row['index']}": {
+                    "scalar_ops_per_s": row["scalar_ops_per_s"],
+                    "batch_ops_per_s": row["batch_ops_per_s"],
+                    "speedup": row["speedup"],
+                    **({"range_speedup": row["range_speedup"]}
+                       if "range_speedup" in row else {}),
+                }
+                for row in rows
+            },
+        }
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return rows
+
+
+def _measure_range_batch(index, lows: np.ndarray, highs: np.ndarray) -> dict:
+    """Looped vs. batched range-query throughput for one built index."""
+    import time
+
+    m = lows.shape[0]
+    if m == 0:
+        return {}
+    t0 = time.perf_counter()
+    loop_results = [index.range_query(lows[i], highs[i]) for i in range(m)]
+    loop_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch_results = index.range_query_batch(lows, highs)
+    batch_s = time.perf_counter() - t0
+    loop_ops = m / loop_s if loop_s else 0.0
+    batch_ops = m / batch_s if batch_s else 0.0
+    return {
+        "range_scalar_ops_per_s": loop_ops,
+        "range_batch_ops_per_s": batch_ops,
+        "range_speedup": batch_ops / loop_ops if loop_ops else 0.0,
+        "range_hits": sum(len(r) for r in batch_results),
+        "range_hits_scalar": sum(len(r) for r in loop_results),
+    }

@@ -409,7 +409,7 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 def _register_extensions() -> None:
     """Register the open-challenge experiments (import-cycle-free)."""
-    from repro.bench.batch import run_e17
+    from repro.bench.batch import run_e17, run_e18
     from repro.bench.extensions import run_e13, run_e14, run_e15, run_e16
 
     EXPERIMENTS["E13"] = Experiment(
@@ -422,6 +422,8 @@ def _register_extensions() -> None:
         "E16", "SNARF learned range filter: FPR vs bits/key", run_e16)
     EXPERIMENTS["E17"] = Experiment(
         "E17", "batch-query throughput: vectorized vs per-key lookups", run_e17)
+    EXPERIMENTS["E18"] = Experiment(
+        "E18", "multi-d batch-query throughput: vectorized vs per-point", run_e18)
 
 
 _register_extensions()

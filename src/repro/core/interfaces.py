@@ -267,6 +267,26 @@ class MultiDimIndex(abc.ABC):
             out[i] = self.point_query(pts[i])
         return out
 
+    def range_query_batch(self, lows: np.ndarray, highs: np.ndarray) -> list[list[tuple[tuple[float, ...], object]]]:
+        """Answer many axis-aligned range queries at once.
+
+        Args:
+            lows, highs: ``(m, d)`` arrays of box corners (closed boxes).
+
+        Returns:
+            A list of per-box result lists, element-wise identical to a
+            loop of scalar :meth:`range_query` calls (same points, same
+            values, same in-box ordering).  The base implementation is
+            that loop; grid-shaped indexes override it with vectorized
+            cell routing and in-cell mask filtering.
+        """
+        self._require_built()
+        lo = np.asarray(lows, dtype=np.float64)
+        hi = np.asarray(highs, dtype=np.float64)
+        if lo.ndim != 2 or hi.shape != lo.shape:
+            raise ValueError("lows/highs must both have shape (m, d)")
+        return [self.range_query(lo[i], hi[i]) for i in range(lo.shape[0])]
+
     def knn_query(self, point: Sequence[float], k: int) -> list[tuple[tuple[float, ...], object]]:
         """Return the ``k`` nearest neighbours of ``point`` (Euclidean).
 

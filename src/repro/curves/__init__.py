@@ -5,10 +5,13 @@ from repro.curves.hilbert import hilbert_decode, hilbert_encode, hilbert_encode_
 from repro.curves.zorder import (
     bigmin,
     deinterleave,
+    deinterleave_array,
     dequantize,
     interleave,
+    interleave_array,
     quantize,
     zdecode,
+    zdecode_array,
     zencode,
     zencode_array,
 )
@@ -19,10 +22,13 @@ __all__ = [
     "hilbert_encode_array",
     "bigmin",
     "deinterleave",
+    "deinterleave_array",
     "dequantize",
     "interleave",
+    "interleave_array",
     "quantize",
     "zdecode",
+    "zdecode_array",
     "zencode",
     "zencode_array",
 ]

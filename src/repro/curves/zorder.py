@@ -17,9 +17,12 @@ import numpy as np
 __all__ = [
     "interleave",
     "deinterleave",
+    "interleave_array",
+    "deinterleave_array",
     "zencode",
     "zdecode",
     "zencode_array",
+    "zdecode_array",
     "quantize",
     "dequantize",
     "bigmin",
@@ -28,6 +31,11 @@ __all__ = [
 
 def quantize(points: np.ndarray, lo: np.ndarray, hi: np.ndarray, bits: int) -> np.ndarray:
     """Map float points in [lo, hi] to integer lattice coordinates.
+
+    The lattice cell is the *floor* cell ``floor(frac * 2^bits)`` (clamped
+    to the lattice), the same equal-width bucketing used by the grid-style
+    cell routing in ``GridIndex``/Flood — so curve quantisation and grid
+    routing can never disagree about which cell a point belongs to.
 
     Args:
         points: ``(n, d)`` float array.
@@ -40,15 +48,16 @@ def quantize(points: np.ndarray, lo: np.ndarray, hi: np.ndarray, bits: int) -> n
     span = np.asarray(hi, dtype=np.float64) - np.asarray(lo, dtype=np.float64)
     span[span == 0] = 1.0
     frac = (pts - lo) / span
-    scaled = np.clip(frac, 0.0, 1.0) * ((1 << bits) - 1)
-    return np.rint(scaled).astype(np.int64)
+    scaled = np.clip(frac, 0.0, 1.0) * (1 << bits)
+    return np.minimum(np.floor(scaled).astype(np.int64), (1 << bits) - 1)
 
 
 def dequantize(coords: np.ndarray, lo: np.ndarray, hi: np.ndarray, bits: int) -> np.ndarray:
     """Inverse of :func:`quantize` (to cell-centre coordinates)."""
     span = np.asarray(hi, dtype=np.float64) - np.asarray(lo, dtype=np.float64)
     span[span == 0] = 1.0
-    return np.asarray(lo) + np.asarray(coords, dtype=np.float64) / ((1 << bits) - 1) * span
+    centres = (np.asarray(coords, dtype=np.float64) + 0.5) / (1 << bits)
+    return np.asarray(lo) + centres * span
 
 
 def interleave(coords: tuple[int, ...] | np.ndarray, bits: int) -> int:
@@ -83,27 +92,127 @@ def zdecode(code: int, lo, hi, dims: int, bits: int) -> np.ndarray:
     return dequantize(np.asarray(coords)[None, :], np.asarray(lo), np.asarray(hi), bits)[0]
 
 
+# -- vectorised bit spreading -------------------------------------------------
+#
+# ``interleave_array`` is the hot path of every projected-space index: it
+# turns an ``(n, d)`` integer coordinate array into n Morton codes with a
+# handful of numpy kernels.  For d = 2 and d = 3 the classic magic-mask
+# bit-spreading sequences run in O(log bits) array ops; other
+# dimensionalities fall back to one masked shift per (bit, dim) pair,
+# still fully vectorised over the n points.
+
+#: (shift, mask) spreading steps and the input mask, per dimensionality.
+_SPREAD_STEPS = {
+    2: (
+        (
+            (16, np.uint64(0x0000FFFF0000FFFF)),
+            (8, np.uint64(0x00FF00FF00FF00FF)),
+            (4, np.uint64(0x0F0F0F0F0F0F0F0F)),
+            (2, np.uint64(0x3333333333333333)),
+            (1, np.uint64(0x5555555555555555)),
+        ),
+        np.uint64(0xFFFFFFFF),
+    ),
+    3: (
+        (
+            (32, np.uint64(0x001F00000000FFFF)),
+            (16, np.uint64(0x001F0000FF0000FF)),
+            (8, np.uint64(0x100F00F00F00F00F)),
+            (4, np.uint64(0x10C30C30C30C30C3)),
+            (2, np.uint64(0x1249249249249249)),
+        ),
+        np.uint64(0x1FFFFF),
+    ),
+}
+
+
+def _spread(x: np.ndarray, dims: int) -> np.ndarray:
+    """Insert ``dims - 1`` zero bits between the bits of each element."""
+    steps, in_mask = _SPREAD_STEPS[dims]
+    x = x.astype(np.uint64) & in_mask
+    for shift, mask in steps:
+        x = (x | (x << np.uint64(shift))) & mask
+    return x
+
+
+def _compact(x: np.ndarray, dims: int) -> np.ndarray:
+    """Inverse of :func:`_spread`: keep every ``dims``-th bit, pack them."""
+    steps, in_mask = _SPREAD_STEPS[dims]
+    x = x.astype(np.uint64) & steps[-1][1]
+    for i in range(len(steps) - 1, 0, -1):
+        x = (x | (x >> np.uint64(steps[i][0]))) & steps[i - 1][1]
+    x = (x | (x >> np.uint64(steps[0][0]))) & in_mask
+    return x.astype(np.int64)
+
+
+def interleave_array(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorised :func:`interleave` over an ``(n, d)`` int array.
+
+    Requires ``d * bits <= 62`` (codes fit in int64); dimension 0
+    occupies the most significant bit of each ``d``-bit group, matching
+    the scalar encoder exactly.
+    """
+    arr = np.asarray(coords, dtype=np.int64)
+    n, d = arr.shape
+    if d * bits > 62:
+        raise ValueError("d * bits must be <= 62 for int64 codes")
+    if d == 1:
+        return arr[:, 0].copy()
+    if d in (2, 3):
+        codes = np.zeros(n, dtype=np.uint64)
+        for dim in range(d):
+            codes |= _spread(arr[:, dim], d) << np.uint64(d - 1 - dim)
+        return codes.astype(np.int64)
+    codes = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        col = (arr >> bit) & 1
+        for dim in range(d):
+            codes |= col[:, dim] << (bit * d + (d - 1 - dim))
+    return codes
+
+
+def deinterleave_array(codes: np.ndarray, dims: int, bits: int) -> np.ndarray:
+    """Vectorised :func:`deinterleave`: codes back to ``(n, d)`` coords."""
+    arr = np.asarray(codes, dtype=np.int64)
+    if dims * bits > 62:
+        raise ValueError("dims * bits must be <= 62 for int64 codes")
+    if dims == 1:
+        return arr[:, None].copy()
+    out = np.empty((arr.size, dims), dtype=np.int64)
+    if dims in (2, 3):
+        u = arr.astype(np.uint64)
+        for dim in range(dims):
+            out[:, dim] = _compact(u >> np.uint64(dims - 1 - dim), dims)
+        return out
+    out[:] = 0
+    for bit in range(bits):
+        for dim in range(dims):
+            out[:, dim] |= ((arr >> (bit * dims + (dims - 1 - dim))) & 1) << bit
+    return out
+
+
 def zencode_array(points: np.ndarray, lo, hi, bits: int) -> np.ndarray:
     """Vectorised Morton encoding of an ``(n, d)`` point array.
 
-    Uses magic-number bit spreading for d = 2 and a per-bit loop
-    otherwise; returns an ``object`` array of Python ints when the code
-    would overflow 63 bits, else ``int64``.
+    Uses magic-number bit spreading (see :func:`interleave_array`);
+    returns an ``object`` array of Python ints when the code would
+    overflow 62 bits, else ``int64``.
     """
     pts = np.asarray(points, dtype=np.float64)
     n, d = pts.shape
     coords = quantize(pts, np.asarray(lo, dtype=np.float64), np.asarray(hi, dtype=np.float64), bits)
-    total_bits = d * bits
-    if total_bits <= 62:
-        codes = np.zeros(n, dtype=np.int64)
-        for bit in range(bits - 1, -1, -1):
-            for dim in range(d):
-                codes = (codes << 1) | ((coords[:, dim] >> bit) & 1)
-        return codes
+    if d * bits <= 62:
+        return interleave_array(coords, bits)
     out = np.empty(n, dtype=object)
     for i in range(n):
         out[i] = interleave(tuple(coords[i]), bits)
     return out
+
+
+def zdecode_array(codes: np.ndarray, lo, hi, dims: int, bits: int) -> np.ndarray:
+    """Vectorised :func:`zdecode`: Morton codes to ``(n, d)`` float points."""
+    coords = deinterleave_array(codes, dims, bits)
+    return dequantize(coords, np.asarray(lo), np.asarray(hi), bits)
 
 
 def _load_bits(code: int, dim: int, dims: int, bits: int) -> int:

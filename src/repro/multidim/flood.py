@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.interfaces import MultiDimIndex
+from repro.core.interfaces import MultiDimIndex, as_object_array
 
 __all__ = ["FloodIndex"]
 
@@ -94,7 +94,7 @@ class FloodIndex(MultiDimIndex):
             self._cells[cid] = (
                 cell_pts[:, self.sort_dim].copy(),
                 cell_pts,
-                sorted_vals[start:end],
+                as_object_array(sorted_vals[start:end]),
             )
             start = end
         self.stats.size_bytes = (
@@ -192,6 +192,103 @@ class FloodIndex(MultiDimIndex):
                 return cell_vals[i]
             i += 1
         return None
+
+    def point_query_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized batch point queries (element-wise equal to scalar).
+
+        Routes the whole batch through the (already vectorized)
+        ``_cell_ids``, groups queries per cell with one stable argsort,
+        and answers each group with two ``searchsorted`` calls plus a
+        vectorized row comparison; only sort-key ties longer than one
+        entry fall back to the scalar run scan.
+        """
+        self._require_built()
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must have shape (m, d)")
+        m = pts.shape[0]
+        out = np.full(m, None, dtype=object)
+        if m == 0 or not self._cells:
+            return out
+        ids = self._cell_ids(pts)
+        flat = np.zeros(m, dtype=np.int64)
+        for j, cols in enumerate(self._columns):
+            flat = flat * cols + ids[:, j]
+        order = np.argsort(flat, kind="stable")
+        sf = flat[order]
+        starts = np.concatenate(([0], np.nonzero(np.diff(sf))[0] + 1, [m]))
+        self.stats.nodes_visited += m
+        for s, e in zip(starts[:-1], starts[1:]):
+            gidx = order[s:e]
+            bucket = self._cells.get(tuple(int(c) for c in ids[gidx[0]]))
+            if bucket is None:
+                continue
+            sort_keys, cell_pts, cell_vals = bucket
+            qs = pts[gidx]
+            s_vals = qs[:, self.sort_dim]
+            lo = np.searchsorted(sort_keys, s_vals, side="left")
+            hi = np.searchsorted(sort_keys, s_vals, side="right")
+            has = lo < hi
+            cand = np.minimum(lo, sort_keys.size - 1)
+            first = has & np.all(cell_pts[cand] == qs, axis=1)
+            self.stats.keys_scanned += int(has.sum())
+            out[gidx[first]] = cell_vals[cand[first]]
+            # Ties on the sort key: continue the scalar run scan.
+            for t in np.nonzero(has & ~first)[0]:
+                j = int(lo[t]) + 1
+                while j < int(hi[t]):
+                    self.stats.keys_scanned += 1
+                    if np.array_equal(cell_pts[j], qs[t]):
+                        out[gidx[t]] = cell_vals[j]
+                        break
+                    j += 1
+        return out
+
+    def range_query_batch(self, lows: np.ndarray, highs: np.ndarray) -> list[list[tuple[tuple[float, ...], object]]]:
+        """Vectorized batch range queries (element-wise equal to scalar).
+
+        Cell corners for every box are routed with one ``searchsorted``
+        per grid dimension; each visited cell is then filtered with a
+        single numpy mask over its contiguous sort-key slice instead of a
+        per-point Python loop.
+        """
+        self._require_built()
+        lo_arr = np.asarray(lows, dtype=np.float64)
+        hi_arr = np.asarray(highs, dtype=np.float64)
+        if lo_arr.ndim != 2 or hi_arr.shape != lo_arr.shape:
+            raise ValueError("lows/highs must both have shape (m, d)")
+        m = lo_arr.shape[0]
+        results: list[list[tuple[tuple[float, ...], object]]] = [[] for _ in range(m)]
+        if m == 0 or not self._cells:
+            return results
+        g = len(self._grid_dims)
+        lo_ids = np.zeros((m, g), dtype=np.int64)
+        hi_ids = np.zeros((m, g), dtype=np.int64)
+        for j, (d, bounds) in enumerate(zip(self._grid_dims, self._boundaries)):
+            lo_ids[:, j] = np.searchsorted(bounds, lo_arr[:, d], side="right")
+            hi_ids[:, j] = np.searchsorted(bounds, hi_arr[:, d], side="right")
+        empty = np.any(hi_arr < lo_arr, axis=1)
+        for i in range(m):
+            if empty[i]:
+                continue
+            lo, hi = lo_arr[i], hi_arr[i]
+            out_i = results[i]
+            for cid in itertools.product(*(range(a, b + 1) for a, b in zip(lo_ids[i], hi_ids[i]))):
+                bucket = self._cells.get(cid)
+                self.stats.nodes_visited += 1
+                if bucket is None:
+                    continue
+                sort_keys, cell_pts, cell_vals = bucket
+                s_lo = int(np.searchsorted(sort_keys, lo[self.sort_dim], side="left"))
+                s_hi = int(np.searchsorted(sort_keys, hi[self.sort_dim], side="right"))
+                if s_lo >= s_hi:
+                    continue
+                self.stats.keys_scanned += s_hi - s_lo
+                seg = cell_pts[s_lo:s_hi]
+                mask = np.all(seg >= lo, axis=1) & np.all(seg <= hi, axis=1)
+                for j in np.nonzero(mask)[0]:
+                    out_i.append((tuple(float(c) for c in seg[j]), cell_vals[s_lo + j]))
+        return results
 
     def range_query(self, low: Sequence[float], high: Sequence[float]) -> list[tuple[tuple[float, ...], object]]:
         self._require_built()

@@ -27,7 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.interfaces import MutableMultiDimIndex
+from repro.core.interfaces import MutableMultiDimIndex, as_object_array
 
 __all__ = ["LISAIndex"]
 
@@ -35,12 +35,27 @@ __all__ = ["LISAIndex"]
 class _Shard:
     """One shard: parallel sorted lists over the mapped value."""
 
-    __slots__ = ("mapped", "points", "values")
+    __slots__ = ("mapped", "points", "values", "_arrays")
 
     def __init__(self) -> None:
         self.mapped: list[float] = []
         self.points: list[np.ndarray] = []
         self.values: list[object] = []
+        #: Cached (mapped, points, values) ndarray views for the batch
+        #: path; dropped on every mutation.
+        self._arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._arrays is None:
+            self._arrays = (
+                np.asarray(self.mapped, dtype=np.float64),
+                np.vstack(self.points),
+                as_object_array(self.values),
+            )
+        return self._arrays
+
+    def invalidate(self) -> None:
+        self._arrays = None
 
     def __len__(self) -> int:
         return len(self.mapped)
@@ -97,6 +112,34 @@ class LISAIndex(MutableMultiDimIndex):
         frac = float(np.clip((p[d] - lo) / span, 0.0, 0.999999))
         return rank + frac
 
+    def _mapped_batch(self, pts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_mapped` over an ``(m, d)`` point array.
+
+        Performs the identical float64 operations in the identical order,
+        so every mapped value is bit-equal to the scalar path (the batch
+        queries compare mapped values with the same tolerances).
+        """
+        m = pts.shape[0]
+        coords = np.empty((m, self.dims), dtype=np.int64)
+        for d in range(self.dims):
+            coords[:, d] = np.searchsorted(self._boundaries[d], pts[:, d], side="right")
+        rank = np.zeros(m, dtype=np.int64)
+        for d in range(self.dims):
+            rank = rank * self.cells_per_dim + np.minimum(coords[:, d], self.cells_per_dim - 1)
+        d = self.dims - 1
+        bounds = self._boundaries[d]
+        c = np.minimum(coords[:, d], self.cells_per_dim - 1)
+        if bounds.size == 0:  # cells_per_dim == 1: one cell spanning [lo, hi]
+            lo = np.full(m, self._lo[d])
+            hi = np.full(m, self._hi[d])
+        else:
+            lo = np.where(c > 0, bounds[np.clip(c - 1, 0, bounds.size - 1)], self._lo[d])
+            hi = np.where(c < bounds.size, bounds[np.clip(c, 0, bounds.size - 1)], self._hi[d])
+        span = hi - lo
+        span[span == 0] = 1.0
+        frac = np.clip((pts[:, d] - lo) / span, 0.0, 0.999999)
+        return rank + frac
+
     # -- construction -----------------------------------------------------------
     def build(self, points: np.ndarray, values: Sequence[object] | None = None) -> "LISAIndex":
         pts, vals = self._prepare_points(points, values)
@@ -121,6 +164,7 @@ class LISAIndex(MutableMultiDimIndex):
             shard.mapped = [float(mapped[i]) for i in chunk]
             shard.points = [pts[i].copy() for i in chunk]
             shard.values = [vals[i] for i in chunk]
+            shard.arrays()  # warm the batch-path cache
             self._shards.append(shard)
             self._shard_starts.append(shard.mapped[0])
         self._refresh_size()
@@ -154,6 +198,57 @@ class LISAIndex(MutableMultiDimIndex):
                 return shard.values[i]
             i += 1
         return None
+
+    def point_query_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized batch point queries (element-wise equal to scalar).
+
+        Maps the whole batch with :meth:`_mapped_batch`, routes every
+        query to its shard with one ``searchsorted`` over the shard
+        starts, then resolves each shard group with a masked equality
+        kernel over the shard's stacked arrays — the same candidate
+        window (``mapped`` within ``+-1e-9``) and the same first-match
+        scan order as the scalar path.
+        """
+        self._require_built()
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must have shape (m, d)")
+        m = pts.shape[0]
+        out = np.full(m, None, dtype=object)
+        if m == 0 or not self._shards:
+            return out
+        mapped = self._mapped_batch(pts)
+        starts = np.asarray(self._shard_starts)
+        sidx = np.maximum(np.searchsorted(starts, mapped, side="right") - 1, 0)
+        self.stats.comparisons += m * max(1, len(self._shard_starts).bit_length())
+        self.stats.nodes_visited += m
+        order = np.argsort(sidx, kind="stable")
+        ss = sidx[order]
+        bounds = np.concatenate(([0], np.nonzero(np.diff(ss))[0] + 1, [m]))
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            gidx = order[s:e]
+            shard = self._shards[int(sidx[gidx[0]])]
+            if not shard.mapped:
+                continue
+            shard_mapped, shard_pts, shard_vals = shard.arrays()
+            qm = mapped[gidx]
+            w_lo = np.searchsorted(shard_mapped, qm - 1e-9, side="left")
+            w_hi = np.searchsorted(shard_mapped, qm + 1e-9, side="right")
+            has = w_lo < w_hi
+            cand = np.minimum(w_lo, shard_mapped.size - 1)
+            first = has & np.all(shard_pts[cand] == pts[gidx], axis=1)
+            self.stats.keys_scanned += int(has.sum())
+            out[gidx[first]] = shard_vals[cand[first]]
+            # Mapped-value ties: continue the scalar candidate scan.
+            for t in np.nonzero(has & ~first)[0]:
+                j = int(w_lo[t]) + 1
+                while j < int(w_hi[t]):
+                    self.stats.keys_scanned += 1
+                    if np.array_equal(shard_pts[j], pts[gidx[t]]):
+                        out[gidx[t]] = shard_vals[j]
+                        break
+                    j += 1
+        return out
 
     def range_query(self, low: Sequence[float], high: Sequence[float]) -> list[tuple[tuple[float, ...], object]]:
         self._require_built()
@@ -223,12 +318,14 @@ class LISAIndex(MutableMultiDimIndex):
         while i < len(shard.mapped) and shard.mapped[i] <= m + 1e-9:
             if np.array_equal(shard.points[i], p):
                 shard.values[i] = value
+                shard.invalidate()
                 return
             i += 1
         i = bisect.bisect_left(shard.mapped, m)
         shard.mapped.insert(i, m)
         shard.points.insert(i, p.copy())
         shard.values.insert(i, value)
+        shard.invalidate()
         self._size += 1
         if len(shard) > 2 * self.shard_size:
             self._split_shard(shard_idx)
@@ -244,6 +341,7 @@ class LISAIndex(MutableMultiDimIndex):
         shard.mapped = shard.mapped[:mid]
         shard.points = shard.points[:mid]
         shard.values = shard.values[:mid]
+        shard.invalidate()
         self._shards.insert(shard_idx + 1, right)
         self._shard_starts = [s.mapped[0] if s.mapped else 0.0 for s in self._shards]
         self.stats.extra["splits"] = self.stats.extra.get("splits", 0) + 1
@@ -261,6 +359,7 @@ class LISAIndex(MutableMultiDimIndex):
                 del shard.mapped[i]
                 del shard.points[i]
                 del shard.values[i]
+                shard.invalidate()
                 self._size -= 1
                 return True
             i += 1

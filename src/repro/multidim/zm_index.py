@@ -13,10 +13,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.interfaces import MultiDimIndex
-from repro.curves.zorder import bigmin, quantize, zencode_array
+from repro.core.interfaces import MultiDimIndex, as_object_array
+from repro.curves.zorder import bigmin, interleave, quantize, zencode_array
 from repro.models.pla import Segment, segment_stream
-from repro.onedim._search import bounded_binary_search, lower_bound
+from repro.onedim._search import bounded_binary_search, bounded_search_batch, lower_bound
 
 __all__ = ["ZMIndex"]
 
@@ -48,6 +48,11 @@ class ZMIndex(MultiDimIndex):
         self._hi = np.ones(2)
         self._segments: list[Segment] = []
         self._segment_keys = np.empty(0)
+        self._seg_slopes = np.empty(0)
+        self._seg_anchors = np.empty(0)
+        self._seg_firsts = np.empty(0, dtype=np.int64)
+        self._seg_lasts = np.empty(0, dtype=np.int64)
+        self._values_arr = np.empty(0, dtype=object)
 
     def build(self, points: np.ndarray, values: Sequence[object] | None = None) -> "ZMIndex":
         pts, vals = self._prepare_points(points, values)
@@ -69,9 +74,16 @@ class ZMIndex(MultiDimIndex):
         self._values = [vals[i] for i in order]
         self._qcoords = quantize(self._points, self._lo, self._hi, self.bits)
 
-        # Learned 1-d model over the sorted codes.
+        self._values_arr = as_object_array(self._values)
+
+        # Learned 1-d model over the sorted codes (plus column views of
+        # the segment parameters for the vectorized batch path).
         self._segments = segment_stream(self._codes.astype(np.float64), float(self.epsilon))
         self._segment_keys = np.array([seg.key for seg in self._segments])
+        self._seg_slopes = np.array([seg.slope for seg in self._segments])
+        self._seg_anchors = np.array([seg.anchor_pos for seg in self._segments])
+        self._seg_firsts = np.array([seg.first for seg in self._segments], dtype=np.int64)
+        self._seg_lasts = np.array([seg.last for seg in self._segments], dtype=np.int64)
         self.stats.size_bytes = (
             sum(seg.size_bytes for seg in self._segments)
             + 8 * int(self._codes.size)  # the code column
@@ -92,11 +104,7 @@ class ZMIndex(MultiDimIndex):
 
     def _encode_point(self, point: np.ndarray) -> int:
         q = quantize(point[None, :], self._lo, self._hi, self.bits)[0]
-        code = 0
-        for bit in range(self.bits - 1, -1, -1):
-            for dim in range(self.dims):
-                code = (code << 1) | ((int(q[dim]) >> bit) & 1)
-        return code
+        return interleave(q, self.bits)
 
     # -- queries -------------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
@@ -115,6 +123,58 @@ class ZMIndex(MultiDimIndex):
                 return self._values[pos]
             pos += 1
         return None
+
+    def point_query_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized batch point queries (element-wise equal to scalar).
+
+        One ``zencode_array`` call projects the whole batch onto the
+        curve, one segment-routing ``searchsorted`` plus an
+        epsilon-bounded :func:`bounded_search_batch` locates every code,
+        and a vectorized row comparison resolves the (dominant) case of a
+        single point per cell; only queries landing in a multi-point cell
+        fall back to the scalar run scan.
+        """
+        self._require_built()
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must have shape (m, d)")
+        m = pts.shape[0]
+        out = np.full(m, None, dtype=object)
+        n = self._codes.size
+        if m == 0 or n == 0:
+            return out
+        in_dom = np.all(pts >= self._lo, axis=1) & np.all(pts <= self._hi, axis=1)
+        codes = zencode_array(pts, self._lo, self._hi, self.bits).astype(np.int64)
+        seg_idx = np.clip(
+            np.searchsorted(self._segment_keys, codes, side="right") - 1,
+            0, len(self._segments) - 1,
+        )
+        raw = self._seg_slopes[seg_idx] * (codes - self._segment_keys[seg_idx]) \
+            + self._seg_anchors[seg_idx]
+        predicted = np.clip(
+            np.rint(raw), self._seg_firsts[seg_idx], self._seg_lasts[seg_idx] - 1
+        ).astype(np.int64)
+        self.stats.model_predictions += m
+        pos = bounded_search_batch(self._codes, codes, predicted,
+                                   self.epsilon + 1, self.stats)
+        cand = np.minimum(pos, n - 1)
+        code_hit = in_dom & (pos < n) & (self._codes[cand] == codes)
+        first_match = code_hit & np.all(self._points[cand] == pts, axis=1)
+        hit_idx = np.nonzero(first_match)[0]
+        self.stats.keys_scanned += int(code_hit.sum())
+        out[hit_idx] = self._values_arr[cand[hit_idx]]
+        # Cells holding several points: scan the rest of the code run
+        # exactly like the scalar path.
+        for i in np.nonzero(code_hit & ~first_match)[0]:
+            j = int(pos[i]) + 1
+            code = codes[i]
+            while j < n and self._codes[j] == code:
+                self.stats.keys_scanned += 1
+                if np.array_equal(self._points[j], pts[i]):
+                    out[i] = self._values[j]
+                    break
+                j += 1
+        return out
 
     def range_query(self, low: Sequence[float], high: Sequence[float]) -> list[tuple[tuple[float, ...], object]]:
         self._require_built()
@@ -155,11 +215,7 @@ class ZMIndex(MultiDimIndex):
         return out
 
     def _encode_coords(self, coords: tuple[int, ...]) -> int:
-        code = 0
-        for bit in range(self.bits - 1, -1, -1):
-            for dim in range(self.dims):
-                code = (code << 1) | ((coords[dim] >> bit) & 1)
-        return code
+        return interleave(coords, self.bits)
 
     def __len__(self) -> int:
         return int(self._codes.size)

@@ -32,10 +32,34 @@ QUERIES_1D = np.concatenate([
 ])
 
 POINTS_ND = RNG.uniform(0.0, 100.0, (250, 2))
+# Duplicate coordinates: same point indexed twice (last value wins on some
+# indexes, first on others — parity only requires batch == scalar).
+POINTS_ND[40] = POINTS_ND[41]
+POINTS_ND[120] = POINTS_ND[121]
 QUERIES_ND = np.vstack([
     POINTS_ND[RNG.integers(0, POINTS_ND.shape[0], 30)],
     RNG.uniform(-10.0, 110.0, (15, 2)),
+    POINTS_ND[[40, 41, 120, 121]],          # duplicate-coordinate probes
+    RNG.uniform(-500.0, -400.0, (4, 2)),    # far out-of-domain
+    np.repeat(POINTS_ND[[7]], 3, axis=0),   # repeated identical query
 ])
+
+#: Range boxes: tight around data points, a whole-domain box, a
+#: fully-outside box, and an inverted (lo > hi) box.
+BOXES_ND = (
+    np.vstack([
+        POINTS_ND[:6] - 2.0,
+        [[-10.0, -10.0]],
+        [[200.0, 200.0]],
+        [[50.0, 50.0]],
+    ]),
+    np.vstack([
+        POINTS_ND[:6] + 2.0,
+        [[110.0, 110.0]],
+        [[210.0, 210.0]],
+        [[40.0, 40.0]],  # inverted: hi < lo
+    ]),
+)
 
 
 @pytest.mark.parametrize("name", sorted(ONE_DIM_FACTORIES))
@@ -84,6 +108,41 @@ class TestMultiDimBatchParity:
         with pytest.raises(ValueError):
             index.point_query_batch(QUERIES_ND[0])
 
+    def test_empty_batch_and_empty_index(self, name):
+        index = MULTI_DIM_FACTORIES[name]().build(POINTS_ND)
+        assert index.point_query_batch(np.empty((0, 2))).shape == (0,)
+        empty = MULTI_DIM_FACTORIES[name]().build(np.empty((0, 2)))
+        batch = empty.point_query_batch(QUERIES_ND[:5])
+        assert all(r is None for r in batch)
+
+    def test_out_of_domain_queries_all_miss(self, name):
+        index = MULTI_DIM_FACTORIES[name]().build(POINTS_ND)
+        far = np.vstack([
+            RNG.uniform(-500.0, -400.0, (6, 2)),
+            RNG.uniform(400.0, 500.0, (6, 2)),
+        ])
+        batch = index.point_query_batch(far)
+        scalar = [index.point_query(q) for q in far]
+        assert all(r is None for r in scalar)
+        assert list(batch) == scalar
+
+    def test_range_query_batch_matches_scalar_loop(self, name):
+        index = MULTI_DIM_FACTORIES[name]().build(POINTS_ND)
+        lows, highs = BOXES_ND
+        batch = index.range_query_batch(lows, highs)
+        assert len(batch) == lows.shape[0]
+        for i in range(lows.shape[0]):
+            scalar = index.range_query(lows[i], highs[i])
+            assert batch[i] == scalar, (
+                f"{name}: box {i} -> batch {batch[i]!r}, scalar {scalar!r}")
+
+    def test_range_query_batch_rejects_mismatched_shapes(self, name):
+        index = MULTI_DIM_FACTORIES[name]().build(POINTS_ND)
+        with pytest.raises(ValueError):
+            index.range_query_batch(np.zeros((3, 2)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            index.range_query_batch(np.zeros(2), np.zeros(2))
+
 
 class TestVectorizedOverridesStayVectorized:
     """Guard: the hot indexes must not fall back to the scalar loop."""
@@ -102,3 +161,17 @@ class TestVectorizedOverridesStayVectorized:
         index.lookup_batch(QUERIES_1D)
         assert index.stats.model_predictions >= QUERIES_1D.size
         assert index.stats.corrections > 0
+
+    @pytest.mark.parametrize("name", ["zm-index", "flood", "grid", "lisa"])
+    def test_multi_dim_point_override_defined_on_class(self, name):
+        from repro.core.interfaces import MultiDimIndex
+
+        cls = type(MULTI_DIM_FACTORIES[name]())
+        assert cls.point_query_batch is not MultiDimIndex.point_query_batch
+
+    @pytest.mark.parametrize("name", ["flood", "grid"])
+    def test_multi_dim_range_override_defined_on_class(self, name):
+        from repro.core.interfaces import MultiDimIndex
+
+        cls = type(MULTI_DIM_FACTORIES[name]())
+        assert cls.range_query_batch is not MultiDimIndex.range_query_batch
