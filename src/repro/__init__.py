@@ -23,6 +23,8 @@ Quickstart::
     index.range_query(keys[10], keys[20])
 """
 
+from repro import baselines, bench, core, curves, data, models, multidim, onedim
+
 __version__ = "1.0.0"
 
 __all__ = ["core", "models", "baselines", "curves", "onedim", "multidim", "data", "bench"]

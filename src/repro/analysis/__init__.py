@@ -1,0 +1,47 @@
+"""``repro.analysis`` — AST-based contract linter for the index library.
+
+The survey's comparison of 100+ learned indexes rests on a uniform
+contract: identical query semantics, identical cost accounting,
+registry membership.  This package enforces that contract statically
+with eight repo-specific rules (RPR001-RPR008), each with a stable ID,
+severity, ``file:line`` output, and a per-rule suppression comment
+(``# lint: disable=RPR0xx -- justification``).
+
+Run ``python -m repro.analysis`` from the repository root; see the
+"Static analysis" section of README.md for the rule table.
+"""
+
+from repro.analysis.engine import (
+    AnalysisResult,
+    build_context,
+    render_json,
+    render_text,
+    run_analysis,
+)
+from repro.analysis.findings import Finding, RuleMeta, Severity
+from repro.analysis.registry_view import (
+    IndexClassInfo,
+    RegistryView,
+    build_registry_view,
+)
+from repro.analysis.rules import RULE_METADATA, RULES, AnalysisContext
+from repro.analysis.source import SourceFile, parse_suppressions
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisResult",
+    "Finding",
+    "IndexClassInfo",
+    "RegistryView",
+    "RuleMeta",
+    "RULES",
+    "RULE_METADATA",
+    "Severity",
+    "SourceFile",
+    "build_context",
+    "build_registry_view",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

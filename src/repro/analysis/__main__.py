@@ -1,0 +1,92 @@
+"""CLI for the contract linter: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis                      # lint src/repro, text report
+    python -m repro.analysis --format json        # machine-readable report
+    python -m repro.analysis --output report.json # JSON artifact + text report
+    python -m repro.analysis --rules RPR003,RPR004 path/to/file.py
+    python -m repro.analysis --list-rules
+
+Exit status is 0 when no unsuppressed finding remains, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import build_context, render_json, render_text, run_analysis
+from repro.analysis.rules import RULE_METADATA, RULES
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based contract linter for the learned-index library.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyse (default: src/repro under --root); "
+             "explicit paths disable the live-registry rules RPR001/RPR002",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path.cwd(),
+        help="repository root (default: current directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the JSON report to this file (CI artifact)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-registry", action="store_true",
+        help="skip the live-registry rules even on a full-repo run",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, meta in sorted(RULE_METADATA.items()):
+            print(f"{rule_id}  {meta.name:28s} {meta.severity.value:8s} {meta.rationale}")
+        return 0
+
+    rule_ids: list[str] | None = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rule_ids if r not in RULES]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    paths = list(args.paths) or None
+    ctx = build_context(
+        args.root.resolve(),
+        paths=paths,
+        use_registry=not args.no_registry,
+    )
+    result = run_analysis(ctx, rule_ids)
+
+    if args.output is not None:
+        args.output.write_text(render_json(result) + "\n", encoding="utf-8")
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

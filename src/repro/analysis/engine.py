@@ -1,0 +1,126 @@
+"""Analysis driver: collect files, run rules, apply suppressions, report.
+
+``run_analysis`` is the programmatic entry point (used by the CLI and
+the analyzer's own tests); it returns the kept findings plus the
+suppressed count so reports can show both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry_view import RegistryView, build_registry_view
+from repro.analysis.rules import RULE_METADATA, RULES, AnalysisContext
+from repro.analysis.source import SourceFile
+
+__all__ = ["AnalysisResult", "collect_files", "build_context", "run_analysis",
+           "render_text", "render_json"]
+
+_PARITY_TEST = Path("tests") / "core" / "test_batch_parity.py"
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def collect_files(root: Path, paths: Sequence[Path] | None = None) -> list[Path]:
+    """Python files to analyse: explicit ``paths`` or ``src/repro`` under root."""
+    if paths:
+        out: list[Path] = []
+        for p in paths:
+            if p.is_dir():
+                out.extend(sorted(p.rglob("*.py")))
+            else:
+                out.append(p)
+        return out
+    return sorted((root / "src" / "repro").rglob("*.py"))
+
+
+def build_context(
+    root: Path,
+    paths: Sequence[Path] | None = None,
+    registry: RegistryView | None = None,
+    use_registry: bool = True,
+) -> AnalysisContext:
+    """Load sources (and, for full-repo runs, the live registry)."""
+    files = [SourceFile.load(p, root) for p in collect_files(root, paths)]
+    parity: SourceFile | None = None
+    if use_registry and registry is None and paths is None:
+        registry = build_registry_view()
+    if registry is not None:
+        parity_path = root / _PARITY_TEST
+        if parity_path.is_file():
+            parity = SourceFile.load(parity_path, root)
+    return AnalysisContext(root=root, files=files, registry=registry,
+                           parity_test=parity)
+
+
+def run_analysis(
+    ctx: AnalysisContext, rule_ids: Iterable[str] | None = None
+) -> AnalysisResult:
+    """Run the selected rules (all by default) over ``ctx``."""
+    selected = tuple(rule_ids) if rule_ids is not None else tuple(sorted(RULES))
+    result = AnalysisResult(files_analyzed=len(ctx.files), rules_run=selected)
+    by_path = {src.rel: src for src in ctx.files}
+    if ctx.parity_test is not None:
+        by_path.setdefault(ctx.parity_test.rel, ctx.parity_test)
+    for rule_id in selected:
+        for finding in RULES[rule_id](ctx):
+            src = by_path.get(finding.path)
+            if src is not None and src.is_suppressed(finding.rule_id, finding.line):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return result
+
+
+def render_text(result: AnalysisResult) -> str:
+    """Human-readable report."""
+    lines = [f.render() for f in result.findings]
+    lines.append(
+        f"{len(result.findings)} finding(s), {len(result.suppressed)} "
+        f"suppressed, {result.files_analyzed} file(s) analysed, "
+        f"{len(result.rules_run)} rule(s)."
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report for CI artifacts."""
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "files_analyzed": result.files_analyzed,
+            "rules_run": list(result.rules_run),
+            "exit_code": result.exit_code,
+        },
+        "rules": {
+            rule_id: {
+                "name": meta.name,
+                "severity": meta.severity.value,
+                "rationale": meta.rationale,
+            }
+            for rule_id, meta in sorted(RULE_METADATA.items())
+            if rule_id in result.rules_run
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

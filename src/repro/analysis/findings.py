@@ -1,0 +1,62 @@
+"""Finding and rule metadata types for the contract linter.
+
+A :class:`Finding` is one rule violation anchored to a ``file:line``
+position; the engine renders findings either as human-readable text
+(``path:line:col: RPR0xx severity: message``) or as a machine-readable
+JSON report for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding", "RuleMeta"]
+
+
+class Severity(enum.Enum):
+    """How bad a violation is; both levels gate CI."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a ``file:line`` position."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """Human-readable one-liner, ``path:line:col: RPR0xx severity: msg``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable representation for the ``--format json`` report."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Stable identity and documentation of one lint rule."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    rationale: str
+    tags: tuple[str, ...] = field(default=())

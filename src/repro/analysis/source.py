@@ -1,0 +1,91 @@
+"""Parsed source files and ``# lint: disable=`` suppression comments.
+
+Suppressions are per-rule and per-line, mirroring the conventions of
+flake8/ruff ``noqa`` comments but with an explicit rule list so nothing
+can be silenced wholesale:
+
+* ``x = round(y)  # lint: disable=RPR003 -- prediction clamp, not routing``
+  silences RPR003 on that line only;
+* a disable comment alone on a line silences the listed rules on the
+  *next* line (for statements too long to carry a trailing comment).
+
+The optional ``--`` suffix carries the human justification; the linter
+does not parse it but the review convention (see README) requires it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SourceFile", "parse_suppressions"]
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
+
+
+def parse_suppressions(text: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    A trailing comment covers its own line; a comment alone on a line
+    covers the following line (and its own, harmlessly).
+    """
+    suppressed: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressed
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_RE.search(tok.string)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        line = tok.start[0]
+        own_line = tok.line[: tok.start[1]].strip() == ""
+        suppressed.setdefault(line, set()).update(rules)
+        if own_line:
+            suppressed.setdefault(line + 1, set()).update(rules)
+    return suppressed
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file under analysis."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.Module | None
+    syntax_error: str | None = None
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        tree: ast.Module | None = None
+        error: str | None = None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            error = f"{exc.msg} (line {exc.lineno})"
+        return cls(
+            path=path,
+            rel=rel,
+            text=text,
+            tree=tree,
+            syntax_error=error,
+            suppressions=parse_suppressions(text),
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled on ``line`` of this file."""
+        return rule_id in self.suppressions.get(line, ())

@@ -12,8 +12,7 @@ BOURBON replaces the per-run binary search with a learned model; the hook
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

@@ -40,7 +40,6 @@ from repro.data import (
     mixed_workload,
     negative_lookups,
     point_lookups,
-    range_queries_1d,
     range_queries_nd,
 )
 from repro.multidim import FloodIndex, TsunamiIndex

@@ -13,6 +13,7 @@ from typing import Callable
 import numpy as np
 
 from repro.baselines import (
+    BloomFilter,
     BPlusTreeIndex,
     GridIndex,
     HashIndex,
@@ -23,7 +24,13 @@ from repro.baselines import (
     SkipListIndex,
     SortedArrayIndex,
 )
-from repro.core.interfaces import MultiDimIndex, MutableOneDimIndex, OneDimIndex
+from repro.core.interfaces import (
+    MembershipFilter,
+    MultiDimIndex,
+    MutableOneDimIndex,
+    OneDimIndex,
+)
+from repro.multidim.spatial_lbf import SpatialLearnedBloomFilter
 from repro.multidim import (
     AIRTreeIndex,
     RSMIIndex,
@@ -45,11 +52,16 @@ from repro.onedim import (
     HistTreeIndex,
     HybridRMIIndex,
     InterpolationBTreeIndex,
+    LearnedBloomFilter,
+    LearnedHashIndex,
     LearnedSkipList,
     LIPPIndex,
+    PartitionedLearnedBloomFilter,
     PGMIndex,
     RadixSplineIndex,
     RMIIndex,
+    SandwichedLearnedBloomFilter,
+    SNARFFilter,
     XIndexStyleIndex,
 )
 
@@ -58,6 +70,7 @@ __all__ = [
     "MUTABLE_ONE_DIM_FACTORIES",
     "MULTI_DIM_FACTORIES",
     "MUTABLE_MULTI_DIM_FACTORIES",
+    "FILTER_FACTORIES",
     "build_index",
     "measure_lookups",
     "measure_batch_lookups",
@@ -86,6 +99,7 @@ ONE_DIM_FACTORIES: dict[str, Callable[[], OneDimIndex]] = {
     "bourbon": BourbonLSM,
     "learned-skiplist": LearnedSkipList,
     "nfl": NFLIndex,
+    "learned-hash": LearnedHashIndex,
 }
 
 #: The mutable subset (insert/delete benchmarks).
@@ -102,6 +116,7 @@ MUTABLE_ONE_DIM_FACTORIES: dict[str, Callable[[], MutableOneDimIndex]] = {
     "bourbon": BourbonLSM,
     "learned-skiplist": LearnedSkipList,
     "nfl": NFLIndex,
+    "learned-hash": LearnedHashIndex,
 }
 
 #: All multi-dimensional indexes.
@@ -131,6 +146,20 @@ MUTABLE_MULTI_DIM_FACTORIES: dict[str, Callable[[], MultiDimIndex]] = {
     "lisa": LISAIndex,
     "ai+r-tree": AIRTreeIndex,
     "rsmi": RSMIIndex,
+}
+
+#: Approximate-membership filters (Bloom family + learned range filters).
+#: Every concrete :class:`MembershipFilter` must appear here (or carry an
+#: ``implemented=`` registry entry) so the contract linter's RPR001 rule
+#: and the registry-completeness test can prove nothing escapes the
+#: uniform filter API.
+FILTER_FACTORIES: dict[str, Callable[[], MembershipFilter]] = {
+    "bloom": BloomFilter,
+    "learned-bloom": LearnedBloomFilter,
+    "sandwiched-lbf": SandwichedLearnedBloomFilter,
+    "partitioned-lbf": PartitionedLearnedBloomFilter,
+    "snarf": SNARFFilter,
+    "spatial-lbf": SpatialLearnedBloomFilter,
 }
 
 

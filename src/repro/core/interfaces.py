@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -79,7 +79,7 @@ class IndexStats:
     corrections: int = 0
     build_seconds: float = 0.0
     size_bytes: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
 
     def reset_counters(self) -> None:
         """Zero the per-query counters, keeping build time and size."""
@@ -89,7 +89,7 @@ class IndexStats:
         self.model_predictions = 0
         self.corrections = 0
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, int | float]:
         """Return a plain-dict copy of all counters for reporting."""
         return {
             "comparisons": self.comparisons,

@@ -19,7 +19,8 @@ the paper places them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 import networkx as nx
 
@@ -61,7 +62,14 @@ class IndexInfo:
     notes: str = ""
 
 
-def _i1(name, year, refs, ml, queries=(QueryType.POINT, QueryType.RANGE), **kw):
+def _i1(
+    name: str,
+    year: int,
+    refs: tuple[int, ...],
+    ml: tuple[MLTechnique, ...],
+    queries: tuple[QueryType, ...] = (QueryType.POINT, QueryType.RANGE),
+    **kw: Any,
+) -> IndexInfo:
     """Immutable pure one-dimensional index."""
     return IndexInfo(
         name=name, year=year, refs=refs,
@@ -71,8 +79,17 @@ def _i1(name, year, refs, ml, queries=(QueryType.POINT, QueryType.RANGE), **kw):
     )
 
 
-def _h1(name, year, refs, component, ml, queries=(QueryType.POINT, QueryType.RANGE),
-        mutability=Mutability.IMMUTABLE, layout=Layout.NOT_APPLICABLE, **kw):
+def _h1(
+    name: str,
+    year: int,
+    refs: tuple[int, ...],
+    component: HybridComponent,
+    ml: tuple[MLTechnique, ...],
+    queries: tuple[QueryType, ...] = (QueryType.POINT, QueryType.RANGE),
+    mutability: Mutability = Mutability.IMMUTABLE,
+    layout: Layout = Layout.NOT_APPLICABLE,
+    **kw: Any,
+) -> IndexInfo:
     """Hybrid one-dimensional index."""
     return IndexInfo(
         name=name, year=year, refs=refs, mutability=mutability, layout=layout,
@@ -82,8 +99,16 @@ def _h1(name, year, refs, component, ml, queries=(QueryType.POINT, QueryType.RAN
     )
 
 
-def _m1(name, year, refs, layout, strategy, ml,
-        queries=(QueryType.POINT, QueryType.RANGE), **kw):
+def _m1(
+    name: str,
+    year: int,
+    refs: tuple[int, ...],
+    layout: Layout,
+    strategy: InsertStrategy,
+    ml: tuple[MLTechnique, ...],
+    queries: tuple[QueryType, ...] = (QueryType.POINT, QueryType.RANGE),
+    **kw: Any,
+) -> IndexInfo:
     """Mutable pure one-dimensional index."""
     return IndexInfo(
         name=name, year=year, refs=refs,
@@ -94,8 +119,18 @@ def _m1(name, year, refs, layout, strategy, ml,
     )
 
 
-def _pm(name, year, refs, space, ml, queries, mutability=Mutability.IMMUTABLE,
-        layout=Layout.NOT_APPLICABLE, strategy=InsertStrategy.NOT_APPLICABLE, **kw):
+def _pm(
+    name: str,
+    year: int,
+    refs: tuple[int, ...],
+    space: SpaceHandling,
+    ml: tuple[MLTechnique, ...],
+    queries: tuple[QueryType, ...],
+    mutability: Mutability = Mutability.IMMUTABLE,
+    layout: Layout = Layout.NOT_APPLICABLE,
+    strategy: InsertStrategy = InsertStrategy.NOT_APPLICABLE,
+    **kw: Any,
+) -> IndexInfo:
     """Pure multi-dimensional index."""
     return IndexInfo(
         name=name, year=year, refs=refs, mutability=mutability, layout=layout,
@@ -105,8 +140,18 @@ def _pm(name, year, refs, space, ml, queries, mutability=Mutability.IMMUTABLE,
     )
 
 
-def _hm(name, year, refs, component, ml, queries, mutability=Mutability.IMMUTABLE,
-        layout=Layout.NOT_APPLICABLE, space=SpaceHandling.NATIVE, **kw):
+def _hm(
+    name: str,
+    year: int,
+    refs: tuple[int, ...],
+    component: HybridComponent,
+    ml: tuple[MLTechnique, ...],
+    queries: tuple[QueryType, ...],
+    mutability: Mutability = Mutability.IMMUTABLE,
+    layout: Layout = Layout.NOT_APPLICABLE,
+    space: SpaceHandling = SpaceHandling.NATIVE,
+    **kw: Any,
+) -> IndexInfo:
     """Hybrid multi-dimensional index."""
     return IndexInfo(
         name=name, year=year, refs=refs, mutability=mutability, layout=layout,
@@ -520,7 +565,7 @@ def get(name: str) -> IndexInfo:
         raise KeyError(f"unknown index {name!r}") from None
 
 
-def query(**filters) -> list[IndexInfo]:
+def query(**filters: object) -> list[IndexInfo]:
     """Return registry records whose attributes equal the given filters.
 
     Example::
@@ -534,9 +579,9 @@ def query(**filters) -> list[IndexInfo]:
     return out
 
 
-def counts_by(attr: str) -> dict:
+def counts_by(attr: str) -> dict[object, int]:
     """Histogram of registry records over one taxonomy attribute."""
-    counts: dict = {}
+    counts: dict[object, int] = {}
     for info in REGISTRY:
         key = getattr(info, attr)
         counts[key] = counts.get(key, 0) + 1

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # circular at runtime: registry imports taxonomy
+    from repro.core.registry import IndexInfo
 
 __all__ = [
     "Mutability",
@@ -188,7 +191,7 @@ class TaxonomyNode:
         return node
 
 
-def _detail_label(info) -> str | None:
+def _detail_label(info: "IndexInfo") -> str | None:
     """The 5th-level label: insert strategy (pure) or component (hybrid)."""
     if info.spectrum is Spectrum.HYBRID:
         return f"on {info.hybrid_component.value}"

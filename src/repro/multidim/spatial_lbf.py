@@ -17,15 +17,20 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines.bloom import BloomFilter
-from repro.core.interfaces import IndexStats
+from repro.core.interfaces import MembershipFilter
 from repro.curves.zorder import zencode_array
 from repro.onedim.learned_bloom import LearnedBloomFilter
 
 __all__ = ["SpatialLearnedBloomFilter"]
 
 
-class SpatialLearnedBloomFilter:
+class SpatialLearnedBloomFilter(MembershipFilter):
     """Prefix-partitioned learned Bloom filter over Z-order codes.
+
+    A :class:`MembershipFilter` whose "keys" are d-dimensional points;
+    subclassing keeps it inside the uniform filter contract (build +
+    might_contain, no false negatives) that the filter benchmarks and
+    the contract linter enforce.
 
     Args:
         bits_budget: total bit budget across all region filters.
@@ -41,10 +46,10 @@ class SpatialLearnedBloomFilter:
                  bits: int = 16) -> None:
         if prefix_bits < 1:
             raise ValueError("prefix_bits must be >= 1")
+        super().__init__()
         self.bits_budget = bits_budget
         self.prefix_bits = prefix_bits
         self.bits = bits
-        self.stats = IndexStats()
         self.dims = 0
         self._lo = np.zeros(1)
         self._hi = np.ones(1)

@@ -9,8 +9,6 @@ per-node O(log fanout) into O(1)-ish.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.baselines.btree import BPlusTreeIndex, _Node
 
 __all__ = ["InterpolationBTreeIndex"]

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.interfaces import MutableOneDimIndex, OneDimIndex, as_object_array
 from repro.models.pla import Segment, segment_stream
-from repro.onedim._search import bounded_binary_search, bounded_search_batch, lower_bound
+from repro.onedim._search import bounded_binary_search, bounded_search_batch
 
 __all__ = ["PGMIndex", "DynamicPGMIndex"]
 
@@ -370,9 +370,16 @@ class DynamicPGMIndex(MutableOneDimIndex):
         for index in self._static:
             if index is None:
                 continue
+            self.stats.nodes_visited += 1
             for k, v in index.range_query(low, high):
                 merged.setdefault(k, v)
+            # Fold the per-level counters into the LSM-wide accounting so
+            # the cost of a range query over L levels is visible.
+            self.stats.comparisons += index.stats.comparisons
+            self.stats.keys_scanned += index.stats.keys_scanned
+            index.stats.reset_counters()
         for k, v in self._buffer.items():
+            self.stats.keys_scanned += 1
             if low <= k <= high:
                 merged[k] = v
         for k in self._deleted:

@@ -23,7 +23,6 @@ from repro.models.nn import TinyMLP
 from repro.models.polynomial import PolynomialModel
 from repro.onedim._search import (
     bounded_binary_search,
-    bounded_search_batch,
     exponential_search,
 )
 

@@ -20,14 +20,20 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.interfaces import IndexStats
+from repro.core.interfaces import MembershipFilter
 from repro.models.cdf import QuantileModel
 
 __all__ = ["SNARFFilter"]
 
 
-class SNARFFilter:
+class SNARFFilter(MembershipFilter):
     """Learned range filter: monotone model + bit array.
+
+    Subclasses :class:`MembershipFilter` — point membership is a
+    width-zero range query — so the filter benchmarks and the contract
+    linter hold it to the same no-false-negative surface as the Bloom
+    family, while :meth:`might_contain_range` adds the range capability
+    Bloom filters lack.
 
     Args:
         bits_per_key: slots allocated per key (>= 2 recommended).
@@ -39,9 +45,9 @@ class SNARFFilter:
     def __init__(self, bits_per_key: float = 8.0, num_quantiles: int = 256) -> None:
         if bits_per_key < 1:
             raise ValueError("bits_per_key must be >= 1")
+        super().__init__()
         self.bits_per_key = bits_per_key
         self.num_quantiles = num_quantiles
-        self.stats = IndexStats()
         self._model = QuantileModel()
         self._bits = np.zeros(8, dtype=bool)
         self._lo = 0.0

@@ -1,0 +1,14 @@
+"""Fixture: rint/round inside cell-routing functions (RPR003 fires)."""
+
+import numpy as np
+
+__all__ = ["quantize_points", "cell_of"]
+
+
+def quantize_points(points, lo, hi, bits):
+    frac = (points - lo) / (hi - lo)
+    return np.rint(frac * (1 << bits)).astype(np.int64)
+
+
+def cell_of(value, width):
+    return int(round(value / width))

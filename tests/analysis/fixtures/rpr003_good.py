@@ -1,0 +1,16 @@
+"""Fixture: floor-based routing plus round() outside routing scope (clean)."""
+
+import numpy as np
+
+__all__ = ["quantize_points", "predicted_position"]
+
+
+def quantize_points(points, lo, hi, bits):
+    frac = (points - lo) / (hi - lo)
+    return np.floor(frac * (1 << bits)).astype(np.int64)
+
+
+def predicted_position(model, key, n):
+    # round() is fine here: model prediction followed by a bounded
+    # last-mile search, not cell routing.
+    return int(np.clip(round(model(key)), 0, n - 1))

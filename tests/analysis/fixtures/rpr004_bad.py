@@ -1,0 +1,18 @@
+"""Fixture: unseeded / global-state randomness (RPR004 fires three times)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+__all__ = ["sample", "reseed", "fresh_rng"]
+
+
+def sample(n):
+    return np.random.rand(n)
+
+
+def reseed():
+    np.random.seed(0)
+
+
+def fresh_rng():
+    return default_rng()

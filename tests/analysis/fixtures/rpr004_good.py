@@ -1,0 +1,18 @@
+"""Fixture: seeded randomness only (RPR004 stays quiet)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+__all__ = ["sample", "seeded_rng", "generator_sample"]
+
+
+def sample(n, seed):
+    return np.random.default_rng(seed).uniform(size=n)
+
+
+def seeded_rng(seed=42):
+    return default_rng(seed)
+
+
+def generator_sample(rng: np.random.Generator, n):
+    return rng.normal(size=n)

@@ -1,0 +1,11 @@
+"""Fixture: a query method scanning data without stats (RPR005 fires)."""
+
+__all__ = ["UncountedIndex"]
+
+
+class UncountedIndex(OneDimIndex):  # noqa: F821 - fixture, never imported
+    def lookup(self, key):
+        for k, v in self._pairs:
+            if k == key:
+                return v
+        return None

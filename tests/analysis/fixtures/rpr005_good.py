@@ -1,0 +1,20 @@
+"""Fixture: query scans that account their work (RPR005 stays quiet)."""
+
+__all__ = ["CountedIndex", "DelegatingIndex"]
+
+
+class CountedIndex(OneDimIndex):  # noqa: F821 - fixture, never imported
+    def lookup(self, key):
+        for k, v in self._pairs:
+            self.stats.comparisons += 1
+            if k == key:
+                return v
+        return None
+
+
+class DelegatingIndex(OneDimIndex):  # noqa: F821 - fixture, never imported
+    def lookup(self, key):
+        for candidate in self._candidates(key):
+            if candidate == key:
+                return candidate
+        return None

@@ -1,0 +1,12 @@
+"""Fixture: mutable default arguments (RPR006 fires twice)."""
+
+__all__ = ["append_to", "merge_config"]
+
+
+def append_to(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def merge_config(*, overrides={}):
+    return dict(overrides)

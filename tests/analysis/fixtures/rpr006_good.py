@@ -1,0 +1,13 @@
+"""Fixture: None-defaults allocated inside the function (clean)."""
+
+__all__ = ["append_to", "merge_config"]
+
+
+def append_to(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def merge_config(*, overrides=None):
+    return dict(overrides or {})

@@ -1,0 +1,12 @@
+"""Fixture: build() without the built flag, query without the check (RPR007)."""
+
+__all__ = ["ForgetfulIndex"]
+
+
+class ForgetfulIndex(MultiDimIndex):  # noqa: F821 - fixture, never imported
+    def build(self, points, values=None):
+        self._points = points
+        return self
+
+    def point_query(self, point):
+        return self._points.get(tuple(point))

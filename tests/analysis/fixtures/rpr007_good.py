@@ -1,0 +1,19 @@
+"""Fixture: built-flag discipline done right (RPR007 stays quiet)."""
+
+__all__ = ["DisciplinedIndex", "DerivedIndex"]
+
+
+class DisciplinedIndex(MultiDimIndex):  # noqa: F821 - fixture, never imported
+    def build(self, points, values=None):
+        self._points = points
+        self._built = True
+        return self
+
+    def point_query(self, point):
+        self._require_built()
+        return self._points.get(tuple(point))
+
+
+class DerivedIndex(DisciplinedIndex):
+    def build(self, points, values=None):
+        return super().build(points, values)

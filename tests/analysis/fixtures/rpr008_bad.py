@@ -1,0 +1,7 @@
+"""Fixture: __all__ lists a name the module never binds (RPR008 fires)."""
+
+__all__ = ["present", "phantom"]
+
+
+def present():
+    return 1

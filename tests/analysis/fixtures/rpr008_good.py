@@ -1,0 +1,15 @@
+"""Fixture: __all__ consistent with module bindings (clean)."""
+
+from collections import OrderedDict as Ordered
+
+__all__ = ["CONSTANT", "Ordered", "exported", "Exported"]
+
+CONSTANT = 3
+
+
+def exported():
+    return CONSTANT
+
+
+class Exported:
+    pass

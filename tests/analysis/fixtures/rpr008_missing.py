@@ -1,0 +1,5 @@
+"""Fixture: public module with no __all__ at all (RPR008 fires)."""
+
+
+def orphan_export():
+    return 2

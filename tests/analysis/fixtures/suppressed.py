@@ -1,0 +1,13 @@
+"""Fixture: violations silenced by per-rule suppression comments."""
+
+__all__ = ["append_to", "cell_of"]
+
+
+def append_to(item, bucket=[]):  # lint: disable=RPR006 -- fixture exercising suppression
+    bucket.append(item)
+    return bucket
+
+
+def cell_of(value, width):
+    # lint: disable=RPR003 -- fixture: own-line comment covers the next line
+    return int(round(value / width))

@@ -1,0 +1,121 @@
+"""Engine and CLI behaviour: exit codes, reports, and the clean-repo gate.
+
+``test_repo_is_clean`` *is* the contract: the library must lint clean
+with zero unsuppressed findings, exactly what CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.engine import build_context, render_json, render_text, run_analysis
+from repro.analysis.source import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestRepoGate:
+    def test_repo_is_clean(self):
+        """src/repro has zero unsuppressed findings under all eight rules."""
+        ctx = build_context(REPO_ROOT)
+        result = run_analysis(ctx)
+        assert result.findings == [], render_text(result)
+        assert result.exit_code == 0
+
+    def test_fixtures_are_dirty(self):
+        """The violation fixtures must make the linter exit nonzero."""
+        ctx = build_context(FIXTURES, paths=[FIXTURES], use_registry=False)
+        result = run_analysis(ctx)
+        assert result.exit_code == 1
+        # Every syntactic rule fires at least once across the fixture set.
+        fired = {f.rule_id for f in result.findings}
+        assert {"RPR003", "RPR004", "RPR005", "RPR006", "RPR007", "RPR008"} <= fired
+
+
+class TestCLI:
+    def test_exit_zero_on_repo(self):
+        assert main(["--root", str(REPO_ROOT)]) == 0
+
+    def test_exit_one_on_fixtures(self, capsys):
+        code = main(["--root", str(FIXTURES), str(FIXTURES)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RPR" in out
+
+    def test_json_format(self, capsys):
+        code = main(["--root", str(FIXTURES), "--format", "json", str(FIXTURES)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["exit_code"] == 1
+        assert payload["summary"]["findings"] == len(payload["findings"])
+        assert all(
+            {"rule", "severity", "path", "line", "col", "message"} <= set(f)
+            for f in payload["findings"]
+        )
+
+    def test_output_writes_json_artifact(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        main(["--root", str(REPO_ROOT), "--output", str(report)])
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["summary"]["findings"] == 0
+        assert set(payload["rules"]) == {f"RPR00{i}" for i in range(1, 9)}
+
+    def test_rule_selection(self, capsys):
+        code = main([
+            "--root", str(FIXTURES), "--rules", "RPR006",
+            str(FIXTURES / "rpr006_bad.py"),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RPR006" in out
+        assert "RPR008" not in out  # unselected rules stay silent
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--rules", "RPR999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 9):
+            assert f"RPR00{i}" in out
+
+
+class TestSuppressionParsing:
+    def test_trailing_comment_covers_own_line(self):
+        text = "x = round(y)  # lint: disable=RPR003\n"
+        assert parse_suppressions(text) == {1: {"RPR003"}}
+
+    def test_own_line_comment_covers_next_line(self):
+        text = "# lint: disable=RPR003,RPR006\nx = round(y)\n"
+        supp = parse_suppressions(text)
+        assert supp[1] == {"RPR003", "RPR006"}
+        assert supp[2] == {"RPR003", "RPR006"}
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions("# just a note\nx = 1\n") == {}
+
+
+class TestRenderers:
+    @pytest.fixture()
+    def result(self):
+        ctx = build_context(
+            FIXTURES, paths=[FIXTURES / "rpr006_bad.py"], use_registry=False
+        )
+        return run_analysis(ctx, ["RPR006"])
+
+    def test_text_render_has_location_and_rule(self, result):
+        text = render_text(result)
+        assert "rpr006_bad.py:" in text
+        assert "RPR006 error:" in text
+        assert text.strip().endswith("rule(s).")
+
+    def test_json_round_trips(self, result):
+        payload = json.loads(render_json(result))
+        assert payload["summary"]["files_analyzed"] == 1
+        assert payload["rules"]["RPR006"]["severity"] == "error"

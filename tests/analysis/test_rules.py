@@ -1,0 +1,222 @@
+"""Per-rule unit tests: one positive and one negative fixture per rule.
+
+The syntactic rules (RPR003-RPR008) run on the fixture modules under
+``fixtures/``; the contract rules (RPR001/RPR002) run on synthetic
+:class:`RegistryView` snapshots so the tests control exactly which
+classes are "registered" without mutating the live package.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import build_context, run_analysis
+from repro.analysis.registry_view import IndexClassInfo, RegistryView
+from repro.analysis.rules import RULE_METADATA, RULES, AnalysisContext
+from repro.analysis.source import SourceFile
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(rule_id: str, *fixture_names: str):
+    ctx = build_context(
+        FIXTURES,
+        paths=[FIXTURES / name for name in fixture_names],
+        use_registry=False,
+    )
+    return run_analysis(ctx, [rule_id]).findings
+
+
+class TestRuleRegistry:
+    def test_all_eight_rules_registered(self):
+        assert sorted(RULES) == [f"RPR00{i}" for i in range(1, 9)]
+        assert sorted(RULE_METADATA) == sorted(RULES)
+
+    def test_metadata_has_rationale(self):
+        for meta in RULE_METADATA.values():
+            assert meta.rationale
+            assert meta.name
+
+
+def _synthetic_view(tmp_path: Path, **overrides) -> tuple[AnalysisContext, Path]:
+    """A context whose registry contains exactly one synthetic class."""
+    module = tmp_path / "fake_index.py"
+    module.write_text(
+        '"""Synthetic module."""\n\n__all__ = ["FakeIndex"]\n\n\n'
+        "class FakeIndex:\n    pass\n",
+        encoding="utf-8",
+    )
+    fields = {
+        "qualname": "fake.FakeIndex",
+        "name": "FakeIndex",
+        "module": "fake",
+        "filename": str(module),
+        "lineno": 6,
+        "family": "OneDimIndex",
+        "missing_abstract": (),
+        "batch_overrides": (),
+        "in_registry": True,
+        "factory_names": ("fake",),
+    }
+    fields.update(overrides)
+    info = IndexClassInfo(**fields)
+    view = RegistryView(
+        classes=[info],
+        factory_members={
+            "ONE_DIM_FACTORIES": {"fake.FakeIndex"},
+            "MULTI_DIM_FACTORIES": set(),
+        },
+    )
+    ctx = AnalysisContext(
+        root=tmp_path,
+        files=[SourceFile.load(module, tmp_path)],
+        registry=view,
+    )
+    return ctx, module
+
+
+class TestRPR001ContractSurface:
+    def test_fires_on_missing_abstract_methods(self, tmp_path):
+        ctx, _ = _synthetic_view(tmp_path, missing_abstract=("lookup", "range_query"))
+        findings = run_analysis(ctx, ["RPR001"]).findings
+        assert len(findings) == 1
+        assert "lookup" in findings[0].message
+
+    def test_fires_on_unregistered_class(self, tmp_path):
+        ctx, _ = _synthetic_view(tmp_path, in_registry=False, factory_names=())
+        findings = run_analysis(ctx, ["RPR001"]).findings
+        assert len(findings) == 1
+        assert "escapes" in findings[0].message
+
+    def test_quiet_on_registered_complete_class(self, tmp_path):
+        ctx, _ = _synthetic_view(tmp_path)
+        assert run_analysis(ctx, ["RPR001"]).findings == []
+
+    def test_factory_membership_alone_suffices(self, tmp_path):
+        ctx, _ = _synthetic_view(tmp_path, in_registry=False, factory_names=("fake",))
+        assert run_analysis(ctx, ["RPR001"]).findings == []
+
+
+class TestRPR002BatchParityCoverage:
+    def test_fires_on_override_outside_parity_factories(self, tmp_path):
+        ctx, _ = _synthetic_view(tmp_path, batch_overrides=("lookup_batch",))
+        ctx.registry.factory_members["ONE_DIM_FACTORIES"] = set()
+        findings = run_analysis(ctx, ["RPR002"]).findings
+        assert len(findings) == 1
+        assert "lookup_batch" in findings[0].message
+
+    def test_quiet_when_override_is_covered(self, tmp_path):
+        ctx, _ = _synthetic_view(tmp_path, batch_overrides=("lookup_batch",))
+        assert run_analysis(ctx, ["RPR002"]).findings == []
+
+    def test_fires_when_parity_test_drops_the_dicts(self, tmp_path):
+        ctx, module = _synthetic_view(tmp_path)
+        ctx.parity_test = SourceFile.load(module, tmp_path)  # no FACTORIES refs
+        findings = run_analysis(ctx, ["RPR002"]).findings
+        assert len(findings) == 2
+        assert all("unverifiable" in f.message for f in findings)
+
+
+class TestRPR003RoutingRound:
+    def test_fires_on_rint_and_round_in_routing(self):
+        findings = findings_for("RPR003", "rpr003_bad.py")
+        assert len(findings) == 2
+        assert any("rint" in f.message for f in findings)
+        assert any("round()" in f.message for f in findings)
+
+    def test_quiet_on_floor_routing_and_prediction_round(self):
+        assert findings_for("RPR003", "rpr003_good.py") == []
+
+    def test_fires_anywhere_inside_curves_modules(self, tmp_path):
+        curves = tmp_path / "curves"
+        curves.mkdir()
+        mod = curves / "morton.py"
+        mod.write_text(
+            '"""Curve module."""\n\n__all__ = ["enc"]\n\n'
+            "def enc(x):\n    return round(x)\n",
+            encoding="utf-8",
+        )
+        ctx = build_context(tmp_path, paths=[mod], use_registry=False)
+        assert len(run_analysis(ctx, ["RPR003"]).findings) == 1
+
+
+class TestRPR004UnseededRNG:
+    def test_fires_on_global_state_and_unseeded_rng(self):
+        findings = findings_for("RPR004", "rpr004_bad.py")
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "np.random.rand" in messages
+        assert "reseeds global state" in messages
+        assert "without a seed" in messages
+
+    def test_quiet_on_seeded_generators(self):
+        assert findings_for("RPR004", "rpr004_good.py") == []
+
+
+class TestRPR005StatsAccounting:
+    def test_fires_on_uncounted_scan(self):
+        findings = findings_for("RPR005", "rpr005_bad.py")
+        assert len(findings) == 1
+        assert "UncountedIndex.lookup" in findings[0].message
+
+    def test_quiet_on_counted_or_delegating_scans(self):
+        assert findings_for("RPR005", "rpr005_good.py") == []
+
+
+class TestRPR006MutableDefaults:
+    def test_fires_on_list_and_dict_defaults(self):
+        findings = findings_for("RPR006", "rpr006_bad.py")
+        assert len(findings) == 2
+
+    def test_quiet_on_none_defaults(self):
+        assert findings_for("RPR006", "rpr006_good.py") == []
+
+
+class TestRPR007BuiltFlag:
+    def test_fires_on_missing_flag_and_missing_check(self):
+        findings = findings_for("RPR007", "rpr007_bad.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "never sets self._built" in messages
+        assert "_require_built" in messages
+
+    def test_quiet_on_disciplined_and_super_delegating_classes(self):
+        assert findings_for("RPR007", "rpr007_good.py") == []
+
+
+class TestRPR008DunderAll:
+    def test_fires_on_phantom_export(self):
+        findings = findings_for("RPR008", "rpr008_bad.py")
+        assert len(findings) == 1
+        assert "phantom" in findings[0].message
+
+    def test_fires_on_missing_dunder_all(self):
+        findings = findings_for("RPR008", "rpr008_missing.py")
+        assert len(findings) == 1
+        assert "no __all__" in findings[0].message
+
+    def test_quiet_on_consistent_exports(self):
+        assert findings_for("RPR008", "rpr008_good.py") == []
+
+
+class TestSuppression:
+    @pytest.mark.parametrize("rule_id", ["RPR003", "RPR006"])
+    def test_disable_comment_moves_finding_to_suppressed(self, rule_id):
+        ctx = build_context(
+            FIXTURES, paths=[FIXTURES / "suppressed.py"], use_registry=False
+        )
+        result = run_analysis(ctx, [rule_id])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule_id == rule_id
+
+    def test_suppression_is_per_rule(self):
+        # The disable=RPR006 comment must not silence other rules there.
+        ctx = build_context(
+            FIXTURES, paths=[FIXTURES / "suppressed.py"], use_registry=False
+        )
+        result = run_analysis(ctx)
+        assert result.findings == []
+        assert {f.rule_id for f in result.suppressed} == {"RPR003", "RPR006"}

@@ -1,13 +1,7 @@
 """Tests for the taxonomy tree construction."""
 
 from repro.core.registry import REGISTRY
-from repro.core.taxonomy import (
-    Dimensionality,
-    Mutability,
-    Spectrum,
-    TaxonomyNode,
-    build_taxonomy,
-)
+from repro.core.taxonomy import TaxonomyNode, build_taxonomy
 
 
 class TestTaxonomyNode:

@@ -5,7 +5,6 @@ every mutable 1-d index and checks each observable result against a plain
 dict + sorted-list oracle.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

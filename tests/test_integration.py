@@ -13,7 +13,7 @@ from repro.bench.runner import (
     MUTABLE_ONE_DIM_FACTORIES,
     ONE_DIM_FACTORIES,
 )
-from repro.core.registry import REGISTRY, get
+from repro.core.registry import REGISTRY
 from repro.data import load_1d, load_nd, mixed_workload, range_queries_nd
 
 
