@@ -3,14 +3,29 @@
 The survey's comparison of 100+ learned indexes rests on a uniform
 contract: identical query semantics, identical cost accounting,
 registry membership.  This package enforces that contract statically
-with eight repo-specific rules (RPR001-RPR008), each with a stable ID,
-severity, ``file:line`` output, and a per-rule suppression comment
-(``# lint: disable=RPR0xx -- justification``).
+with repo-specific rules, each with a stable ID, severity,
+``file:line`` output, and a per-rule suppression comment
+(``# lint: disable=RPRxxx -- justification``):
+
+* RPR001-RPR008 — API-contract rules (registry membership, batch
+  parity, stats accounting, floor-consistent routing, ...);
+* RPR101-RPR104 — numeric-safety rules backed by the
+  :mod:`repro.analysis.dataflow` abstract interpreter (code-budget
+  overflow, lossy float64 casts, mixed-dtype routing, signed/unsigned
+  round-trips).
 
 Run ``python -m repro.analysis`` from the repository root; see the
 "Static analysis" section of README.md for the rule table.
 """
 
+from repro.analysis import numeric_rules  # noqa: F401  (registers RPR101-104)
+from repro.analysis.dataflow import (
+    AbstractValue,
+    FunctionFacts,
+    ModuleFacts,
+    analyze_module,
+    bit_width,
+)
 from repro.analysis.engine import (
     AnalysisResult,
     build_context,
@@ -28,9 +43,15 @@ from repro.analysis.rules import RULE_METADATA, RULES, AnalysisContext
 from repro.analysis.source import SourceFile, parse_suppressions
 
 __all__ = [
+    "AbstractValue",
     "AnalysisContext",
     "AnalysisResult",
     "Finding",
+    "FunctionFacts",
+    "ModuleFacts",
+    "analyze_module",
+    "bit_width",
+    "numeric_rules",
     "IndexClassInfo",
     "RegistryView",
     "RuleMeta",

@@ -6,6 +6,8 @@ Examples::
     python -m repro.analysis --format json        # machine-readable report
     python -m repro.analysis --output report.json # JSON artifact + text report
     python -m repro.analysis --rules RPR003,RPR004 path/to/file.py
+    python -m repro.analysis --select RPR1          # numeric-safety family only
+    python -m repro.analysis --ignore RPR101,RPR104 # everything except these
     python -m repro.analysis --list-rules
 
 Exit status is 0 when no unsuppressed finding remains, 1 otherwise.
@@ -48,6 +50,15 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids or prefixes to run "
+             "(e.g. --select RPR1 runs the whole numeric-safety family)",
+    )
+    parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids or prefixes to skip",
+    )
+    parser.add_argument(
         "--no-registry", action="store_true",
         help="skip the live-registry rules even on a full-repo run",
     )
@@ -56,6 +67,26 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help="print the rule table and exit",
     )
     return parser.parse_args(argv)
+
+
+def _expand_rule_patterns(spec: str) -> set[str] | None:
+    """Expand comma-separated ids/prefixes against the registered rules.
+
+    ``RPR101`` selects that rule; ``RPR1`` selects the whole RPR1xx
+    family.  Returns ``None`` (after printing to stderr) when a pattern
+    matches nothing — a misspelled id should fail loudly, not silently
+    lint with the wrong rule set.
+    """
+    expanded: set[str] = set()
+    for pattern in (p.strip() for p in spec.split(",")):
+        if not pattern:
+            continue
+        matches = {rule_id for rule_id in RULES if rule_id.startswith(pattern)}
+        if not matches:
+            print(f"no rule matches pattern: {pattern}", file=sys.stderr)
+            return None
+        expanded |= matches
+    return expanded
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,6 +104,21 @@ def main(argv: list[str] | None = None) -> int:
         if unknown:
             print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
+    if args.select:
+        selected = _expand_rule_patterns(args.select)
+        if selected is None:
+            return 2
+        rule_ids = sorted(set(rule_ids or []) | selected) if args.rules \
+            else sorted(selected)
+    if args.ignore:
+        ignored = _expand_rule_patterns(args.ignore)
+        if ignored is None:
+            return 2
+        remaining = set(rule_ids if rule_ids is not None else RULES) - ignored
+        if not remaining:
+            print("--ignore removed every rule", file=sys.stderr)
+            return 2
+        rule_ids = sorted(remaining)
 
     paths = list(args.paths) or None
     ctx = build_context(

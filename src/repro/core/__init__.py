@@ -1,5 +1,6 @@
 """Core package: index interfaces and the paper's taxonomy artifacts."""
 
+from repro.core import sanitize
 from repro.core.interfaces import (
     IndexStats,
     MembershipFilter,
@@ -9,7 +10,9 @@ from repro.core.interfaces import (
     NotBuiltError,
     OneDimIndex,
 )
+from repro.core.numeric import FLOAT64_EXACT_BITS, FLOAT64_EXACT_MAX, exact_float64
 from repro.core.registry import REGISTRY, IndexInfo, get, lineage_graph, query
+from repro.core.sanitize import SanitizeError
 from repro.core.taxonomy import (
     Dimensionality,
     HybridComponent,
@@ -25,6 +28,11 @@ from repro.core.taxonomy import (
 )
 
 __all__ = [
+    "FLOAT64_EXACT_BITS",
+    "FLOAT64_EXACT_MAX",
+    "SanitizeError",
+    "exact_float64",
+    "sanitize",
     "IndexStats",
     "MembershipFilter",
     "MultiDimIndex",

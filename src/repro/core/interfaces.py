@@ -27,6 +27,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.numeric import exact_float64
+
 __all__ = [
     "IndexStats",
     "OneDimIndex",
@@ -191,8 +193,14 @@ class OneDimIndex(abc.ABC):
 
         Default values are the ranks in sorted order, matching the learned
         index literature where the payload is the key's position.
+
+        Integer keys (SOSD workloads use the full 64-bit range) must
+        survive the float64 cast exactly: above ``2**53`` distinct keys
+        can merge, which corrupts lookups while looking like a model
+        accuracy problem, so :func:`repro.core.numeric.exact_float64`
+        raises instead of casting lossily.
         """
-        arr = np.asarray(keys, dtype=np.float64)
+        arr = exact_float64(keys, what="index keys")
         if arr.ndim != 1:
             raise ValueError("keys must be one-dimensional")
         if arr.size and not np.all(np.isfinite(arr)):

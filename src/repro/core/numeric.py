@@ -1,0 +1,70 @@
+"""Numeric-safety helpers shared by the kernels.
+
+SOSD-style workloads carry full 64-bit integer keys, and the projected
+multi-dimensional indexes produce Morton/Hilbert codes up to 62 bits
+wide.  float64 represents integers exactly only up to ``2**53``
+(:data:`FLOAT64_EXACT_BITS`); casting wider integers to float silently
+merges distinct keys, which corrupts lookups while *looking* like a
+performance artefact (cf. Marcus et al., "Benchmarking Learned
+Indexes").  :func:`exact_float64` is the sanctioned cast: it performs
+the int -> float64 conversion but raises when any value would not
+round-trip.  The ``RPR102`` dataflow rule flags raw ``astype(float64)``
+casts of wide integers and points at this helper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FLOAT64_EXACT_BITS", "FLOAT64_EXACT_MAX", "exact_float64"]
+
+#: float64 has a 53-bit significand: integers in [-2^53, 2^53] are exact.
+FLOAT64_EXACT_BITS = 53
+
+#: Largest magnitude below which *every* integer is exactly representable.
+FLOAT64_EXACT_MAX = 1 << FLOAT64_EXACT_BITS
+
+
+def exact_float64(values: object, *, what: str = "values") -> np.ndarray:
+    """Cast ``values`` to float64, raising if any integer would be lossy.
+
+    Float input is passed through (converted to float64 if needed); the
+    round-trip check applies to integer dtypes only.  Values beyond
+    ``2**53`` that happen to be exactly representable (e.g. ``2**53 + 2``)
+    are accepted — the check is value-dependent, not a blanket magnitude
+    cut-off — so the guard costs one min/max scan unless the data
+    actually strays beyond the exact range.
+
+    Args:
+        values: array-like of numbers.
+        what: label used in the error message.
+
+    Raises:
+        ValueError: when an integer value does not survive the
+            int -> float64 -> int round-trip.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == object:
+        # Python ints wider than 64 bits (object-dtype Morton codes).
+        out = arr.astype(np.float64)
+        if arr.size and any(int(v) != int(f) for v, f in zip(arr.ravel(), out.ravel())):
+            raise ValueError(
+                f"{what}: integer values exceed float64's exact range "
+                f"(2^{FLOAT64_EXACT_BITS}); a float cast would merge distinct values"
+            )
+        return out
+    if arr.dtype.kind not in "iu":
+        return arr if arr.dtype == np.float64 else arr.astype(np.float64)
+    out = arr.astype(np.float64)
+    if arr.size:
+        hi = int(arr.max())
+        lo = int(arr.min())
+        if hi > FLOAT64_EXACT_MAX or lo < -FLOAT64_EXACT_MAX:
+            with np.errstate(invalid="ignore", over="ignore"):
+                back = out.astype(arr.dtype)
+            if not np.array_equal(back, arr):
+                raise ValueError(
+                    f"{what}: integer values exceed float64's exact range "
+                    f"(2^{FLOAT64_EXACT_BITS}); a float cast would merge distinct values"
+                )
+    return out

@@ -1,0 +1,96 @@
+"""Runtime sanitizer: ``REPRO_SANITIZE=1`` turns on kernel invariant asserts.
+
+The ``RPR1xx`` dataflow rules check dtype/bit-width discipline
+*statically*; this module is the dynamic cross-check.  When the
+``REPRO_SANITIZE`` environment variable is truthy, the curve kernels and
+model builders verify at runtime the same invariants the analyzer
+reasons about:
+
+* **overflow headroom** — interleaved codes stay non-negative after the
+  uint64 -> int64 round-trip (the top bit was never set);
+* **lattice-coordinate range** — quantised coordinates lie in
+  ``[0, 2**bits)`` before bit-spreading, so magic-mask truncation can
+  never silently alter a code;
+* **epsilon-bound containment** — freshly built PLA segments are
+  re-verified against the keys they model.
+
+Checks are cheap (one or two vectorised comparisons per kernel call,
+one O(n) pass per model build) but not free, so they default to off;
+CI runs the tier-1 suite once with the sanitizer enabled.  The
+environment variable is read on every call — tests can monkeypatch it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "ENV_VAR",
+    "SanitizeError",
+    "enabled",
+    "check",
+    "check_lattice_coords",
+    "check_code_headroom",
+]
+
+#: Environment variable gating the runtime checks.
+ENV_VAR = "REPRO_SANITIZE"
+
+_FALSY = {"", "0", "false", "off", "no"}
+
+
+class SanitizeError(AssertionError):
+    """A runtime invariant check failed under ``REPRO_SANITIZE=1``."""
+
+
+def enabled() -> bool:
+    """Whether sanitizer checks are active (re-read from the environment)."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def check(condition: bool, message: str) -> None:
+    """Raise :class:`SanitizeError` if ``condition`` is false.
+
+    No-op while the sanitizer is disabled, so callers may invoke it
+    unguarded; hot paths still pre-check :func:`enabled` to skip the
+    cost of *computing* the condition.
+    """
+    if not condition and enabled():
+        raise SanitizeError(message)
+
+
+def check_lattice_coords(coords: np.ndarray, bits: int, *, what: str) -> None:
+    """Assert integer lattice coordinates lie in ``[0, 2**bits)``.
+
+    Out-of-range coordinates are the one input class the magic-mask
+    bit-spreading fast paths silently truncate (scalar encoders raise or
+    keep full precision instead), so this is checked before spreading.
+    """
+    arr = np.asarray(coords)
+    if arr.size == 0:
+        return
+    lo = arr.min()
+    hi = arr.max()
+    check(
+        bool(lo >= 0) and bool(hi < (1 << bits)),
+        f"{what}: lattice coordinates out of range [0, 2^{bits}) "
+        f"(observed min={lo}, max={hi})",
+    )
+
+
+def check_code_headroom(codes: np.ndarray, *, what: str) -> None:
+    """Assert int64 curve codes are non-negative (top bit never set).
+
+    A negative code means the uint64 spreading pipeline produced a value
+    with bit 63 set — the budget guard or a mask table is wrong.
+    """
+    arr = np.asarray(codes)
+    if arr.size == 0 or arr.dtype == object:
+        return
+    check(
+        bool(arr.min() >= 0),
+        f"{what}: interleaved code has its sign bit set (uint64 value "
+        "overflowed the int64 headroom)",
+    )

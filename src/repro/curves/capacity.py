@@ -1,0 +1,59 @@
+"""Shared code-budget and fast-path capacity checks for the curve kernels.
+
+Every vectorised curve encoder (Z-order and Hilbert alike) packs
+``dims * bits`` interleaved bits into an int64 code, so the int64 fast
+paths require ``dims * bits <= 62`` (:data:`CODE_BUDGET_BITS`); wider
+codes must take the exact object-dtype path.  Independently, the
+magic-number bit-spreading tables only preserve a fixed number of input
+bits per dimension (:data:`FAST_PATH_COORD_BITS`): 32 for d=2 and 21
+for d=3.  Within the 62-bit budget the masks always have headroom
+(31 <= 32, 20 <= 21), but the two limits are distinct facts — this
+module checks both explicitly so a future budget or mask-table change
+can never reintroduce silent truncation, and so the scalar and array
+paths raise the *same* error for the same inputs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CODE_BUDGET_BITS",
+    "FAST_PATH_COORD_BITS",
+    "fits_code_budget",
+    "require_code_budget",
+]
+
+#: Interleaved codes must fit an int64 with headroom: ``dims * bits <= 62``.
+CODE_BUDGET_BITS = 62
+
+#: Bits per coordinate preserved by the magic-mask spreading tables.
+FAST_PATH_COORD_BITS = {2: 32, 3: 21}
+
+
+def fits_code_budget(dims: int, bits: int) -> bool:
+    """Whether ``dims``-dimensional ``bits``-wide codes fit the int64 paths.
+
+    True iff ``dims * bits <= 62`` *and* ``bits`` does not exceed the
+    magic-mask input width for this dimensionality (32 for d=2, 21 for
+    d=3; other dimensionalities use per-bit loops with no mask limit).
+    """
+    if dims * bits > CODE_BUDGET_BITS:
+        return False
+    return bits <= FAST_PATH_COORD_BITS.get(dims, bits)
+
+
+def require_code_budget(dims: int, bits: int) -> None:
+    """Raise ``ValueError`` unless :func:`fits_code_budget` holds.
+
+    Shared by the scalar and vectorised Z-order/Hilbert paths so every
+    caller sees one canonical error for an over-budget geometry.
+    """
+    if dims * bits > CODE_BUDGET_BITS:
+        raise ValueError(
+            f"dims * bits must be <= {CODE_BUDGET_BITS} for int64 codes "
+            f"(got dims={dims}, bits={bits})"
+        )
+    cap = FAST_PATH_COORD_BITS.get(dims)
+    if cap is not None and bits > cap:
+        raise ValueError(
+            f"bits={bits} exceeds the {cap}-bit d={dims} fast-path mask capacity"
+        )

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import sanitize as _sanitize
+from repro.curves.capacity import fits_code_budget
 from repro.curves.zorder import interleave_array
 
 __all__ = ["hilbert_encode", "hilbert_decode", "hilbert_encode_array"]
@@ -100,7 +102,7 @@ def hilbert_encode_array(coords: np.ndarray, bits: int) -> np.ndarray:
     """
     arr = np.asarray(coords)
     n, d = arr.shape
-    if d * bits > 62:
+    if not fits_code_budget(d, bits):
         out = np.empty(n, dtype=object)
         for i in range(n):
             out[i] = hilbert_encode(tuple(int(c) for c in arr[i]), bits)
@@ -132,4 +134,7 @@ def hilbert_encode_array(coords: np.ndarray, bits: int) -> np.ndarray:
         t = np.where((x[:, d - 1] & q) != 0, t ^ (q - 1), t)
         q >>= 1
     x ^= t[:, None]
-    return interleave_array(x, bits)
+    codes = interleave_array(x, bits)
+    if _sanitize.enabled():
+        _sanitize.check_code_headroom(codes, what="hilbert_encode_array")
+    return codes

@@ -14,6 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import sanitize as _sanitize
+from repro.curves.capacity import fits_code_budget, require_code_budget
+
 __all__ = [
     "interleave",
     "deinterleave",
@@ -154,15 +157,19 @@ def interleave_array(coords: np.ndarray, bits: int) -> np.ndarray:
     """
     arr = np.asarray(coords, dtype=np.int64)
     n, d = arr.shape
-    if d * bits > 62:
-        raise ValueError("d * bits must be <= 62 for int64 codes")
+    require_code_budget(d, bits)
+    if _sanitize.enabled():
+        _sanitize.check_lattice_coords(arr, bits, what="interleave_array")
     if d == 1:
         return arr[:, 0].copy()
     if d in (2, 3):
         codes = np.zeros(n, dtype=np.uint64)
         for dim in range(d):
             codes |= _spread(arr[:, dim], d) << np.uint64(d - 1 - dim)
-        return codes.astype(np.int64)
+        out = codes.astype(np.int64)
+        if _sanitize.enabled():
+            _sanitize.check_code_headroom(out, what="interleave_array")
+        return out
     codes = np.zeros(n, dtype=np.int64)
     for bit in range(bits):
         col = (arr >> bit) & 1
@@ -172,10 +179,20 @@ def interleave_array(coords: np.ndarray, bits: int) -> np.ndarray:
 
 
 def deinterleave_array(codes: np.ndarray, dims: int, bits: int) -> np.ndarray:
-    """Vectorised :func:`deinterleave`: codes back to ``(n, d)`` coords."""
+    """Vectorised :func:`deinterleave`: codes back to ``(n, d)`` coords.
+
+    Geometries beyond the int64 fast-path budget (the object-dtype codes
+    :func:`zencode_array` produces, e.g. ``bits=22, dims=3``) are decoded
+    with the exact scalar decoder per code; coordinates always fit int64
+    because ``bits <= 31``.
+    """
+    if not fits_code_budget(dims, bits):
+        seq = np.asarray(codes, dtype=object).ravel()
+        wide = np.empty((seq.size, dims), dtype=np.int64)
+        for i, c in enumerate(seq):
+            wide[i] = deinterleave(int(c), dims, bits)
+        return wide
     arr = np.asarray(codes, dtype=np.int64)
-    if dims * bits > 62:
-        raise ValueError("dims * bits must be <= 62 for int64 codes")
     if dims == 1:
         return arr[:, None].copy()
     out = np.empty((arr.size, dims), dtype=np.int64)
@@ -183,6 +200,8 @@ def deinterleave_array(codes: np.ndarray, dims: int, bits: int) -> np.ndarray:
         u = arr.astype(np.uint64)
         for dim in range(dims):
             out[:, dim] = _compact(u >> np.uint64(dims - 1 - dim), dims)
+        if _sanitize.enabled():
+            _sanitize.check_lattice_coords(out, bits, what="deinterleave_array")
         return out
     out[:] = 0
     for bit in range(bits):
@@ -201,7 +220,7 @@ def zencode_array(points: np.ndarray, lo, hi, bits: int) -> np.ndarray:
     pts = np.asarray(points, dtype=np.float64)
     n, d = pts.shape
     coords = quantize(pts, np.asarray(lo, dtype=np.float64), np.asarray(hi, dtype=np.float64), bits)
-    if d * bits <= 62:
+    if fits_code_budget(d, bits):
         return interleave_array(coords, bits)
     out = np.empty(n, dtype=object)
     for i in range(n):

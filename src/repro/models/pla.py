@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import sanitize as _sanitize
+
 __all__ = ["Segment", "segment_stream", "segment_greedy_splits", "verify_epsilon"]
 
 
@@ -103,6 +105,7 @@ def segment_stream(keys: np.ndarray, epsilon: float, positions: np.ndarray | Non
     n = keys.size
     if n == 0:
         return []
+    default_positions = positions is None
     if positions is None:
         positions = np.arange(n, dtype=np.float64)
     else:
@@ -155,6 +158,16 @@ def segment_stream(keys: np.ndarray, epsilon: float, positions: np.ndarray | Non
         key=anchor_key, slope=slope, anchor_pos=anchor_pos,
         first=start, last=n,
     ))
+    if default_positions and _sanitize.enabled():
+        # Dynamic cross-check of the construction guarantee: every index
+        # built on these segments searches a window of epsilon + 1
+        # positions, so that is the bound the sanitizer holds us to.
+        worst = verify_epsilon(keys, segments, epsilon)
+        _sanitize.check(
+            worst <= epsilon + 1.0,
+            f"segment_stream: epsilon bound violated (worst error {worst} "
+            f"> epsilon + 1 = {epsilon + 1.0})",
+        )
     return segments
 
 

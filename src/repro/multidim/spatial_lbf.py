@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.baselines.bloom import BloomFilter
 from repro.core.interfaces import MembershipFilter
+from repro.core.numeric import exact_float64
+from repro.curves.capacity import require_code_budget
 from repro.curves.zorder import zencode_array
 from repro.onedim.learned_bloom import LearnedBloomFilter
 
@@ -61,7 +63,11 @@ class SpatialLearnedBloomFilter(MembershipFilter):
         self._outside: set[tuple[float, ...]] = set()
 
     def _codes_of(self, points: np.ndarray) -> np.ndarray:
-        return zencode_array(points, self._lo, self._hi, self.bits).astype(np.float64)
+        # Region filters hash float64 keys; exact_float64 rejects code
+        # geometries whose Morton codes would alias above 2^53 (which
+        # would silently create false positives *and* false negatives).
+        codes = zencode_array(points, self._lo, self._hi, self.bits)
+        return exact_float64(codes, what="spatial-lbf codes")
 
     def _prefix_of(self, code: float) -> int:
         total_bits = self.bits * self.dims
@@ -73,8 +79,7 @@ class SpatialLearnedBloomFilter(MembershipFilter):
         if pts.ndim != 2 or pts.shape[0] == 0:
             raise ValueError("points must be a non-empty (n, d) array")
         self.dims = int(pts.shape[1])
-        if self.bits * self.dims > 62:
-            raise ValueError("bits * dims must be <= 62")
+        require_code_budget(self.dims, self.bits)
         self._lo = pts.min(axis=0)
         self._hi = pts.max(axis=0)
         self._count = int(pts.shape[0])

@@ -14,6 +14,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.interfaces import MultiDimIndex, as_object_array
+from repro.core.numeric import exact_float64
+from repro.curves.capacity import require_code_budget
 from repro.curves.zorder import bigmin, interleave, quantize, zencode_array
 from repro.models.pla import Segment, segment_stream
 from repro.onedim._search import bounded_binary_search, bounded_search_batch, lower_bound
@@ -47,7 +49,7 @@ class ZMIndex(MultiDimIndex):
         self._lo = np.zeros(2)
         self._hi = np.ones(2)
         self._segments: list[Segment] = []
-        self._segment_keys = np.empty(0)
+        self._segment_keys = np.empty(0, dtype=np.int64)
         self._seg_slopes = np.empty(0)
         self._seg_anchors = np.empty(0)
         self._seg_firsts = np.empty(0, dtype=np.int64)
@@ -62,8 +64,7 @@ class ZMIndex(MultiDimIndex):
             self._points = pts
             self._values = []
             return self
-        if self.bits * self.dims > 62:
-            raise ValueError("bits * dims must be <= 62 for int64 codes")
+        require_code_budget(self.dims, self.bits)
         self._lo = pts.min(axis=0)
         self._hi = pts.max(axis=0)
         self._extent = float(np.max(self._hi - self._lo)) or 1.0
@@ -77,13 +78,20 @@ class ZMIndex(MultiDimIndex):
         self._values_arr = as_object_array(self._values)
 
         # Learned 1-d model over the sorted codes (plus column views of
-        # the segment parameters for the vectorized batch path).
-        self._segments = segment_stream(self._codes.astype(np.float64), float(self.epsilon))
-        self._segment_keys = np.array([seg.key for seg in self._segments])
+        # the segment parameters for the vectorized batch path).  Codes
+        # can be up to 62 bits wide; exact_float64 rejects any build
+        # whose codes would alias under the model's float64 arithmetic.
+        self._segments = segment_stream(
+            exact_float64(self._codes, what="zm-index code keys"), float(self.epsilon)
+        )
         self._seg_slopes = np.array([seg.slope for seg in self._segments])
         self._seg_anchors = np.array([seg.anchor_pos for seg in self._segments])
         self._seg_firsts = np.array([seg.first for seg in self._segments], dtype=np.int64)
         self._seg_lasts = np.array([seg.last for seg in self._segments], dtype=np.int64)
+        # Segment routing keys stay int64 (each anchor is the code at the
+        # segment's first position) so searchsorted compares codes to
+        # codes without a dtype mix.
+        self._segment_keys = self._codes[self._seg_firsts]
         self.stats.size_bytes = (
             sum(seg.size_bytes for seg in self._segments)
             + 8 * int(self._codes.size)  # the code column

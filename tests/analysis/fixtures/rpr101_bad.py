@@ -1,0 +1,25 @@
+"""RPR101 positive fixture: code-budget overflows the analyzer must flag."""
+
+__all__ = ["shift_overflow", "interleave_unguarded"]
+
+import numpy as np
+
+# Spread table whose d=3 in-mask only admits 19 coordinate bits, below the
+# 20 bits the 62-bit int64 budget allows at d=3.
+_SPREAD_STEPS = {
+    3: (
+        ((2, np.uint64(0x1249249249249249)),),
+        np.uint64(0x7FFFF),
+    ),
+}
+
+
+def shift_overflow(values):
+    masked = np.asarray(values, dtype=np.uint64) & np.uint64((1 << 62) - 1)
+    return masked << np.uint64(16)
+
+
+def interleave_unguarded(points, bits):
+    arr = points.astype(np.uint64)
+    spread = (arr | (arr << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    return spread

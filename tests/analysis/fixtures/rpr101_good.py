@@ -1,0 +1,28 @@
+"""RPR101 negative fixture: budget-respecting curve arithmetic."""
+
+__all__ = ["interleave_guarded"]
+
+import numpy as np
+
+from repro.curves.capacity import require_code_budget
+
+# d=2 table with the full 32-bit coordinate capacity the budget allows.
+_SPREAD_STEPS = {
+    2: (
+        ((16, np.uint64(0x0000FFFF0000FFFF)),),
+        np.uint64(0xFFFFFFFF),
+    ),
+}
+
+
+def interleave_guarded(points, bits):
+    require_code_budget(2, bits)
+    arr = points.astype(np.uint64) & np.uint64((1 << 31) - 1)
+    spread = (arr | (arr << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    return spread
+
+
+def _spread_helper(values):
+    # Private helpers run under an already-guarded public entry point.
+    masked = np.asarray(values, dtype=np.uint64) & np.uint64(0xFF)
+    return masked << np.uint64(8)

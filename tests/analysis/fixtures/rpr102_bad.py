@@ -1,0 +1,10 @@
+"""RPR102 positive fixture: lossy int -> float64 cast with no 2^53 guard."""
+
+__all__ = ["codes_as_float"]
+
+import numpy as np
+
+
+def codes_as_float(codes):
+    wide = np.asarray(codes, dtype=np.int64) & np.int64((1 << 62) - 1)
+    return wide.astype(np.float64)

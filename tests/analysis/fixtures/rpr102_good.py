@@ -1,0 +1,24 @@
+"""RPR102 negative fixture: guarded or narrow int -> float64 casts."""
+
+__all__ = ["codes_via_helper", "codes_with_explicit_guard", "narrow_codes"]
+
+import numpy as np
+
+from repro.core.numeric import exact_float64
+
+
+def codes_via_helper(codes):
+    wide = np.asarray(codes, dtype=np.int64) & np.int64((1 << 62) - 1)
+    return exact_float64(wide, what="fixture codes")
+
+
+def codes_with_explicit_guard(codes):
+    wide = np.asarray(codes, dtype=np.int64) & np.int64((1 << 62) - 1)
+    if np.abs(wide).max() >= 2**53:
+        raise ValueError("codes exceed float64's exact integer range")
+    return wide.astype(np.float64)
+
+
+def narrow_codes(codes):
+    narrow = np.asarray(codes, dtype=np.int64) & np.int64((1 << 40) - 1)
+    return narrow.astype(np.float64)

@@ -1,0 +1,15 @@
+"""RPR103 positive fixture: wide integers routed against float operands."""
+
+__all__ = ["route", "compare"]
+
+import numpy as np
+
+
+def route(float_keys, codes):
+    wide = np.asarray(codes, dtype=np.int64) & np.int64((1 << 62) - 1)
+    return np.searchsorted(float_keys.astype(np.float64), wide)
+
+
+def compare(codes, float_bounds):
+    wide = np.asarray(codes, dtype=np.int64) & np.int64((1 << 62) - 1)
+    return wide <= float_bounds.astype(np.float64)

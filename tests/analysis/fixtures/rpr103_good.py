@@ -1,0 +1,15 @@
+"""RPR103 negative fixture: dtype-consistent routing."""
+
+__all__ = ["route_int", "compare_small"]
+
+import numpy as np
+
+
+def route_int(sorted_codes, codes):
+    wide = np.asarray(codes, dtype=np.int64) & np.int64((1 << 62) - 1)
+    return np.searchsorted(sorted_codes.astype(np.int64), wide)
+
+
+def compare_small(arr):
+    narrow = np.asarray(arr, dtype=np.int64) & np.int64(0xFFFF)
+    return narrow > 0.5

@@ -1,0 +1,15 @@
+"""RPR104 positive fixture: sign-dropping uint64/int64 round-trips."""
+
+__all__ = ["top_bit_set", "wrap_negative"]
+
+import numpy as np
+
+
+def top_bit_set(values):
+    u = (np.asarray(values, dtype=np.uint64) & np.uint64(0xFFFFFFFF)) | np.uint64(1 << 63)
+    return u.astype(np.int64)
+
+
+def wrap_negative(values):
+    delta = (np.asarray(values, dtype=np.int64) & np.int64(0xFF)) - np.int64(1)
+    return delta.astype(np.uint64)

@@ -1,0 +1,16 @@
+"""RPR104 negative fixture: round-trips that provably keep headroom."""
+
+__all__ = ["headroom_kept", "clamped_nonnegative"]
+
+import numpy as np
+
+
+def headroom_kept(values):
+    u = np.asarray(values, dtype=np.uint64) & np.uint64((1 << 62) - 1)
+    return u.astype(np.int64)
+
+
+def clamped_nonnegative(values):
+    delta = (np.asarray(values, dtype=np.int64) & np.int64(0xFF)) - np.int64(1)
+    clamped = np.maximum(delta, np.int64(0))
+    return clamped.astype(np.uint64)

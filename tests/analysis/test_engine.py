@@ -34,7 +34,8 @@ class TestRepoGate:
         assert result.exit_code == 1
         # Every syntactic rule fires at least once across the fixture set.
         fired = {f.rule_id for f in result.findings}
-        assert {"RPR003", "RPR004", "RPR005", "RPR006", "RPR007", "RPR008"} <= fired
+        assert {"RPR003", "RPR004", "RPR005", "RPR006", "RPR007", "RPR008",
+                "RPR101", "RPR102", "RPR103", "RPR104"} <= fired
 
 
 class TestCLI:
@@ -64,7 +65,9 @@ class TestCLI:
         capsys.readouterr()
         payload = json.loads(report.read_text())
         assert payload["summary"]["findings"] == 0
-        assert set(payload["rules"]) == {f"RPR00{i}" for i in range(1, 9)}
+        expected = {f"RPR00{i}" for i in range(1, 9)}
+        expected |= {f"RPR10{i}" for i in range(1, 5)}
+        assert set(payload["rules"]) == expected
 
     def test_rule_selection(self, capsys):
         code = main([
@@ -79,11 +82,41 @@ class TestCLI:
     def test_unknown_rule_is_usage_error(self, capsys):
         assert main(["--rules", "RPR999"]) == 2
 
+    def test_select_expands_rule_family(self, capsys):
+        code = main([
+            "--root", str(FIXTURES), "--select", "RPR1",
+            str(FIXTURES / "rpr102_bad.py"),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RPR102" in out
+        assert "4 rule(s)" in out  # RPR1 expands to the whole family
+
+    def test_ignore_drops_rule_family(self, capsys):
+        code = main([
+            "--root", str(FIXTURES), "--ignore", "RPR1",
+            str(FIXTURES / "rpr102_bad.py"),
+        ])
+        out = capsys.readouterr().out
+        assert "RPR102" not in out
+        assert "8 rule(s)" in out
+        del code  # exit code depends on other rules; selection is the contract
+
+    def test_select_unmatched_pattern_is_usage_error(self, capsys):
+        assert main(["--select", "RPRX"]) == 2
+        assert "no rule matches" in capsys.readouterr().err
+
+    def test_ignore_everything_is_usage_error(self, capsys):
+        assert main(["--ignore", "RPR"]) == 2
+        assert "removed every rule" in capsys.readouterr().err
+
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for i in range(1, 9):
             assert f"RPR00{i}" in out
+        for i in range(1, 5):
+            assert f"RPR10{i}" in out
 
 
 class TestSuppressionParsing:

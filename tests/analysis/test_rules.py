@@ -30,8 +30,10 @@ def findings_for(rule_id: str, *fixture_names: str):
 
 
 class TestRuleRegistry:
-    def test_all_eight_rules_registered(self):
-        assert sorted(RULES) == [f"RPR00{i}" for i in range(1, 9)]
+    def test_all_twelve_rules_registered(self):
+        expected = [f"RPR00{i}" for i in range(1, 9)]
+        expected += [f"RPR10{i}" for i in range(1, 5)]
+        assert sorted(RULES) == expected
         assert sorted(RULE_METADATA) == sorted(RULES)
 
     def test_metadata_has_rationale(self):
@@ -199,6 +201,52 @@ class TestRPR008DunderAll:
 
     def test_quiet_on_consistent_exports(self):
         assert findings_for("RPR008", "rpr008_good.py") == []
+
+
+class TestRPR101CodeBudget:
+    def test_fires_on_narrow_mask_table_and_wide_shifts(self):
+        findings = findings_for("RPR101", "rpr101_bad.py")
+        messages = [f.message for f in findings]
+        assert any("spread-table input mask for d=3" in m for m in messages)
+        assert any("78 bits" in m for m in messages)
+        unguarded = {m.split("'")[1] for m in messages if "'" in m}
+        assert {"shift_overflow", "interleave_unguarded"} <= unguarded
+
+    def test_quiet_on_guarded_kernels_and_full_masks(self):
+        assert findings_for("RPR101", "rpr101_good.py") == []
+
+
+class TestRPR102LossyFloatCast:
+    def test_fires_on_unguarded_wide_cast(self):
+        findings = findings_for("RPR102", "rpr102_bad.py")
+        assert len(findings) == 1
+        assert "62 bits" in findings[0].message
+        assert "exact_float64" in findings[0].message
+
+    def test_quiet_on_guarded_or_narrow_casts(self):
+        assert findings_for("RPR102", "rpr102_good.py") == []
+
+
+class TestRPR103MixedDtypeRouting:
+    def test_fires_on_searchsorted_and_comparison(self):
+        findings = findings_for("RPR103", "rpr103_bad.py")
+        assert len(findings) == 2
+        assert any("searchsorted" in f.message for f in findings)
+        assert any("comparison" in f.message for f in findings)
+
+    def test_quiet_on_integral_routing(self):
+        assert findings_for("RPR103", "rpr103_good.py") == []
+
+
+class TestRPR104SignRoundTrip:
+    def test_fires_on_top_bit_and_negative_wrap(self):
+        findings = findings_for("RPR104", "rpr104_bad.py")
+        assert len(findings) == 2
+        assert any("sign bit" in f.message for f in findings)
+        assert any("wrap to huge codes" in f.message for f in findings)
+
+    def test_quiet_on_headroom_and_clamped_values(self):
+        assert findings_for("RPR104", "rpr104_good.py") == []
 
 
 class TestSuppression:

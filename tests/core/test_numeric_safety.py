@@ -1,0 +1,145 @@
+"""Tests for the float64-exactness guard and the runtime sanitizer.
+
+``exact_float64`` is the sanctioned int -> float64 cast: it must pass
+exactly-representable integers through bit-for-bit and refuse casts that
+would merge distinct keys.  The sanitizer (``REPRO_SANITIZE=1``) is the
+dynamic complement of the static RPR1xx rules, so its enable/disable
+semantics and its checks are contracts of their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import sanitize
+from repro.core.numeric import FLOAT64_EXACT_BITS, FLOAT64_EXACT_MAX, exact_float64
+from repro.core.sanitize import SanitizeError
+from repro.curves.zorder import interleave_array
+from repro.models.pla import segment_stream
+from repro.multidim.zm_index import ZMIndex
+
+
+class TestExactFloat64:
+    def test_float_input_passes_through(self):
+        arr = np.array([1.5, -2.25, 1e300])
+        out = exact_float64(arr, what="keys")
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == np.float64
+
+    def test_small_ints_cast_exactly(self):
+        arr = np.array([0, 1, -5, 2**52], dtype=np.int64)
+        out = exact_float64(arr, what="keys")
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out.astype(np.int64), arr)
+
+    def test_boundary_value_is_exact(self):
+        out = exact_float64(np.array([FLOAT64_EXACT_MAX], dtype=np.int64), what="keys")
+        assert int(out[0]) == 2**FLOAT64_EXACT_BITS
+
+    def test_representable_values_beyond_2_53_pass(self):
+        # Even integers just past 2^53 are exactly representable.
+        arr = np.array([2**53 + 2, 2**53 + 4, 2**54], dtype=np.int64)
+        out = exact_float64(arr, what="keys")
+        np.testing.assert_array_equal(out.astype(np.int64), arr)
+
+    def test_unrepresentable_value_raises(self):
+        with pytest.raises(ValueError, match="exact range"):
+            exact_float64(np.array([2**53 + 1], dtype=np.int64), what="keys")
+
+    def test_error_names_the_operand(self):
+        with pytest.raises(ValueError, match="zm-index code keys"):
+            exact_float64(np.array([2**53 + 1], dtype=np.int64),
+                          what="zm-index code keys")
+
+    def test_object_dtype_wide_ints_raise(self):
+        arr = np.array([2**80 + 1], dtype=object)
+        with pytest.raises(ValueError, match="exact range"):
+            exact_float64(arr, what="keys")
+
+    def test_object_dtype_safe_ints_pass(self):
+        arr = np.array([3, 2**20], dtype=object)
+        out = exact_float64(arr, what="keys")
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [3.0, float(2**20)])
+
+
+class TestSanitizeToggle:
+    def test_disabled_by_default_values(self, monkeypatch):
+        for value in ("", "0", "false", "off", "no", "FALSE", " 0 "):
+            monkeypatch.setenv(sanitize.ENV_VAR, value)
+            assert not sanitize.enabled()
+        monkeypatch.delenv(sanitize.ENV_VAR)
+        assert not sanitize.enabled()
+
+    def test_enabled_by_truthy_values(self, monkeypatch):
+        for value in ("1", "true", "on", "yes"):
+            monkeypatch.setenv(sanitize.ENV_VAR, value)
+            assert sanitize.enabled()
+
+    def test_check_raises_only_when_enabled(self, monkeypatch):
+        monkeypatch.setenv(sanitize.ENV_VAR, "0")
+        sanitize.check(False, "ignored while disabled")
+        monkeypatch.setenv(sanitize.ENV_VAR, "1")
+        with pytest.raises(SanitizeError, match="boom"):
+            sanitize.check(False, "boom")
+        sanitize.check(True, "fine")
+
+
+class TestSanitizeChecks:
+    @pytest.fixture(autouse=True)
+    def _enable(self, monkeypatch):
+        monkeypatch.setenv(sanitize.ENV_VAR, "1")
+
+    def test_lattice_coords_in_range_pass(self):
+        coords = np.array([[0, 1], [3, 2]], dtype=np.int64)
+        sanitize.check_lattice_coords(coords, 2, what="test")
+
+    def test_lattice_coords_too_large_raise(self):
+        coords = np.array([[0, 4]], dtype=np.int64)  # 4 >= 2^2
+        with pytest.raises(SanitizeError, match="test"):
+            sanitize.check_lattice_coords(coords, 2, what="test")
+
+    def test_lattice_coords_negative_raise(self):
+        with pytest.raises(SanitizeError):
+            sanitize.check_lattice_coords(np.array([[-1, 0]]), 4, what="test")
+
+    def test_code_headroom_rejects_negative_codes(self):
+        with pytest.raises(SanitizeError):
+            sanitize.check_code_headroom(np.array([-1], dtype=np.int64), what="test")
+
+    def test_code_headroom_skips_object_dtype(self):
+        sanitize.check_code_headroom(np.array([2**70], dtype=object), what="test")
+
+
+class TestSanitizeWiring:
+    """End-to-end: the kernels actually consult the sanitizer."""
+
+    def test_interleave_rejects_out_of_range_coords(self, monkeypatch):
+        coords = np.array([[1 << 10, 0]], dtype=np.int64)  # needs 11 bits
+        monkeypatch.setenv(sanitize.ENV_VAR, "0")
+        interleave_array(coords, 8)  # silently truncates when disabled
+        monkeypatch.setenv(sanitize.ENV_VAR, "1")
+        with pytest.raises(SanitizeError, match="interleave_array"):
+            interleave_array(coords, 8)
+
+    def test_segment_stream_verifies_epsilon_bound(self, monkeypatch):
+        monkeypatch.setenv(sanitize.ENV_VAR, "1")
+        keys = np.sort(np.random.default_rng(7).uniform(0, 1e6, 500))
+        segments = segment_stream(keys, 16.0)
+        assert segments  # the built-in epsilon audit did not raise
+
+
+class TestZMIndexKeyGuard:
+    def test_wide_codes_are_refused_not_merged(self):
+        rng = np.random.default_rng(11)
+        points = rng.uniform(0, 1, (500, 3))
+        index = ZMIndex(bits=20, epsilon=16)
+        with pytest.raises(ValueError, match="exact range"):
+            index.build(points)
+
+    def test_in_budget_codes_still_build(self):
+        rng = np.random.default_rng(12)
+        points = rng.uniform(0, 1, (500, 2))
+        index = ZMIndex(bits=16, epsilon=16).build(points)
+        assert index.point_query(points[123]) == 123

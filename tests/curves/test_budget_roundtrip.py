@@ -1,0 +1,134 @@
+"""Code-budget edge tests: the shared capacity helpers and wide round-trips.
+
+The 62-bit int64 code budget (``d * bits <= 62``) is enforced in one
+place — :mod:`repro.curves.capacity` — and both the Morton and Hilbert
+array kernels route through it.  These tests pin the helper down at the
+exact budget edges and prove the object-dtype fallback round-trips codes
+the fast path cannot hold, including the ``bits=22, d=3`` case that used
+to crash ``zdecode_array`` with an OverflowError.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves.capacity import (
+    CODE_BUDGET_BITS,
+    FAST_PATH_COORD_BITS,
+    fits_code_budget,
+    require_code_budget,
+)
+from repro.curves.zorder import (
+    deinterleave,
+    deinterleave_array,
+    interleave,
+    interleave_array,
+    zdecode,
+    zdecode_array,
+    zencode,
+    zencode_array,
+)
+
+
+class TestCapacityHelpers:
+    @pytest.mark.parametrize("dims,bits,ok", [
+        (1, 62, True), (1, 63, False),
+        (2, 31, True), (2, 32, False),
+        (3, 20, True), (3, 21, False),
+        (4, 15, True), (4, 16, False),
+    ])
+    def test_fits_code_budget_edges(self, dims, bits, ok):
+        assert fits_code_budget(dims, bits) is ok
+
+    def test_fast_path_masks_admit_every_in_budget_width(self):
+        assert CODE_BUDGET_BITS == 62
+        # The magic-mask tables must never be the binding constraint:
+        # each admits at least the budget's per-dimension share.
+        assert all(cap >= CODE_BUDGET_BITS // d
+                   for d, cap in FAST_PATH_COORD_BITS.items())
+
+    def test_require_passes_in_budget(self):
+        require_code_budget(3, 20)
+
+    def test_require_raises_with_diagnostic(self):
+        with pytest.raises(ValueError, match="dims=2, bits=32"):
+            require_code_budget(2, 32)
+
+
+COORD_31 = st.integers(min_value=0, max_value=(1 << 31) - 1)
+COORD_20 = st.integers(min_value=0, max_value=(1 << 20) - 1)
+
+
+class TestBudgetEdgeRoundTrips:
+    @settings(max_examples=25, deadline=None)
+    @given(coords=st.lists(st.tuples(COORD_31, COORD_31), min_size=1, max_size=20))
+    def test_d2_bits31_round_trip(self, coords):
+        arr = np.asarray(coords, dtype=np.int64)
+        codes = interleave_array(arr, 31)
+        assert codes.dtype == np.int64
+        assert codes.min() >= 0  # sign bit never set at the budget edge
+        np.testing.assert_array_equal(deinterleave_array(codes, 2, 31), arr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(coords=st.lists(st.tuples(COORD_20, COORD_20, COORD_20),
+                           min_size=1, max_size=20))
+    def test_d3_bits20_round_trip(self, coords):
+        arr = np.asarray(coords, dtype=np.int64)
+        codes = interleave_array(arr, 20)
+        assert codes.dtype == np.int64
+        assert codes.min() >= 0
+        np.testing.assert_array_equal(deinterleave_array(codes, 3, 20), arr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(coords=st.lists(st.tuples(COORD_31, COORD_31), min_size=1, max_size=20))
+    def test_array_forms_match_scalar_forms_at_edge(self, coords):
+        arr = np.asarray(coords, dtype=np.int64)
+        codes = interleave_array(arr, 31)
+        for row, code in zip(arr, codes):
+            assert interleave(tuple(int(c) for c in row), 31) == int(code)
+            assert deinterleave(int(code), 2, 31) == tuple(int(c) for c in row)
+
+
+class TestBeyondBudgetFallback:
+    """bits=22, d=3 needs 66-bit codes: the object-dtype path must carry them."""
+
+    BITS = 22
+    DIMS = 3
+
+    def _coords(self, seed: int, n: int = 64) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 1 << self.BITS, (n, self.DIMS)).astype(np.int64)
+
+    def test_interleave_array_refuses_beyond_budget(self):
+        # The int64 fast path has no wide fallback of its own: it must
+        # fail loudly, not wrap.
+        with pytest.raises(ValueError, match="62"):
+            interleave_array(self._coords(0), self.BITS)
+
+    def test_deinterleave_regression_no_overflow_error(self):
+        # Used to raise OverflowError: np.asarray(codes, dtype=np.int64)
+        # ran before any budget check.
+        coords = self._coords(1)
+        codes = np.array(
+            [interleave(tuple(int(c) for c in row), self.BITS) for row in coords],
+            dtype=object,
+        )
+        assert max(int(c) for c in codes).bit_length() > 62
+        back = deinterleave_array(codes, self.DIMS, self.BITS)
+        np.testing.assert_array_equal(back, coords)
+
+    def test_zencode_zdecode_array_match_scalars(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(-5.0, 5.0, (32, self.DIMS))
+        lo = np.full(self.DIMS, -5.0)
+        hi = np.full(self.DIMS, 5.0)
+        codes = zencode_array(points, lo, hi, self.BITS)
+        scalar_codes = [zencode(p, lo, hi, self.BITS) for p in points]
+        assert [int(c) for c in codes] == [int(c) for c in scalar_codes]
+        decoded = zdecode_array(codes, lo, hi, self.DIMS, self.BITS)
+        expected = np.array(
+            [zdecode(int(c), lo, hi, self.DIMS, self.BITS) for c in codes])
+        np.testing.assert_allclose(decoded, expected)

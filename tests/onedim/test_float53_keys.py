@@ -1,0 +1,52 @@
+"""Integer keys straddling 2^53 across every registered 1-d index.
+
+SOSD-style datasets carry 64-bit integer keys; the library's float64 key
+pipeline is exact only up to 2^53, and :func:`repro.core.numeric.
+exact_float64` enforces that boundary.  Here hypothesis builds every
+registered factory on exactly-representable integer keys straddling
+2^53 (even offsets stay exact past the boundary) and checks rank-exact
+lookups — the case a lossy cast would silently corrupt by merging
+neighbouring keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import ONE_DIM_FACTORIES
+from repro.core.numeric import FLOAT64_EXACT_MAX
+
+ALL = list(ONE_DIM_FACTORIES)
+
+# Even offsets keep keys exactly representable on both sides of 2^53
+# (beyond the boundary float64 resolves only even integers).
+even_offsets = st.integers(min_value=-(1 << 20), max_value=1 << 20).map(
+    lambda k: 2 * k)
+
+
+@pytest.fixture(params=ALL, ids=ALL)
+def any_factory(request):
+    return ONE_DIM_FACTORIES[request.param]
+
+
+class TestKeysStraddling2To53:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(offsets=st.lists(even_offsets, min_size=1, max_size=25, unique=True))
+    def test_rank_exact_lookups(self, any_factory, offsets):
+        keys = sorted(FLOAT64_EXACT_MAX + off for off in offsets)
+        index = any_factory().build([float(k) for k in keys])
+        for rank, key in enumerate(keys):
+            assert index.lookup(float(key)) == rank
+
+    def test_neighbouring_representable_keys_stay_distinct(self, any_factory):
+        # The tightest spacing float64 resolves past 2^53 is 2; a single
+        # lost bit anywhere in the pipeline would merge these.
+        keys = [FLOAT64_EXACT_MAX - 1.0, float(FLOAT64_EXACT_MAX),
+                float(FLOAT64_EXACT_MAX + 2), float(FLOAT64_EXACT_MAX + 4)]
+        index = any_factory().build(keys)
+        for rank, key in enumerate(keys):
+            assert index.lookup(key) == rank
+        assert index.lookup(float(FLOAT64_EXACT_MAX + 6)) is None
