@@ -1,7 +1,7 @@
 """learned-indexes: a reproduction of "Learned Indexes From the
 One-dimensional to the Multi-dimensional Spaces" (SIGMOD 2025 tutorial).
 
-The package has six layers:
+The package has seven layers:
 
 * :mod:`repro.core` -- index interfaces + the paper's taxonomy registry
   and figure generators.
@@ -11,6 +11,8 @@ The package has six layers:
 * :mod:`repro.onedim` / :mod:`repro.multidim` -- the learned indexes.
 * :mod:`repro.data` / :mod:`repro.bench` -- workloads and the benchmark
   harness (experiments E1-E12, figures F1-F3, table T1).
+* :mod:`repro.serve` -- sharded, request-coalescing serving layer
+  (experiment E19).
 
 Quickstart::
 
@@ -23,8 +25,10 @@ Quickstart::
     index.range_query(keys[10], keys[20])
 """
 
-from repro import baselines, bench, core, curves, data, models, multidim, onedim
+from repro import baselines, bench, core, curves, data, models, multidim, onedim, serve
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "models", "baselines", "curves", "onedim", "multidim", "data", "bench"]
+__all__ = [
+    "core", "models", "baselines", "curves", "onedim", "multidim", "data", "bench", "serve",
+]

@@ -7,8 +7,9 @@ with repo-specific rules, each with a stable ID, severity,
 ``file:line`` output, and a per-rule suppression comment
 (``# lint: disable=RPRxxx -- justification``):
 
-* RPR001-RPR008 — API-contract rules (registry membership, batch
-  parity, stats accounting, floor-consistent routing, ...);
+* RPR001-RPR009 — API-contract rules (registry membership, batch
+  parity, stats accounting, floor-consistent routing, serving-layer
+  shard-lock discipline, ...);
 * RPR101-RPR104 — numeric-safety rules backed by the
   :mod:`repro.analysis.dataflow` abstract interpreter (code-budget
   overflow, lossy float64 casts, mixed-dtype routing, signed/unsigned

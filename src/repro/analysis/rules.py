@@ -1,4 +1,4 @@
-"""The RPR001-RPR008 contract rules.
+"""The RPR001-RPR009 contract rules.
 
 Each rule is a function from an :class:`AnalysisContext` to an iterator
 of findings, registered with its stable ID, severity, and rationale.
@@ -572,3 +572,93 @@ def check_dunder_all(ctx: AnalysisContext) -> Iterator[Finding]:
                     "RPR008", src, all_node.lineno, all_node.col_offset,
                     f"__all__ lists {name!r} but the module never binds it",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RPR009 — serving-layer shard-lock discipline
+# ---------------------------------------------------------------------------
+#: Index-mutating method names whose receivers the serving layer guards.
+_MUTATING_METHODS = {"build", "insert", "delete"}
+_LOCK_NAME_RE = re.compile(r"lock", re.IGNORECASE)
+_LOCK_FREE_RE = re.compile(r"lock[- ]free", re.IGNORECASE)
+
+
+def _mentions_lock(node: ast.expr) -> bool:
+    """Whether an expression references anything lock-named."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and _LOCK_NAME_RE.search(sub.attr):
+            return True
+        if isinstance(sub, ast.Name) and _LOCK_NAME_RE.search(sub.id):
+            return True
+    return False
+
+
+def _unlocked_mutations(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Mutating calls on held references not under a lock-named ``with``.
+
+    A call ``<recv>.build/insert/delete(...)`` counts unless the
+    receiver is plain ``self`` (delegation to a method that is itself
+    checked) or some enclosing ``with`` statement's context expression
+    mentions a lock.
+    """
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(func):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            continue
+        receiver = node.func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            continue
+        cursor: ast.AST = node
+        locked = False
+        while cursor in parents:
+            parent = parents[cursor]
+            if isinstance(parent, ast.With) and any(
+                _mentions_lock(item.context_expr) for item in parent.items
+            ):
+                locked = True
+                break
+            cursor = parent
+        if not locked:
+            yield node
+
+
+@rule(
+    "RPR009",
+    "serve-shard-lock-discipline",
+    Severity.ERROR,
+    "Serving-layer classes hold index references that worker threads "
+    "mutate concurrently: every build/insert/delete on a held index must "
+    "run under the owning shard's lock (or the class/method must document "
+    "its lock-free or lock-delegating safety argument), otherwise two "
+    "workers can interleave a structural rebuild with a read.",
+    ("serve", "concurrency"),
+)
+def check_serve_shard_locks(ctx: AnalysisContext) -> Iterator[Finding]:
+    for src in ctx.files:
+        if src.tree is None or "serve" not in Path(src.rel).parts:
+            continue
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            class_doc = ast.get_docstring(node) or ""
+            if _LOCK_FREE_RE.search(class_doc):
+                continue  # documented lock-free read safety
+            for func in _methods(node).values():
+                method_doc = ast.get_docstring(func) or ""
+                if _LOCK_NAME_RE.search(method_doc):
+                    continue  # documents where the lock is taken
+                for call in _unlocked_mutations(func):
+                    target = _dotted_name(call.func) or call.func.attr
+                    yield _mk(
+                        "RPR009", src, call.lineno, call.col_offset,
+                        f"{node.name}.{func.name} calls {target}() on a held "
+                        "index outside a shard lock and without documenting "
+                        "the locking contract",
+                    )

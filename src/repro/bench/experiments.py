@@ -410,6 +410,7 @@ def _register_extensions() -> None:
     """Register the open-challenge experiments (import-cycle-free)."""
     from repro.bench.batch import run_e17, run_e18
     from repro.bench.extensions import run_e13, run_e14, run_e15, run_e16
+    from repro.bench.serving import run_e19
 
     EXPERIMENTS["E13"] = Experiment(
         "E13", "poisoning attacks: RMI vs PGM worst-case guarantee (§6.7)", run_e13)
@@ -423,6 +424,8 @@ def _register_extensions() -> None:
         "E17", "batch-query throughput: vectorized vs per-key lookups", run_e17)
     EXPERIMENTS["E18"] = Experiment(
         "E18", "multi-d batch-query throughput: vectorized vs per-point", run_e18)
+    EXPERIMENTS["E19"] = Experiment(
+        "E19", "serving throughput/tail latency: coalesced vs one-at-a-time", run_e19)
 
 
 _register_extensions()

@@ -103,6 +103,28 @@ class IndexStats:
             "size_bytes": self.size_bytes,
         }
 
+    def merge(self, other: "IndexStats") -> "IndexStats":
+        """Return a new :class:`IndexStats` combining two counter sets.
+
+        All counters sum, including ``build_seconds`` (total build work
+        across shards) and ``size_bytes`` (total footprint).  ``extra``
+        keys from both sides are carried over; ``other`` wins on
+        conflicts.  The numeric part is commutative —
+        ``a.merge(b).snapshot() == b.merge(a).snapshot()`` — which lets
+        sharded serving aggregate per-shard stats in any drain order.
+        """
+        merged = IndexStats(
+            comparisons=self.comparisons + other.comparisons,
+            keys_scanned=self.keys_scanned + other.keys_scanned,
+            nodes_visited=self.nodes_visited + other.nodes_visited,
+            model_predictions=self.model_predictions + other.model_predictions,
+            corrections=self.corrections + other.corrections,
+            build_seconds=self.build_seconds + other.build_seconds,
+            size_bytes=self.size_bytes + other.size_bytes,
+        )
+        merged.extra = {**self.extra, **other.extra}
+        return merged
+
 
 class OneDimIndex(abc.ABC):
     """A (possibly immutable) one-dimensional key -> value index.
@@ -287,13 +309,23 @@ class MultiDimIndex(abc.ABC):
             values, same in-box ordering).  The base implementation is
             that loop; grid-shaped indexes override it with vectorized
             cell routing and in-cell mask filtering.
+
+        The fallback validates exactly once per batch call — one
+        ``_require_built`` check and one shape check up front — then
+        fills a preallocated result list through a single bound-method
+        reference, so per-row work is only the scalar query itself.
         """
         self._require_built()
         lo = np.asarray(lows, dtype=np.float64)
         hi = np.asarray(highs, dtype=np.float64)
         if lo.ndim != 2 or hi.shape != lo.shape:
             raise ValueError("lows/highs must both have shape (m, d)")
-        return [self.range_query(lo[i], hi[i]) for i in range(lo.shape[0])]
+        m = lo.shape[0]
+        scalar = self.range_query
+        out: list[list[tuple[tuple[float, ...], object]]] = [[] for _ in range(m)]
+        for i in range(m):
+            out[i] = scalar(lo[i], hi[i])
+        return out
 
     def knn_query(self, point: Sequence[float], k: int) -> list[tuple[tuple[float, ...], object]]:
         """Return the ``k`` nearest neighbours of ``point`` (Euclidean).

@@ -1,0 +1,98 @@
+"""LRU + TTL result cache with generation-based write invalidation.
+
+The cache sits in front of the coalescer: read responses are stored
+under a key that includes the *generation* of every shard the request
+touched.  A write bumps its shard's generation (see
+:meth:`repro.serve.sharding.ShardedStore.insert`), so every cached entry
+for that shard becomes unreachable at once — no scan, no per-key
+bookkeeping, and range results that merely *contain* a written key are
+invalidated too.  Stale generations age out through normal LRU
+eviction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["ResultCache"]
+
+_MISS = object()
+
+
+class ResultCache:
+    """Bounded LRU cache with an optional TTL, safe for concurrent use.
+
+    Args:
+        capacity: maximum number of entries; inserting past it evicts
+            the least recently used entry.  ``capacity <= 0`` disables
+            the cache entirely (every ``get`` misses, ``put`` is a
+            no-op), which lets the server keep one unconditional code
+            path.
+        ttl: optional time-to-live in seconds; entries older than this
+            miss (and are dropped on access).
+        clock: monotonic time source, injectable so TTL behaviour is
+            testable without sleeping.
+    """
+
+    def __init__(self, capacity: int = 1024, ttl: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[object, tuple[object, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: object, default: object = None) -> object:
+        """Return the cached value for ``key`` or ``default`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key, _MISS)
+            if entry is _MISS:
+                self.misses += 1
+                return default
+            value, stamp = entry  # type: ignore[misc]
+            if self.ttl is not None and self._clock() - stamp > self.ttl:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: object, value: object) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past capacity."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = (value, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (used when a store is rebuilt wholesale)."""
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """Counter summary for the server stats artifact."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }

@@ -1,0 +1,357 @@
+"""Request coalescing: scalar submissions drained as vectorized batches.
+
+PR 1 and PR 2 showed that the dominant cost of serving one request at a
+time from Python is interpreter overhead, not index math — the batch
+kernels (``lookup_batch``, ``point_query_batch``) answer hundreds of
+queries for roughly the price of one scalar call.  The coalescer turns
+that observation into a serving discipline: concurrent clients submit
+*scalar* requests, each shard owns a FIFO queue, and a worker thread per
+shard drains up to ``max_batch`` requests at a time (waiting at most
+``max_delay`` seconds for the window to fill), dispatching consecutive
+runs of the same coalescable operation through one batch-kernel call.
+
+Ordering: each shard queue is strict FIFO and only *consecutive* runs of
+the same operation are fused, so per-shard program order is preserved —
+a client that submits ``insert(k)`` then ``lookup(k)`` to the same shard
+observes its own write, batching or not.
+
+Admission control: queues are bounded.  A submission that finds its
+shard queue full is answered immediately with
+:class:`~repro.serve.requests.Overloaded` (a response, not an
+exception) and counted in :attr:`ServerStats.shed`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.serve.requests import COALESCABLE_OPS, WRITE_OPS, Overloaded, Request, Response
+from repro.serve.sharding import ShardedStore
+from repro.serve.stats import ServerStats
+
+__all__ = ["Coalescer", "Window"]
+
+
+@dataclass
+class _Pending:
+    """A queued request plus its completion plumbing.
+
+    Exactly one of ``future`` / ``window`` is set: the future path wraps
+    results in :class:`Response` objects, the window path stores raw
+    values into a shared per-window slot array (cheaper — no per-request
+    synchronization object).
+    """
+
+    request: Request
+    submitted: float
+    future: Future | None = field(default=None)
+    callback: Callable[[object], None] | None = field(default=None)
+    window: "Window | None" = field(default=None)
+    slot: int = 0
+
+
+class Window:
+    """Completion tracker for one pipelined submission window.
+
+    Workers store each request's raw result into its slot and the last
+    completion sets one event — per-request cost is a list store and a
+    counted decrement, versus a full ``Future`` (own condition variable,
+    ``Response`` wrapper) on the scalar path.  ``wait`` returns the slot
+    array; shed requests hold :class:`Overloaded` instances, failures
+    re-raise the first recorded exception.
+    """
+
+    __slots__ = ("results", "_remaining", "_event", "_lock", "_error")
+
+    def __init__(self, size: int) -> None:
+        self.results: list[object] = [None] * size
+        self._remaining = size
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._error: BaseException | None = None
+
+    def complete(self, slot: int, value: object) -> None:
+        self.results[slot] = value
+        with self._lock:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._event.set()
+
+    def fail(self, slot: int, error: BaseException) -> None:
+        with self._lock:
+            if self._error is None:
+                self._error = error
+        self.complete(slot, None)
+
+    def wait(self) -> list[object]:
+        self._event.wait()
+        if self._error is not None:
+            raise self._error
+        return self.results
+
+
+class Coalescer:
+    """Per-shard request queues drained by batch-dispatching workers.
+
+    Args:
+        store: the built :class:`ShardedStore` requests execute against.
+        stats: shared :class:`ServerStats` sink.
+        max_batch: largest run drained into one batch-kernel call;
+            ``1`` disables coalescing (every request runs scalar), which
+            is exactly the E19 baseline configuration.
+        max_delay: longest time (seconds) a worker waits for its window
+            to fill once at least one request is queued; ``0`` drains
+            immediately.
+        capacity: per-shard queue bound for admission control.
+    """
+
+    def __init__(self, store: ShardedStore, stats: ServerStats,
+                 max_batch: int = 256, max_delay: float = 0.001,
+                 capacity: int = 4096) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.store = store
+        self.stats = stats
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.capacity = capacity
+        self._queues: list[deque[_Pending]] = [deque() for _ in range(store.num_shards)]
+        self._conds = [threading.Condition() for _ in range(store.num_shards)]
+        self._workers: list[threading.Thread] = []
+        self._stopping = False
+
+    # -- client side -------------------------------------------------------
+    def submit(self, request: Request,
+               callback: Callable[[object], None] | None = None) -> Future:
+        """Enqueue ``request`` on its home shard; resolve with a Response.
+
+        Returns a future that resolves to :class:`Response` (or
+        :class:`Overloaded` if the shard queue was full — already
+        resolved in that case, no waiting).  ``callback`` runs in the
+        worker thread with the raw result value before the future
+        resolves; the server uses it to fill the result cache.
+        """
+        shard = self.store.route(request)[0] if request.op in COALESCABLE_OPS \
+            else self._home_shard(request)
+        fut: Future = Future()
+        pending = _Pending(request, time.perf_counter(), future=fut, callback=callback)
+        cond = self._conds[shard]
+        with cond:
+            depth = len(self._queues[shard])
+            if depth >= self.capacity:
+                self.stats.record_shed()
+                fut.set_result(Overloaded(depth=depth))
+                return fut
+            self._queues[shard].append(pending)
+            cond.notify()
+        self.stats.record_submit(shard, depth + 1)
+        return fut
+
+    def submit_many(self, requests: Sequence[Request]) -> list[Future]:
+        """Enqueue a window of requests with vectorized routing.
+
+        Routing runs once over the whole window
+        (:meth:`ShardedStore.route_home_batch`), each shard's condition
+        variable is taken once, and submit counters update once per
+        shard — the admission-side analog of execution coalescing.  Both
+        E19 arms use this path, so the measured gap is purely the
+        execution batching.  Per-client, per-shard FIFO order is
+        preserved (the window is walked in submission order).  Requests
+        that find their shard queue full resolve immediately to
+        :class:`Overloaded`.
+        """
+        now = time.perf_counter()
+        pendings = [_Pending(r, now, future=Future()) for r in requests]
+        self._enqueue_window(pendings)
+        return [pending.future for pending in pendings]  # type: ignore[misc]
+
+    def submit_window(self, requests: Sequence[Request]) -> Window:
+        """Enqueue a window completing into one shared :class:`Window`.
+
+        The cheapest submission path: vectorized routing, one condition
+        take per shard, and slot-array completion instead of a
+        ``Future`` per request.  ``wait()`` on the returned window gives
+        the raw result values in submission order (shed requests hold
+        :class:`Overloaded`).
+        """
+        now = time.perf_counter()
+        window = Window(len(requests))
+        pendings = [
+            _Pending(r, now, window=window, slot=i) for i, r in enumerate(requests)
+        ]
+        self._enqueue_window(pendings)
+        return window
+
+    def _enqueue_window(self, pendings: list[_Pending]) -> None:
+        """Group a routed window by home shard and enqueue with shedding."""
+        homes = self.store.route_home_batch([p.request for p in pendings])
+        by_shard: dict[int, list[_Pending]] = {}
+        for pending, shard in zip(pendings, homes):
+            by_shard.setdefault(shard, []).append(pending)
+        for shard, group in by_shard.items():
+            cond = self._conds[shard]
+            with cond:
+                depth = len(self._queues[shard])
+                room = max(0, self.capacity - depth)
+                taken = group[:room]
+                self._queues[shard].extend(taken)
+                cond.notify()
+            if taken:
+                self.stats.record_submit_many(shard, len(taken), depth + len(taken))
+            for pending in group[room:]:
+                self.stats.record_shed()
+                self._resolve(pending, Overloaded(depth=self.capacity))
+
+    def _home_shard(self, request: Request) -> int:
+        """First involved shard — hosts the queue slot for fan-out ops."""
+        shards = self.store.route(request)
+        return shards[0] if shards else 0
+
+    # -- worker side -------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one daemon worker thread per shard (idempotent)."""
+        if self._workers:
+            return
+        self._stopping = False
+        for s in range(self.store.num_shards):
+            t = threading.Thread(target=self._worker, args=(s,),
+                                 name=f"serve-shard-{s}", daemon=True)
+            self._workers.append(t)
+            t.start()
+
+    def stop(self) -> None:
+        """Drain outstanding requests, then stop and join the workers."""
+        self._stopping = True
+        for cond in self._conds:
+            with cond:
+                cond.notify_all()
+        for t in self._workers:
+            t.join()
+        self._workers = []
+
+    def flush(self, shard: int | None = None) -> int:
+        """Drain queued requests synchronously in the calling thread.
+
+        Intended for tests and single-threaded use *without* started
+        workers (with workers running, drain order between the flusher
+        and a worker is unspecified).  An empty queue is a no-op.
+        Returns the number of requests served.
+        """
+        shards = range(self.store.num_shards) if shard is None else (shard,)
+        served = 0
+        for s in shards:
+            while True:
+                batch = self._take_batch(s, wait=False)
+                if not batch:
+                    break
+                self._dispatch(s, batch)
+                served += len(batch)
+        return served
+
+    def _worker(self, shard: int) -> None:
+        while True:
+            batch = self._take_batch(shard, wait=True)
+            if batch is None:
+                return
+            if batch:
+                self._dispatch(shard, batch)
+
+    def _take_batch(self, shard: int, wait: bool) -> list[_Pending] | None:
+        """Pop up to ``max_batch`` requests; None signals worker shutdown."""
+        cond = self._conds[shard]
+        queue = self._queues[shard]
+        with cond:
+            if wait:
+                while not queue and not self._stopping:
+                    cond.wait()
+                if not queue and self._stopping:
+                    return None
+                if (self.max_delay > 0 and len(queue) < self.max_batch
+                        and not self._stopping):
+                    deadline = time.monotonic() + self.max_delay
+                    while len(queue) < self.max_batch and not self._stopping:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        cond.wait(remaining)
+            batch = []
+            while queue and len(batch) < self.max_batch:
+                batch.append(queue.popleft())
+            return batch
+
+    def _dispatch(self, shard: int, batch: list[_Pending]) -> None:
+        """Execute a drained batch, fusing consecutive same-op runs."""
+        i = 0
+        n = len(batch)
+        while i < n:
+            op = batch[i].request.op
+            if op in COALESCABLE_OPS:
+                j = i
+                while j < n and batch[j].request.op is op:
+                    j += 1
+                run = batch[i:j]
+                self.stats.record_batch(shard, len(run))
+                if len(run) == 1:
+                    self._run_scalar(run[0])
+                else:
+                    self._run_batch(shard, op, run)
+                i = j
+            else:
+                self._run_scalar(batch[i])
+                i += 1
+
+    def _run_batch(self, shard: int, op: object, run: list[_Pending]) -> None:
+        try:
+            values = self.store.execute_batch(shard, op, [p.request for p in run])  # type: ignore[arg-type]
+        except Exception as exc:  # pragma: no cover - defensive
+            for p in run:
+                self._reject(p, exc)
+            return
+        now = time.perf_counter()
+        self.stats.record_done_many([now - p.submitted for p in run])
+        for p, value in zip(run, values):
+            if p.callback is not None:
+                p.callback(value)
+            self._resolve(p, value)
+
+    def _run_scalar(self, pending: _Pending) -> None:
+        try:
+            value = self.store.execute(pending.request)
+        except Exception as exc:
+            self._reject(pending, exc)
+            return
+        latency = time.perf_counter() - pending.submitted
+        self.stats.record_done(latency, write=pending.request.op in WRITE_OPS)
+        if pending.callback is not None:
+            pending.callback(value)
+        self._resolve(pending, value)
+
+    def _resolve(self, pending: _Pending, value: object) -> None:
+        """Deliver a raw result through whichever completion path is wired."""
+        if pending.window is not None:
+            pending.window.complete(pending.slot, value)
+        else:
+            assert pending.future is not None
+            if isinstance(value, Overloaded):
+                pending.future.set_result(value)
+            else:
+                pending.future.set_result(Response(value=value))
+
+    def _reject(self, pending: _Pending, error: BaseException) -> None:
+        if pending.window is not None:
+            pending.window.fail(pending.slot, error)
+        else:
+            assert pending.future is not None
+            pending.future.set_exception(error)
+
+    # -- introspection -----------------------------------------------------
+    def queue_depths(self) -> list[int]:
+        """Current per-shard queue lengths (racy snapshot, fine for stats)."""
+        return [len(q) for q in self._queues]

@@ -1,0 +1,230 @@
+"""`IndexServer`: sharding + coalescing + caching behind one facade.
+
+The server wires the pieces of the serving layer together:
+
+* a :class:`~repro.serve.sharding.ShardedStore` partitions the data and
+  owns the per-shard locks and write generations,
+* a :class:`~repro.serve.coalescer.Coalescer` queues concurrent scalar
+  requests and drains them through the batch kernels,
+* a :class:`~repro.serve.cache.ResultCache` answers repeated reads
+  without touching a queue, keyed on (request, involved shards, shard
+  generations) so any write to an involved shard invalidates the entry,
+* a :class:`~repro.serve.stats.ServerStats` collects counters and
+  latency histograms for the E19 artifact.
+
+Clients either ``submit()`` requests asynchronously (futures resolving
+to :class:`Response` / :class:`Overloaded`) or use the synchronous
+convenience methods (``lookup``/``point_query``/...), which mirror the
+index interfaces exactly — same arguments, same return values — so a
+server can stand in for a bare index in parity tests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.serve.cache import ResultCache
+from repro.serve.coalescer import Coalescer
+from repro.serve.requests import READ_OPS, Op, Overloaded, Request, Response
+from repro.serve.sharding import ShardedStore
+from repro.serve.stats import ServerStats
+
+__all__ = ["IndexServer"]
+
+_MISS = object()
+
+
+class IndexServer:
+    """A sharded, coalescing, caching front-end over learned indexes.
+
+    Args:
+        factory: zero-argument index constructor handed to the store.
+        num_shards: partition count (one worker thread per shard).
+        max_batch: coalescing window size; ``1`` serves one-at-a-time.
+        max_delay: coalescing window fill timeout in seconds.
+        capacity: per-shard admission-control queue bound.
+        cache_size: result-cache entries; ``0`` disables caching.
+        cache_ttl: optional result-cache TTL in seconds.
+    """
+
+    def __init__(self, factory: Callable[[], object], num_shards: int = 4,
+                 max_batch: int = 256, max_delay: float = 0.001,
+                 capacity: int = 4096, cache_size: int = 0,
+                 cache_ttl: float | None = None) -> None:
+        self._store = ShardedStore(factory, num_shards=num_shards)
+        self._stats = ServerStats(num_shards)
+        self._cache = ResultCache(capacity=cache_size, ttl=cache_ttl)
+        self._coalescer = Coalescer(
+            self._store, self._stats,
+            max_batch=max_batch, max_delay=max_delay, capacity=capacity,
+        )
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def build(self, data: np.ndarray, values: Sequence[object] | None = None) -> "IndexServer":
+        """Build the sharded store and start the shard workers.
+
+        Per-shard index builds run inside :meth:`ShardedStore.build`,
+        which acquires each shard's lock around the underlying
+        ``build`` call.
+        """
+        self._store.build(data, values)
+        self._cache.clear()
+        self._coalescer.start()
+        return self
+
+    def close(self) -> None:
+        """Drain outstanding requests and stop the shard workers."""
+        if not self._closed:
+            self._coalescer.stop()
+            self._closed = True
+
+    def __enter__(self) -> "IndexServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- asynchronous surface ---------------------------------------------
+    def submit(self, request: Request) -> Future:
+        """Route one request; returns a future resolving to a Response.
+
+        Reads first consult the result cache under a key that includes
+        every involved shard's current write generation — a hit skips
+        the queue entirely; a miss enqueues with a completion callback
+        that fills the cache (keyed on the generations observed *before*
+        execution, so a concurrent write either bumps the generation
+        first, making the filled entry unreachable, or commits after,
+        making the cached value stale-free).
+        """
+        if request.op in READ_OPS and self._cache.capacity > 0:
+            shards = self._store.route(request)
+            gens = tuple(self._store.generations[s] for s in shards)
+            key = (request.cache_args(), shards, gens)
+            hit = self._cache.get(key, _MISS)
+            if hit is not _MISS:
+                self._stats.record_cache(True)
+                self._stats.record_done(0.0)
+                fut: Future = Future()
+                fut.set_result(Response(value=hit))
+                return fut
+            self._stats.record_cache(False)
+            return self._coalescer.submit(
+                request, callback=lambda value: self._cache.put(key, value)
+            )
+        return self._coalescer.submit(request)
+
+    def submit_many(self, requests: Sequence[Request]) -> list[Future]:
+        """Submit a pipelined window of requests, routing it in bulk.
+
+        With the result cache disabled this goes through the coalescer's
+        vectorized admission path (one routing pass, one lock take per
+        shard); with caching enabled it degrades to per-request
+        :meth:`submit` so every read still consults the cache.
+        """
+        if self._cache.capacity > 0:
+            return [self.submit(request) for request in requests]
+        return self._coalescer.submit_many(list(requests))
+
+    def serve_window(self, requests: Sequence[Request]) -> list[object]:
+        """Submit a window and block for its raw results (fastest path).
+
+        Returns result values in submission order; shed requests appear
+        as :class:`Overloaded` instances.  With the result cache enabled
+        this degrades to the future-based path so reads stay cached.
+        This is the coalesced-arm path of the closed-loop driver behind
+        E19.
+        """
+        if self._cache.capacity > 0:
+            out: list[object] = []
+            for fut in [self.submit(request) for request in requests]:
+                response = fut.result()
+                out.append(response if isinstance(response, Overloaded) else response.value)
+            return out
+        return self._coalescer.submit_window(list(requests)).wait()
+
+    # -- synchronous convenience surface -----------------------------------
+    def _call(self, request: Request) -> object:
+        response = self.submit(request).result()
+        if isinstance(response, Overloaded):
+            raise RuntimeError(
+                f"server overloaded (queue depth {response.depth}); "
+                "synchronous calls do not retry"
+            )
+        return response.value
+
+    def lookup(self, key: float) -> object | None:
+        """Scalar-parity 1-d lookup through the serving path."""
+        return self._call(Request(op=Op.LOOKUP, key=float(key)))
+
+    def contains(self, key: float) -> bool:
+        """Scalar-parity 1-d membership test through the serving path."""
+        return bool(self._call(Request(op=Op.CONTAINS, key=float(key))))
+
+    def range_query_1d(self, low: float, high: float) -> list[tuple[float, object]]:
+        """Scalar-parity 1-d range scan through the serving path."""
+        return self._call(  # type: ignore[return-value]
+            Request(op=Op.RANGE_1D, low=float(low), high=float(high))
+        )
+
+    def point_query(self, point: Sequence[float]) -> object | None:
+        """Scalar-parity multi-d exact-point query through the serving path."""
+        return self._call(Request(op=Op.POINT_QUERY, point=tuple(float(x) for x in point)))
+
+    def range_query(self, low: Sequence[float], high: Sequence[float]) -> list:
+        """Scalar-parity multi-d box query through the serving path."""
+        return self._call(  # type: ignore[return-value]
+            Request(op=Op.RANGE_QUERY,
+                    low=tuple(float(x) for x in low),
+                    high=tuple(float(x) for x in high))
+        )
+
+    def knn_query(self, point: Sequence[float], k: int) -> list:
+        """Scalar-parity multi-d k-nearest-neighbour query."""
+        return self._call(  # type: ignore[return-value]
+            Request(op=Op.KNN, point=tuple(float(x) for x in point), k=int(k))
+        )
+
+    def insert(self, key_or_point: object, value: object = None) -> None:
+        """Routed insert; the store bumps the shard generation under its lock,
+        which invalidates every cached read involving that shard."""
+        if self._store.multi_dim:
+            req = Request(op=Op.INSERT,
+                          point=tuple(float(x) for x in key_or_point),  # type: ignore[union-attr]
+                          value=value)
+        else:
+            req = Request(op=Op.INSERT, key=float(key_or_point), value=value)  # type: ignore[arg-type]
+        self._call(req)
+
+    def delete(self, key_or_point: object) -> bool:
+        """Routed delete; generation bump happens under the shard lock in
+        the store, keeping cached reads for that shard unreachable."""
+        if self._store.multi_dim:
+            req = Request(op=Op.DELETE,
+                          point=tuple(float(x) for x in key_or_point))  # type: ignore[union-attr]
+        else:
+            req = Request(op=Op.DELETE, key=float(key_or_point))  # type: ignore[arg-type]
+        return bool(self._call(req))
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def store(self) -> ShardedStore:
+        return self._store
+
+    @property
+    def multi_dim(self) -> bool:
+        return self._store.multi_dim
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict[str, object]:
+        """Combined serving + index + cache counter snapshot."""
+        out = self._stats.snapshot(index_stats=self._store.stats())
+        out["cache"] = self._cache.snapshot()
+        out["shard_sizes"] = self._store.shard_sizes()
+        out["queue_depths"] = self._coalescer.queue_depths()
+        return out

@@ -1,0 +1,458 @@
+"""Sharded index store: range / space-filling-curve-prefix partitioning.
+
+``ShardedStore`` partitions one logical key or point set across ``N``
+independent index instances built by a user-supplied factory:
+
+* **1-d stores** split the sorted key range at quantile boundaries, so a
+  point lookup routes to exactly one shard via one ``searchsorted`` and
+  a range query fans out to the contiguous run of shards overlapping
+  ``[low, high]``.
+* **multi-d stores** split the *Morton-code* order of the points at
+  quantile boundaries (an SFC-prefix partition).  Point queries route by
+  encoding the query point; range queries fan out only to shards whose
+  code interval intersects ``[zencode(low), zencode(high)]`` — the
+  classic UB-tree Z-interval bound (every point inside an axis-aligned
+  box has a Morton code between the codes of the box corners).
+
+Default values replicate the whole-index contract *globally*: a 1-d key
+gets its rank in the global sorted order and a multi-d point gets its
+row position in the build array, so sharded answers are exactly what one
+unsharded index would return.
+
+Thread safety: one ``RLock`` per shard.  Mutating calls (``build`` /
+``insert`` / ``delete``) and every query that touches shard state
+acquire the owning shard's lock; fan-out queries acquire the involved
+shard locks one at a time (never nested), so workers draining different
+shards cannot deadlock.  Writes bump the shard's generation counter
+under the same lock, which is what the result cache keys invalidation
+on.
+"""
+
+from __future__ import annotations
+
+import threading
+from functools import reduce
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.interfaces import IndexStats, MultiDimIndex, OneDimIndex
+from repro.curves.capacity import require_code_budget
+from repro.curves.zorder import zencode_array
+from repro.serve.requests import Op, Request
+
+__all__ = ["ShardedStore"]
+
+#: Single-key ops routed by one vectorized ``searchsorted`` in 1-d stores.
+_KEYED_OPS = frozenset({Op.LOOKUP, Op.CONTAINS, Op.INSERT, Op.DELETE})
+
+#: Single-point ops routed by one vectorized encode in multi-d stores.
+_POINT_OPS = frozenset({Op.POINT_QUERY, Op.INSERT, Op.DELETE})
+
+
+class ShardedStore:
+    """``N`` index instances behind one uniform routed query surface.
+
+    Args:
+        factory: zero-argument constructor returning a fresh
+            :class:`OneDimIndex` or :class:`MultiDimIndex`; the store
+            infers which family it serves from the first instance.
+        num_shards: number of partitions (>= 1).
+        bits: per-dimension Morton quantisation bits for multi-d
+            routing; ``None`` picks the finest lattice inside the 62-bit
+            code budget (capped at 16 bits/dim).
+    """
+
+    def __init__(self, factory: Callable[[], object], num_shards: int = 4,
+                 bits: int | None = None) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self._factory = factory
+        self._bits = bits
+        self.shards: list[object] = []
+        self.generations = [0] * num_shards
+        self._locks = [threading.RLock() for _ in range(num_shards)]
+        self._bounds = np.empty(0)          # shard split keys / codes
+        self.multi_dim = False
+        self.dims = 0
+        self._lo = np.empty(0)
+        self._hi = np.empty(0)
+        self._built = False
+
+    # -- construction ------------------------------------------------------
+    def build(self, data: np.ndarray, values: Sequence[object] | None = None) -> "ShardedStore":
+        """Partition ``data`` and build one index per shard.
+
+        Each per-shard ``build`` happens under that shard's lock; the
+        partition masks preserve the original input order inside every
+        shard, so stable per-shard sorting reproduces the duplicate-key
+        ordering of a single unsharded build.
+        """
+        probe = self._factory()
+        if isinstance(probe, MultiDimIndex):
+            self.multi_dim = True
+        elif not isinstance(probe, OneDimIndex):
+            raise TypeError(
+                f"factory must produce a OneDimIndex or MultiDimIndex, "
+                f"got {type(probe).__name__}"
+            )
+        if self.multi_dim:
+            pts = np.asarray(data, dtype=np.float64)
+            if pts.ndim != 2:
+                raise ValueError("multi-d data must have shape (n, d)")
+            n, self.dims = pts.shape
+            if n and n < self.num_shards:
+                raise ValueError("need at least one point per shard")
+            self._lo = pts.min(axis=0) if n else np.zeros(self.dims)
+            self._hi = pts.max(axis=0) if n else np.ones(self.dims)
+            if self._bits is None:
+                self._bits = min(16, 62 // max(self.dims, 1))
+            require_code_budget(self.dims, self._bits)
+            route_keys = self._encode(pts) if n else np.empty(0, dtype=np.int64)
+            if values is None:
+                values = list(range(n))
+        else:
+            arr = np.asarray(data, dtype=np.float64)
+            if arr.ndim != 1:
+                raise ValueError("1-d data must be a flat key array")
+            n = arr.size
+            if n and n < self.num_shards:
+                raise ValueError("need at least one key per shard")
+            route_keys = arr
+            if values is None:
+                # Global ranks in sorted order (the OneDimIndex default),
+                # aligned back to input positions.
+                order = np.argsort(arr, kind="mergesort")
+                ranks = np.empty(n, dtype=np.int64)
+                ranks[order] = np.arange(n)
+                values = [int(r) for r in ranks]
+        if len(values) != n:
+            raise ValueError("values must align with data")
+
+        self._bounds = self._split_bounds(route_keys)
+        sids = (
+            np.searchsorted(self._bounds, route_keys, side="right")
+            if n else np.empty(0, dtype=np.int64)
+        )
+        self.shards = []
+        for s in range(self.num_shards):
+            rows = np.flatnonzero(sids == s)
+            part = data[rows] if n else (
+                np.empty((0, self.dims)) if self.multi_dim else np.empty(0)
+            )
+            part_values = [values[int(i)] for i in rows]
+            shard = self._factory()
+            with self._locks[s]:
+                shard.build(part, part_values)  # type: ignore[attr-defined]
+            self.shards.append(shard)
+        self._built = True
+        return self
+
+    def _split_bounds(self, route_keys: np.ndarray) -> np.ndarray:
+        """Quantile split values: shard ``s`` owns keys in (b[s-1], b[s]]."""
+        if self.num_shards == 1 or route_keys.size == 0:
+            return route_keys[:0]
+        ordered = np.sort(route_keys, kind="mergesort")
+        cuts = [
+            ordered[(s * ordered.size) // self.num_shards]
+            for s in range(1, self.num_shards)
+        ]
+        return np.asarray(cuts)
+
+    def _encode(self, pts: np.ndarray) -> np.ndarray:
+        """Morton codes of ``pts`` on the build-time lattice."""
+        assert self._bits is not None
+        return zencode_array(pts, self._lo, self._hi, self._bits)
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError("ShardedStore: call build() before serving")
+
+    # -- routing -----------------------------------------------------------
+    def route_key(self, key: float) -> int:
+        """Shard id owning a 1-d key."""
+        return int(np.searchsorted(self._bounds, key, side="right"))
+
+    def route_point(self, point: Sequence[float]) -> int:
+        """Shard id owning a multi-d point (by Morton code)."""
+        pts = np.asarray(point, dtype=np.float64).reshape(1, -1)
+        code = self._encode(pts)[0]
+        return int(np.searchsorted(self._bounds, code, side="right"))
+
+    def route(self, request: Request) -> tuple[int, ...]:
+        """All shard ids a request touches (first one hosts its queue slot)."""
+        self._require_built()
+        op = request.op
+        if op in (Op.LOOKUP, Op.CONTAINS):
+            return (self.route_key(float(request.key)),)  # type: ignore[arg-type]
+        if op is Op.POINT_QUERY:
+            return (self.route_point(request.point),)  # type: ignore[arg-type]
+        if op is Op.RANGE_1D:
+            lo_s = self.route_key(float(request.low))  # type: ignore[arg-type]
+            hi_s = self.route_key(float(request.high))  # type: ignore[arg-type]
+            return tuple(range(lo_s, hi_s + 1))
+        if op is Op.RANGE_QUERY:
+            return self._range_shards(request.low, request.high)
+        if op is Op.KNN:
+            return tuple(range(self.num_shards))
+        if op in (Op.INSERT, Op.DELETE):
+            if self.multi_dim:
+                return (self.route_point(request.point),)  # type: ignore[arg-type]
+            return (self.route_key(float(request.key)),)  # type: ignore[arg-type]
+        raise ValueError(f"unroutable op {op!r}")
+
+    def route_home_batch(self, requests: Sequence[Request]) -> list[int]:
+        """Home (queue-owning) shard for each request, routed in bulk.
+
+        Point-shaped operations — the overwhelming share of serving
+        traffic — are routed with one vectorized ``searchsorted`` (and,
+        in multi-d, one ``zencode_array``) over the whole window instead
+        of a numpy call per request; fan-out operations fall back to
+        :meth:`route` individually.
+        """
+        self._require_built()
+        out = [0] * len(requests)
+        key_rows: list[int] = []
+        keys: list[float] = []
+        pt_rows: list[int] = []
+        pts: list[tuple[float, ...]] = []
+        for i, request in enumerate(requests):
+            op = request.op
+            if not self.multi_dim and op in _KEYED_OPS:
+                key_rows.append(i)
+                keys.append(float(request.key))  # type: ignore[arg-type]
+            elif self.multi_dim and op in _POINT_OPS:
+                pt_rows.append(i)
+                pts.append(request.point)  # type: ignore[arg-type]
+            else:
+                shards = self.route(request)
+                out[i] = shards[0] if shards else 0
+        if key_rows:
+            sids = np.searchsorted(
+                self._bounds, np.asarray(keys, dtype=np.float64), side="right")
+            for i, s in zip(key_rows, sids):
+                out[i] = int(s)
+        if pt_rows:
+            codes = self._encode(np.asarray(pts, dtype=np.float64))
+            sids = np.searchsorted(self._bounds, codes, side="right")
+            for i, s in zip(pt_rows, sids):
+                out[i] = int(s)
+        return out
+
+    def _range_shards(self, low: object, high: object) -> tuple[int, ...]:
+        """Shards whose code interval intersects the box's Z-interval."""
+        lo = np.asarray(low, dtype=np.float64).reshape(1, -1)
+        hi = np.asarray(high, dtype=np.float64).reshape(1, -1)
+        if np.any(hi < lo):
+            return ()
+        cmin = self._encode(lo)[0]
+        cmax = self._encode(hi)[0]
+        lo_s = int(np.searchsorted(self._bounds, cmin, side="right"))
+        hi_s = int(np.searchsorted(self._bounds, cmax, side="right"))
+        return tuple(range(lo_s, hi_s + 1))
+
+    # -- scalar queries ----------------------------------------------------
+    def lookup(self, key: float) -> object | None:
+        self._require_built()
+        s = self.route_key(key)
+        with self._locks[s]:
+            return self.shards[s].lookup(key)  # type: ignore[attr-defined]
+
+    def contains(self, key: float) -> bool:
+        self._require_built()
+        s = self.route_key(key)
+        with self._locks[s]:
+            return bool(self.shards[s].contains(key))  # type: ignore[attr-defined]
+
+    def point_query(self, point: Sequence[float]) -> object | None:
+        self._require_built()
+        s = self.route_point(point)
+        with self._locks[s]:
+            return self.shards[s].point_query(point)  # type: ignore[attr-defined]
+
+    def range_query_1d(self, low: float, high: float) -> list[tuple[float, object]]:
+        """Concatenated shard scans: globally key-sorted, like one index."""
+        self._require_built()
+        out: list[tuple[float, object]] = []
+        lo_s = self.route_key(low)
+        hi_s = self.route_key(high)
+        for s in range(lo_s, hi_s + 1):
+            with self._locks[s]:
+                out.extend(self.shards[s].range_query(low, high))  # type: ignore[attr-defined]
+        return out
+
+    def range_query(self, low: Sequence[float], high: Sequence[float]) -> list:
+        """Multi-d box query over the Z-interval-pruned shard subset.
+
+        Returns the same result *multiset* as one unsharded index (the
+        repo's range contract — each index class already has its own
+        internal result order); here results come back in shard order,
+        each shard's slice in that index's native order.
+        """
+        self._require_built()
+        out: list = []
+        for s in self._range_shards(low, high):
+            with self._locks[s]:
+                out.extend(self.shards[s].range_query(low, high))  # type: ignore[attr-defined]
+        return out
+
+    def knn_query(self, point: Sequence[float], k: int) -> list:
+        """Merge per-shard kNN candidate sets into the global top-k.
+
+        Each shard returns *its* ``k`` nearest, so the union provably
+        contains the global ``k`` nearest; re-sorting with the same
+        ``(distance, point, value)`` tie-break the scalar path uses
+        reproduces the unsharded answer.
+        """
+        self._require_built()
+        if k <= 0:
+            return []
+        q = np.asarray(point, dtype=np.float64)
+        candidates: list = []
+        for s in range(self.num_shards):
+            with self._locks[s]:
+                candidates.extend(self.shards[s].knn_query(point, k))  # type: ignore[attr-defined]
+        ranked = sorted(
+            (float(np.linalg.norm(np.asarray(p) - q)), p, v) for p, v in candidates
+        )
+        return [(p, v) for _, p, v in ranked[:k]]
+
+    # -- batched queries (the coalescer fast path) -------------------------
+    def lookup_batch(self, keys: Sequence[float]) -> np.ndarray:
+        """Routed scatter/gather over the per-shard ``lookup_batch`` kernels."""
+        self._require_built()
+        arr = np.asarray(keys, dtype=np.float64)
+        sids = np.searchsorted(self._bounds, arr, side="right")
+        out = np.empty(arr.size, dtype=object)
+        for s in np.unique(sids):
+            rows = np.flatnonzero(sids == s)
+            with self._locks[s]:
+                out[rows] = self.shards[s].lookup_batch(arr[rows])  # type: ignore[attr-defined]
+        return out
+
+    def contains_batch(self, keys: Sequence[float]) -> np.ndarray:
+        self._require_built()
+        arr = np.asarray(keys, dtype=np.float64)
+        sids = np.searchsorted(self._bounds, arr, side="right")
+        out = np.empty(arr.size, dtype=bool)
+        for s in np.unique(sids):
+            rows = np.flatnonzero(sids == s)
+            with self._locks[s]:
+                out[rows] = self.shards[s].contains_batch(arr[rows])  # type: ignore[attr-defined]
+        return out
+
+    def point_query_batch(self, points: np.ndarray) -> np.ndarray:
+        self._require_built()
+        pts = np.asarray(points, dtype=np.float64)
+        codes = self._encode(pts)
+        sids = np.searchsorted(self._bounds, codes, side="right")
+        out = np.empty(pts.shape[0], dtype=object)
+        for s in np.unique(sids):
+            rows = np.flatnonzero(sids == s)
+            with self._locks[s]:
+                out[rows] = self.shards[s].point_query_batch(pts[rows])  # type: ignore[attr-defined]
+        return out
+
+    # -- mutation ----------------------------------------------------------
+    def _require_mutable(self, method: str) -> None:
+        """Raise a typed error instead of an AttributeError deep in a worker."""
+        if not hasattr(self.shards[0], method):
+            raise TypeError(
+                f"{type(self.shards[0]).__name__} is immutable; "
+                f"{method} needs a mutable index factory"
+            )
+
+    def insert(self, key_or_point: object, value: object = None) -> None:
+        """Routed insert; bumps the shard generation under the shard lock."""
+        self._require_built()
+        self._require_mutable("insert")
+        if self.multi_dim:
+            s = self.route_point(key_or_point)  # type: ignore[arg-type]
+            with self._locks[s]:
+                self.shards[s].insert(key_or_point, value)  # type: ignore[attr-defined]
+                self.generations[s] += 1
+        else:
+            s = self.route_key(float(key_or_point))  # type: ignore[arg-type]
+            with self._locks[s]:
+                self.shards[s].insert(float(key_or_point), value)  # type: ignore[attr-defined]
+                self.generations[s] += 1
+
+    def delete(self, key_or_point: object) -> bool:
+        """Routed delete; bumps the shard generation under the shard lock."""
+        self._require_built()
+        self._require_mutable("delete")
+        if self.multi_dim:
+            s = self.route_point(key_or_point)  # type: ignore[arg-type]
+        else:
+            s = self.route_key(float(key_or_point))  # type: ignore[arg-type]
+        with self._locks[s]:
+            removed = bool(self.shards[s].delete(  # type: ignore[attr-defined]
+                key_or_point if self.multi_dim else float(key_or_point)
+            ))
+            self.generations[s] += 1
+        return removed
+
+    # -- request execution (used by the coalescer workers) -----------------
+    def execute(self, request: Request) -> object:
+        """Answer one request through the scalar index paths."""
+        op = request.op
+        if op is Op.LOOKUP:
+            return self.lookup(float(request.key))  # type: ignore[arg-type]
+        if op is Op.CONTAINS:
+            return self.contains(float(request.key))  # type: ignore[arg-type]
+        if op is Op.RANGE_1D:
+            return self.range_query_1d(float(request.low), float(request.high))  # type: ignore[arg-type]
+        if op is Op.POINT_QUERY:
+            return self.point_query(request.point)  # type: ignore[arg-type]
+        if op is Op.RANGE_QUERY:
+            return self.range_query(request.low, request.high)  # type: ignore[arg-type]
+        if op is Op.KNN:
+            return self.knn_query(request.point, request.k)  # type: ignore[arg-type]
+        if op is Op.INSERT:
+            self.insert(
+                request.point if self.multi_dim else request.key, request.value
+            )
+            return None
+        if op is Op.DELETE:
+            return self.delete(request.point if self.multi_dim else request.key)
+        raise ValueError(f"unknown op {op!r}")
+
+    def execute_batch(self, shard: int, op: Op, requests: Sequence[Request]) -> list[object]:
+        """Answer a same-shard run of coalescable requests in one kernel call.
+
+        The caller (a coalescer worker) guarantees every request routes
+        to ``shard``; the per-shard batch kernels then answer the whole
+        run with one vectorized call, which is where coalescing earns
+        its throughput.
+        """
+        self._require_built()
+        if op is Op.LOOKUP:
+            keys = np.asarray([r.key for r in requests], dtype=np.float64)
+            with self._locks[shard]:
+                return list(self.shards[shard].lookup_batch(keys))  # type: ignore[attr-defined]
+        if op is Op.CONTAINS:
+            keys = np.asarray([r.key for r in requests], dtype=np.float64)
+            with self._locks[shard]:
+                return [bool(b) for b in self.shards[shard].contains_batch(keys)]  # type: ignore[attr-defined]
+        if op is Op.POINT_QUERY:
+            pts = np.asarray([r.point for r in requests], dtype=np.float64)
+            with self._locks[shard]:
+                return list(self.shards[shard].point_query_batch(pts))  # type: ignore[attr-defined]
+        raise ValueError(f"op {op!r} is not coalescable")
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> IndexStats:
+        """Fold of the per-shard :class:`IndexStats` via :meth:`IndexStats.merge`."""
+        return reduce(
+            lambda a, b: a.merge(b),
+            (shard.stats for shard in self.shards),  # type: ignore[attr-defined]
+            IndexStats(),
+        )
+
+    def shard_sizes(self) -> list[int]:
+        """Number of entries held by each shard."""
+        return [len(shard) for shard in self.shards]  # type: ignore[arg-type]
+
+    def __len__(self) -> int:
+        return sum(self.shard_sizes())

@@ -1,0 +1,197 @@
+"""Serving-side observability: latency histograms and per-shard counters.
+
+The benchmark story of the serving layer is throughput *and tail
+latency* (SOSD reports throughput; "Are Updatable Learned Indexes
+Ready?" shows the tails are where designs differentiate), so the stats
+layer records a log-bucketed latency histogram with p50/p95/p99 readout
+next to plain request counters.  Index-side cost counters ride along by
+merging the per-shard :class:`repro.core.interfaces.IndexStats` objects
+(:meth:`IndexStats.merge`) into one snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.interfaces import IndexStats
+
+__all__ = ["LatencyHistogram", "ServerStats"]
+
+#: Histogram bucket upper bounds: 1us * 2^i, i in [0, _BUCKETS).  The last
+#: bucket (~2200s) is an overflow catch-all.
+_BUCKETS = 32
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram with percentile readout.
+
+    Buckets double from 1 microsecond; ``percentile`` returns the upper
+    bound of the bucket containing the requested quantile, which is the
+    usual HdrHistogram-style bounded-error estimate.  ``record`` is
+    lock-free on CPython (single list-index increment under the GIL);
+    cross-thread aggregation goes through :meth:`merge` on drained
+    copies instead.
+    """
+
+    def __init__(self) -> None:
+        self.counts = [0] * _BUCKETS
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one latency observation (in seconds)."""
+        micros = seconds * 1e6
+        bucket = 0
+        bound = 1.0
+        while micros > bound and bucket < _BUCKETS - 1:
+            bound *= 2.0
+            bucket += 1
+        self.counts[bucket] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def percentile(self, p: float) -> float:
+        """Upper-bound estimate (seconds) of the ``p``-th percentile."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.total == 0:
+            return 0.0
+        target = max(1, int(round(self.total * p / 100.0)))
+        seen = 0
+        for bucket, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                return (2.0 ** bucket) * 1e-6
+        return (2.0 ** (_BUCKETS - 1)) * 1e-6
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Return a new histogram combining both observation sets."""
+        out = LatencyHistogram()
+        out.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        out.total = self.total + other.total
+        out.sum_seconds = self.sum_seconds + other.sum_seconds
+        out.max_seconds = max(self.max_seconds, other.max_seconds)
+        return out
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict summary (microsecond percentiles, mean, max)."""
+        mean = self.sum_seconds / self.total * 1e6 if self.total else 0.0
+        return {
+            "count": float(self.total),
+            "mean_us": mean,
+            "p50_us": self.percentile(50.0) * 1e6,
+            "p95_us": self.percentile(95.0) * 1e6,
+            "p99_us": self.percentile(99.0) * 1e6,
+            "max_us": self.max_seconds * 1e6,
+        }
+
+
+class ServerStats:
+    """Thread-safe request counters and latency histograms for one server.
+
+    Tracks global counters (requests, sheds, cache hits/misses, batches),
+    per-shard request/batch counts with queue high-water marks, and one
+    latency histogram per operation family.  Counter updates take a
+    single internal lock — the serving hot path calls at most two
+    counter methods per request, so contention stays negligible next to
+    the index work itself.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        self._lock = threading.Lock()
+        self.num_shards = num_shards
+        self.requests = 0
+        self.responses = 0
+        self.shed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.writes = 0
+        self.per_shard_requests = [0] * num_shards
+        self.per_shard_batches = [0] * num_shards
+        self.queue_high_water = [0] * num_shards
+        self.latency = LatencyHistogram()
+
+    # -- recording hooks (called from client and worker threads) ----------
+    def record_submit(self, shard: int, depth: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.per_shard_requests[shard] += 1
+            if depth > self.queue_high_water[shard]:
+                self.queue_high_water[shard] = depth
+
+    def record_submit_many(self, shard: int, count: int, depth: int) -> None:
+        """Batched :meth:`record_submit` — one lock acquisition per window."""
+        with self._lock:
+            self.requests += count
+            self.per_shard_requests[shard] += count
+            if depth > self.queue_high_water[shard]:
+                self.queue_high_water[shard] = depth
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.requests += 1
+            self.shed += 1
+
+    def record_batch(self, shard: int, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.per_shard_batches[shard] += 1
+
+    def record_done(self, seconds: float, write: bool = False) -> None:
+        with self._lock:
+            self.responses += 1
+            if write:
+                self.writes += 1
+            self.latency.record(seconds)
+
+    def record_done_many(self, latencies: list[float], writes: int = 0) -> None:
+        """Batched :meth:`record_done` — one lock acquisition per drained run."""
+        with self._lock:
+            self.responses += len(latencies)
+            self.writes += writes
+            record = self.latency.record
+            for seconds in latencies:
+                record(seconds)
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self, index_stats: IndexStats | None = None) -> dict[str, object]:
+        """Plain-dict view: counters, per-shard arrays, latency, index costs.
+
+        ``index_stats`` is typically the :meth:`IndexStats.merge` fold of
+        the per-shard stats; its :meth:`IndexStats.snapshot` dict is
+        embedded under ``"index"`` so one artifact carries both the
+        serving-side and the index-side story.
+        """
+        with self._lock:
+            avg_batch = self.batched_requests / self.batches if self.batches else 0.0
+            out: dict[str, object] = {
+                "requests": self.requests,
+                "responses": self.responses,
+                "shed": self.shed,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "avg_batch": avg_batch,
+                "writes": self.writes,
+                "per_shard_requests": list(self.per_shard_requests),
+                "per_shard_batches": list(self.per_shard_batches),
+                "queue_high_water": list(self.queue_high_water),
+                "latency": self.latency.snapshot(),
+            }
+        if index_stats is not None:
+            out["index"] = index_stats.snapshot()
+        return out

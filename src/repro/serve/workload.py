@@ -1,0 +1,217 @@
+"""Seeded workload generators and a closed-loop serving driver.
+
+The generators produce deterministic request streams in the YCSB style:
+``read-heavy`` (95/5), ``write-heavy`` (20/80), ``mixed`` (50/50), and a
+read-only ``zipfian`` hot-key workload whose skew is what makes result
+caching and coalescing shine (hot shards see long same-op runs).  Every
+generator takes an explicit ``seed`` so two calls with the same
+arguments produce byte-identical request lists — the determinism tests
+and the E19 benchmark both rely on that.
+
+``run_closed_loop`` drives a built :class:`IndexServer` with ``clients``
+threads, each keeping up to ``pipeline`` requests in flight.  Pipelining
+is what gives the coalescer a window to fill: a strictly synchronous
+client (pipeline=1) serializes on every response and can never be
+batched with itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.serve.requests import Op, Overloaded, Request
+from repro.serve.server import IndexServer
+from repro.serve.stats import LatencyHistogram
+
+__all__ = [
+    "read_heavy",
+    "write_heavy",
+    "mixed",
+    "zipfian_hot_key",
+    "WORKLOADS",
+    "make_workload",
+    "run_closed_loop",
+]
+
+
+def _read_request(rng: np.random.Generator, data: np.ndarray, multi_dim: bool) -> Request:
+    """A point read of one uniformly chosen existing key/point."""
+    row = int(rng.integers(0, data.shape[0]))
+    if multi_dim:
+        return Request(op=Op.POINT_QUERY, point=tuple(float(x) for x in data[row]))
+    return Request(op=Op.LOOKUP, key=float(data[row]))
+
+
+def _write_request(rng: np.random.Generator, data: np.ndarray, multi_dim: bool,
+                   tag: int) -> Request:
+    """An insert of a fresh uniformly drawn key/point inside the data domain."""
+    if multi_dim:
+        lo = data.min(axis=0)
+        hi = data.max(axis=0)
+        point = tuple(float(x) for x in lo + rng.random(data.shape[1]) * (hi - lo))
+        return Request(op=Op.INSERT, point=point, value=f"w{tag}")
+    lo_k = float(data.min())
+    hi_k = float(data.max())
+    key = lo_k + float(rng.random()) * (hi_k - lo_k)
+    return Request(op=Op.INSERT, key=key, value=f"w{tag}")
+
+
+def _ratio_workload(data: np.ndarray, count: int, seed: int, multi_dim: bool,
+                    read_ratio: float) -> list[Request]:
+    rng = np.random.default_rng(seed)
+    out: list[Request] = []
+    for i in range(count):
+        if rng.random() < read_ratio:
+            out.append(_read_request(rng, data, multi_dim))
+        else:
+            out.append(_write_request(rng, data, multi_dim, i))
+    return out
+
+
+def read_heavy(data: np.ndarray, count: int, seed: int = 0,
+               multi_dim: bool = False) -> list[Request]:
+    """95% uniform point reads, 5% fresh-key inserts (YCSB-B-like)."""
+    return _ratio_workload(data, count, seed, multi_dim, read_ratio=0.95)
+
+
+def write_heavy(data: np.ndarray, count: int, seed: int = 0,
+                multi_dim: bool = False) -> list[Request]:
+    """20% uniform point reads, 80% fresh-key inserts (ingest-like)."""
+    return _ratio_workload(data, count, seed, multi_dim, read_ratio=0.2)
+
+
+def mixed(data: np.ndarray, count: int, seed: int = 0,
+          multi_dim: bool = False) -> list[Request]:
+    """50/50 reads and inserts (YCSB-A-like)."""
+    return _ratio_workload(data, count, seed, multi_dim, read_ratio=0.5)
+
+
+def zipfian_hot_key(data: np.ndarray, count: int, seed: int = 0,
+                    multi_dim: bool = False, a: float = 1.3) -> list[Request]:
+    """Read-only Zipf(a)-skewed point reads over the existing keys.
+
+    Rank 1 is the hottest key; ranks wrap modulo the dataset size.
+    Being read-only, this workload is safe for immutable indexes, which
+    is why it is the E19 default.
+    """
+    rng = np.random.default_rng(seed)
+    n = data.shape[0]
+    ranks = (rng.zipf(a, size=count) - 1) % n
+    if multi_dim:
+        return [
+            Request(op=Op.POINT_QUERY, point=tuple(float(x) for x in data[int(r)]))
+            for r in ranks
+        ]
+    return [Request(op=Op.LOOKUP, key=float(data[int(r)])) for r in ranks]
+
+
+#: Name -> generator registry used by the E19 experiment CLI.
+WORKLOADS: dict[str, Callable[..., list[Request]]] = {
+    "read-heavy": read_heavy,
+    "write-heavy": write_heavy,
+    "mixed": mixed,
+    "zipfian": zipfian_hot_key,
+}
+
+
+def make_workload(name: str, data: np.ndarray, count: int, seed: int = 0,
+                  multi_dim: bool = False) -> list[Request]:
+    """Build ``count`` requests from the named generator (seeded)."""
+    try:
+        generator = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return generator(data, count, seed=seed, multi_dim=multi_dim)
+
+
+def run_closed_loop(server: IndexServer, requests: Sequence[Request],
+                    clients: int = 4, pipeline: int = 32,
+                    batch_submit: bool = True) -> dict[str, object]:
+    """Drive ``server`` with a closed-loop multi-client workload.
+
+    ``batch_submit=True`` submits each pipelined window through
+    :meth:`IndexServer.serve_window` (vectorized admission, shared
+    completion); ``False`` submits one request at a time via
+    :meth:`IndexServer.submit` — the natural client of a non-coalescing
+    server, and the E19 baseline.
+
+    The request list is dealt round-robin across ``clients`` threads;
+    each thread submits up to ``pipeline`` requests before collecting
+    their responses, preserving per-client submission order (so a
+    client observes its own writes).  Returns wall time, completed /
+    shed counts, throughput, client-observed *window* latency (the
+    per-request server-side histogram lives in ``server.stats()``), and
+    the per-client response values (used by the determinism and parity
+    tests).  A request that *errors* (e.g. an insert against an
+    immutable index factory) is re-raised here after all clients have
+    joined — write workloads need a mutable factory.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if pipeline < 1:
+        raise ValueError("pipeline must be >= 1")
+    slices = [list(requests[c::clients]) for c in range(clients)]
+    hists = [LatencyHistogram() for _ in range(clients)]
+    shed_counts = [0] * clients
+    values: list[list[object]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def run_client(c: int) -> None:
+        hist = hists[c]
+        mine = slices[c]
+        barrier.wait()
+        try:
+            for start in range(0, len(mine), pipeline):
+                window = mine[start:start + pipeline]
+                t0 = time.perf_counter()
+                if batch_submit:
+                    out = server.serve_window(window)
+                else:
+                    futures = [server.submit(req) for req in window]
+                    out = []
+                    for fut in futures:
+                        response = fut.result()
+                        out.append(
+                            response if isinstance(response, Overloaded) else response.value
+                        )
+                hist.record(time.perf_counter() - t0)
+                for value in out:
+                    if isinstance(value, Overloaded):
+                        shed_counts[c] += 1
+                values[c].extend(out)
+        except BaseException as exc:  # re-raised in the driver after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run_client, args=(c,), name=f"client-{c}")
+        for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t_start
+    if errors:
+        raise errors[0]
+    merged = hists[0]
+    for h in hists[1:]:
+        merged = merged.merge(h)
+    shed = sum(shed_counts)
+    completed = sum(len(chunk) for chunk in values) - shed
+    return {
+        "wall_s": wall,
+        "completed": completed,
+        "shed": shed,
+        "ops_per_s": completed / wall if wall > 0 else 0.0,
+        "client_latency": merged.snapshot(),
+        "values": values,
+    }

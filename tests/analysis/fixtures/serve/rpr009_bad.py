@@ -1,0 +1,34 @@
+"""RPR009 positive fixture: unguarded mutations of held index references."""
+
+import threading
+
+
+class UnlockedStore:
+    """Holds shard indexes but mutates them without taking the shard lock."""
+
+    def __init__(self, factory, num_shards):
+        self.shards = [factory() for _ in range(num_shards)]
+        self._locks = [threading.Lock() for _ in range(num_shards)]
+
+    def rebuild(self, shard, data):
+        self.shards[shard].build(data)  # RPR009: no lock, no docstring
+
+    def add(self, shard, key, value):
+        self.shards[shard].insert(key, value)  # RPR009
+
+    def remove(self, shard, key):
+        removed = self.shards[shard].delete(key)  # RPR009
+        return removed
+
+
+class HalfLockedStore:
+    """Takes a lock for inserts but rebuilds outside it."""
+
+    def __init__(self, factory):
+        self.index = factory()
+        self._lock = threading.Lock()
+
+    def refresh(self, data):
+        with self._lock:
+            staged = list(data)
+        self.index.build(staged)  # RPR009: lock released before the build

@@ -1,0 +1,53 @@
+"""RPR009 negative fixture: guarded, documented, or self-delegating mutations."""
+
+import threading
+
+
+class LockedStore:
+    """Mutates held indexes only under the owning shard's lock."""
+
+    def __init__(self, factory, num_shards):
+        self.shards = [factory() for _ in range(num_shards)]
+        self._locks = [threading.Lock() for _ in range(num_shards)]
+
+    def rebuild(self, shard, data):
+        with self._locks[shard]:
+            self.shards[shard].build(data)
+
+    def add(self, shard, key, value):
+        with self._locks[shard]:
+            self.shards[shard].insert(key, value)
+
+    def remove(self, shard, key):
+        with self._locks[shard]:
+            return self.shards[shard].delete(key)
+
+    def insert(self, key, value):
+        self.add(0, key, value)
+
+
+class DelegatingFacade:
+    """Forwards mutations to a store that owns the locking."""
+
+    def __init__(self, store):
+        self._store = store
+
+    def insert(self, key, value):
+        """Routed insert; the store takes the shard lock internally."""
+        self._store.insert(key, value)
+
+    def add_many(self, pairs):
+        for key, value in pairs:
+            self.insert(key, value)
+
+
+class SnapshotReader:
+    """Lock-free reader over immutable snapshots; never mutates shards."""
+
+    def __init__(self, snapshots):
+        self._snapshots = snapshots
+
+    def refresh(self, factory, data):
+        rebuilt = factory()
+        rebuilt.build(data)
+        self._snapshots.append(rebuilt)

@@ -30,8 +30,8 @@ def findings_for(rule_id: str, *fixture_names: str):
 
 
 class TestRuleRegistry:
-    def test_all_twelve_rules_registered(self):
-        expected = [f"RPR00{i}" for i in range(1, 9)]
+    def test_all_thirteen_rules_registered(self):
+        expected = [f"RPR00{i}" for i in range(1, 10)]
         expected += [f"RPR10{i}" for i in range(1, 5)]
         assert sorted(RULES) == expected
         assert sorted(RULE_METADATA) == sorted(RULES)
@@ -201,6 +201,34 @@ class TestRPR008DunderAll:
 
     def test_quiet_on_consistent_exports(self):
         assert findings_for("RPR008", "rpr008_good.py") == []
+
+
+class TestRPR009ServeShardLocks:
+    def test_fires_on_each_unguarded_mutation(self):
+        findings = findings_for("RPR009", "serve/rpr009_bad.py")
+        assert len(findings) == 4
+        messages = " ".join(f.message for f in findings)
+        assert "build()" in messages
+        assert "insert()" in messages
+        assert "delete()" in messages
+        # The half-locked class releases the lock before rebuilding.
+        assert "HalfLockedStore.refresh" in messages
+
+    def test_quiet_on_locked_documented_and_lock_free_classes(self):
+        assert findings_for("RPR009", "serve/rpr009_good.py") == []
+
+    def test_scoped_to_serve_paths(self):
+        # The same unguarded code outside a serve/ directory is ignored:
+        # the rule encodes a serving-layer contract, not a repo-wide one.
+        import shutil
+
+        src = FIXTURES / "serve" / "rpr009_bad.py"
+        outside = FIXTURES / "rpr009_outside_scope.py"
+        shutil.copyfile(src, outside)
+        try:
+            assert findings_for("RPR009", "rpr009_outside_scope.py") == []
+        finally:
+            outside.unlink()
 
 
 class TestRPR101CodeBudget:

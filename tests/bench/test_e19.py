@@ -1,0 +1,85 @@
+"""Tests for E19 (serving throughput/tail latency) and its JSON artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.serving import (
+    DEFAULT_E19_MULTI_DIM,
+    DEFAULT_E19_ONE_DIM,
+    run_e19,
+)
+
+
+class TestRunE19:
+    def test_smoke_rows_cover_requested_indexes(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        rows = run_e19(indexes="binary-search", indexes_md="grid",
+                       smoke=True, out=str(out))
+        assert [(r["space"], r["index"]) for r in rows] == [
+            ("1d", "binary-search"), ("md", "grid"),
+        ]
+        for row in rows:
+            assert row["shards"] == 2  # smoke sweeps a single shard count
+            assert row["coalesced"]["ops_per_s"] > 0
+            assert row["serial"]["ops_per_s"] > 0
+            assert row["coalesced"]["shed"] == row["serial"]["shed"] == 0
+            assert row["coalesced"]["completed"] == row["requests"]
+            assert row["speedup"] == pytest.approx(
+                row["coalesced"]["ops_per_s"] / row["serial"]["ops_per_s"]
+            )
+            # Coalescing must actually batch; the serial arm must not.
+            assert row["coalesced"]["avg_batch"] > 1.0
+            assert row["serial"]["avg_batch"] <= 1.0
+
+    def test_json_artifact_shape_and_environment(self, tmp_path):
+        out = tmp_path / "serve.json"
+        run_e19(indexes="rmi", indexes_md="", smoke=True, out=str(out))
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "E19"
+        assert payload["workload"] == "zipfian"
+        assert "python" in payload["environment"]
+        assert "numpy" in payload["environment"]
+        assert set(payload["results"]) == {"1d/rmi/shards=2"}
+        entry = payload["results"]["1d/rmi/shards=2"]
+        assert set(entry) == {"coalesced", "serial", "speedup",
+                              "clients", "pipeline", "max_batch"}
+        for arm in ("coalesced", "serial"):
+            assert {"ops_per_s", "p50_us", "p95_us", "p99_us"} <= set(entry[arm])
+
+    def test_out_none_skips_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_e19(indexes="binary-search", indexes_md="", smoke=True, out=None)
+        assert not list(tmp_path.iterdir())
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(KeyError, match="no-such-index"):
+            run_e19(indexes="no-such-index", smoke=True, out=None)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="no-such-workload"):
+            run_e19(workload="no-such-workload", smoke=True, out=None)
+
+    def test_defaults_pair_learned_indexes_with_controls(self):
+        assert "rmi" in DEFAULT_E19_ONE_DIM
+        assert "binary-search" in DEFAULT_E19_ONE_DIM  # classical control
+        assert "zm-index" in DEFAULT_E19_MULTI_DIM
+        assert "kd-tree" in DEFAULT_E19_MULTI_DIM      # classical control
+
+
+class TestE19Cli:
+    def test_registered(self):
+        assert "E19" in EXPERIMENTS
+        assert "serving" in EXPERIMENTS["E19"].description
+
+    def test_direct_id_shorthand_with_smoke(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        rc = main(["E19", "--smoke", "--param", "indexes=binary-search",
+                   "--param", "indexes_md=", "--param", f"out={out}"])
+        assert rc == 0
+        assert out.exists()
+        assert "binary-search" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""ResultCache: LRU order, TTL expiry, disabled mode, counters."""
+
+from repro.serve import ResultCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestLRU:
+    def test_hit_and_miss(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b", "default") == "default"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh, not insert
+        cache.put("c", 3)       # evicts b
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+        assert len(cache) == 2
+
+    def test_clear_drops_everything(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+
+class TestTTL:
+    def test_entries_expire_without_sleeping(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.0)
+        assert cache.get("a") == 1
+        clock.advance(2.0)
+        assert cache.get("a") is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=None, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+
+class TestDisabled:
+    def test_zero_capacity_disables_cache(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+
+class TestSnapshot:
+    def test_snapshot_reports_counters(self):
+        cache = ResultCache(capacity=1)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.put("c", 3)       # evicts a
+        snap = cache.snapshot()
+        assert snap == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "expirations": 0,
+        }

@@ -1,0 +1,171 @@
+"""Coalescer edge cases: empty flush, batch parity, shedding, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SortedArrayIndex
+from repro.serve import (
+    Coalescer,
+    IndexServer,
+    Op,
+    Overloaded,
+    Request,
+    ServerStats,
+    ShardedStore,
+    make_workload,
+    run_closed_loop,
+)
+
+
+def _fixture(num_shards=2, **kwargs):
+    keys = np.random.default_rng(0).uniform(0.0, 1e6, 500)
+    store = ShardedStore(SortedArrayIndex, num_shards=num_shards).build(keys)
+    stats = ServerStats(num_shards)
+    return keys, store, stats, Coalescer(store, stats, **kwargs)
+
+
+class TestFlush:
+    def test_empty_flush_window_is_a_noop(self):
+        _, _, stats, coalescer = _fixture()
+        assert coalescer.flush() == 0
+        assert stats.responses == 0
+        assert coalescer.queue_depths() == [0, 0]
+
+    def test_flush_drains_all_shards(self):
+        keys, _, stats, coalescer = _fixture()
+        futures = [
+            coalescer.submit(Request(op=Op.LOOKUP, key=float(k))) for k in keys[:20]
+        ]
+        assert coalescer.flush() == 20
+        assert stats.responses == 20
+        assert all(f.done() for f in futures)
+
+    def test_flush_single_shard_only(self):
+        keys, store, _, coalescer = _fixture()
+        by_shard = {0: [], 1: []}
+        for k in keys[:40]:
+            by_shard[store.route_key(float(k))].append(k)
+        for k in keys[:40]:
+            coalescer.submit(Request(op=Op.LOOKUP, key=float(k)))
+        assert coalescer.flush(shard=0) == len(by_shard[0])
+        assert coalescer.queue_depths()[0] == 0
+        assert coalescer.queue_depths()[1] == len(by_shard[1])
+
+
+class TestBatchParity:
+    def test_single_request_batch_matches_scalar(self):
+        keys, store, _, coalescer = _fixture()
+        direct = SortedArrayIndex().build(keys)
+        fut = coalescer.submit(Request(op=Op.LOOKUP, key=float(keys[3])))
+        assert coalescer.flush() == 1
+        assert fut.result().value == direct.lookup(keys[3])
+
+    def test_full_batch_matches_scalar_loop(self):
+        keys, _, stats, coalescer = _fixture(max_batch=64)
+        direct = SortedArrayIndex().build(keys)
+        probe = list(keys[:50]) + [-1.0, 2e9]
+        futures = [
+            coalescer.submit(Request(op=Op.LOOKUP, key=float(k))) for k in probe
+        ]
+        coalescer.flush()
+        assert [f.result().value for f in futures] == [direct.lookup(k) for k in probe]
+        assert stats.batches > 0
+
+    def test_mixed_op_runs_split_but_preserve_order(self):
+        keys, store, _, coalescer = _fixture(num_shards=1, max_batch=64)
+        key = 123.456
+        futures = [
+            coalescer.submit(Request(op=Op.LOOKUP, key=key)),
+            coalescer.submit(Request(op=Op.INSERT, key=key, value="w")),
+            coalescer.submit(Request(op=Op.LOOKUP, key=key)),
+        ]
+        coalescer.flush()
+        assert futures[0].result().value is None
+        assert futures[2].result().value == "w"
+
+    def test_contains_and_lookup_runs_coalesce_separately(self):
+        keys, _, stats, coalescer = _fixture(num_shards=1, max_batch=64)
+        futs = [coalescer.submit(Request(op=Op.LOOKUP, key=float(k))) for k in keys[:5]]
+        futs += [coalescer.submit(Request(op=Op.CONTAINS, key=float(k))) for k in keys[:5]]
+        coalescer.flush()
+        assert stats.batches == 2
+        assert all(isinstance(f.result().value, bool) for f in futs[5:])
+
+
+class TestShedding:
+    def test_overload_returns_overloaded_response_not_exception(self):
+        keys, _, stats, coalescer = _fixture(num_shards=1, capacity=2)
+        futures = [
+            coalescer.submit(Request(op=Op.LOOKUP, key=float(k))) for k in keys[:5]
+        ]
+        coalescer.flush()
+        results = [f.result() for f in futures]
+        shed = [r for r in results if isinstance(r, Overloaded)]
+        assert len(shed) == 3
+        assert all(not response.ok for response in shed)
+        assert all(response.depth == 2 for response in shed)
+        assert stats.shed == 3
+
+    def test_window_submission_sheds_the_overflow_slots(self):
+        keys, _, stats, coalescer = _fixture(num_shards=1, capacity=3)
+        window = coalescer.submit_window(
+            [Request(op=Op.LOOKUP, key=float(k)) for k in keys[:8]]
+        )
+        coalescer.flush()
+        results = window.wait()
+        assert sum(isinstance(v, Overloaded) for v in results) == 5
+        assert stats.shed == 5
+
+    def test_accepted_requests_still_complete_after_shed(self):
+        keys, _, _, coalescer = _fixture(num_shards=1, capacity=1)
+        direct = SortedArrayIndex().build(keys)
+        first = coalescer.submit(Request(op=Op.LOOKUP, key=float(keys[0])))
+        second = coalescer.submit(Request(op=Op.LOOKUP, key=float(keys[1])))
+        coalescer.flush()
+        assert first.result().value == direct.lookup(keys[0])
+        assert isinstance(second.result(), Overloaded)
+
+
+class TestValidation:
+    def test_rejects_bad_window_parameters(self):
+        keys, store, stats, _ = _fixture()
+        with pytest.raises(ValueError):
+            Coalescer(store, stats, max_batch=0)
+        with pytest.raises(ValueError):
+            Coalescer(store, stats, capacity=0)
+
+
+class TestThreadedDeterminism:
+    def test_eight_thread_stress_is_deterministic(self):
+        keys = np.random.default_rng(1).uniform(0.0, 1e6, 2000)
+        requests = make_workload("zipfian", keys, 3000, seed=7)
+
+        def drive():
+            server = IndexServer(
+                SortedArrayIndex, num_shards=4, max_batch=128, max_delay=0.001
+            ).build(keys)
+            try:
+                return run_closed_loop(server, requests, clients=8, pipeline=32)
+            finally:
+                server.close()
+
+        first = drive()
+        second = drive()
+        assert first["shed"] == second["shed"] == 0
+        assert first["values"] == second["values"]
+
+    def test_worker_drain_matches_direct_answers(self):
+        keys = np.random.default_rng(2).uniform(0.0, 1e6, 1000)
+        direct = SortedArrayIndex().build(keys)
+        requests = [Request(op=Op.LOOKUP, key=float(k)) for k in keys[:200]]
+        server = IndexServer(SortedArrayIndex, num_shards=3).build(keys)
+        try:
+            result = run_closed_loop(server, requests, clients=4, pipeline=16)
+        finally:
+            server.close()
+        expected = [direct.lookup(r.key) for r in requests]
+        flat = {}
+        for client, chunk in enumerate(result["values"]):
+            for i, value in enumerate(chunk):
+                flat[client + 4 * i] = value
+        assert [flat[i] for i in range(len(requests))] == expected

@@ -1,0 +1,96 @@
+"""LatencyHistogram percentiles and ServerStats counter plumbing."""
+
+import pytest
+
+from repro.core.interfaces import IndexStats
+from repro.serve import LatencyHistogram, ServerStats
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50.0) == 0.0
+        snap = hist.snapshot()
+        assert snap["count"] == 0.0
+        assert snap["mean_us"] == 0.0
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record(1e-6)       # 1us -> first bucket
+        hist.record(1e-3)           # 1ms outlier
+        assert hist.percentile(50.0) == pytest.approx(1e-6)
+        assert hist.percentile(99.0) == pytest.approx(1e-6)
+        assert hist.percentile(100.0) >= 1e-3 / 2
+        assert hist.snapshot()["max_us"] == pytest.approx(1000.0)
+
+    def test_rejects_out_of_range_percentile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101.0)
+
+    def test_merge_combines_observations(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        for _ in range(10):
+            a.record(1e-6)
+        for _ in range(10):
+            b.record(1e-3)
+        merged = a.merge(b)
+        assert merged.total == 20
+        assert merged.max_seconds == pytest.approx(1e-3)
+        assert a.total == 10 and b.total == 10  # operands untouched
+
+    def test_overflow_bucket_catches_huge_latencies(self):
+        hist = LatencyHistogram()
+        hist.record(1e9)
+        assert hist.total == 1
+        assert hist.percentile(50.0) > 0
+
+
+class TestServerStats:
+    def test_submit_and_done_counters(self):
+        stats = ServerStats(num_shards=2)
+        stats.record_submit(0, depth=3)
+        stats.record_submit(1, depth=1)
+        stats.record_done(1e-5)
+        stats.record_done(2e-5, write=True)
+        snap = stats.snapshot()
+        assert snap["requests"] == 2
+        assert snap["responses"] == 2
+        assert snap["writes"] == 1
+        assert snap["per_shard_requests"] == [1, 1]
+        assert snap["queue_high_water"] == [3, 1]
+
+    def test_batched_recorders_match_scalar_semantics(self):
+        stats = ServerStats(num_shards=1)
+        stats.record_submit_many(0, count=5, depth=5)
+        stats.record_done_many([1e-6] * 4, writes=1)
+        stats.record_batch(0, 4)
+        snap = stats.snapshot()
+        assert snap["requests"] == 5
+        assert snap["responses"] == 4
+        assert snap["writes"] == 1
+        assert snap["avg_batch"] == 4.0
+        assert snap["per_shard_batches"] == [1]
+        assert snap["latency"]["count"] == 4.0
+
+    def test_shed_and_cache_counters(self):
+        stats = ServerStats(num_shards=1)
+        stats.record_shed()
+        stats.record_cache(hit=True)
+        stats.record_cache(hit=False)
+        snap = stats.snapshot()
+        assert snap["shed"] == 1
+        assert snap["requests"] == 1
+        assert snap["cache_hits"] == 1
+        assert snap["cache_misses"] == 1
+
+    def test_snapshot_embeds_index_stats(self):
+        stats = ServerStats(num_shards=1)
+        folded = IndexStats(comparisons=7, size_bytes=128)
+        snap = stats.snapshot(index_stats=folded)
+        assert snap["index"]["comparisons"] == 7
+        assert snap["index"]["size_bytes"] == 128
+
+    def test_snapshot_without_index_stats_has_no_index_key(self):
+        assert "index" not in ServerStats(num_shards=1).snapshot()

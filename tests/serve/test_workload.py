@@ -1,0 +1,140 @@
+"""Workload generators: determinism, ratios, registry; driver validation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SortedArrayIndex
+from repro.serve import (
+    IndexServer,
+    Op,
+    WORKLOADS,
+    make_workload,
+    run_closed_loop,
+)
+from repro.serve.workload import mixed, read_heavy, write_heavy, zipfian_hot_key
+
+
+def _keys(n=500, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 1e6, n)
+
+
+def _points(n=500, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 100.0, (n, 2))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_same_seed_same_requests(self, name):
+        keys = _keys()
+        assert make_workload(name, keys, 200, seed=9) == \
+            make_workload(name, keys, 200, seed=9)
+
+    def test_different_seeds_differ(self):
+        keys = _keys()
+        assert make_workload("mixed", keys, 200, seed=1) != \
+            make_workload("mixed", keys, 200, seed=2)
+
+    def test_multi_dim_requests_carry_points(self):
+        pts = _points()
+        requests = make_workload("read-heavy", pts, 100, seed=3, multi_dim=True)
+        reads = [r for r in requests if r.op is Op.POINT_QUERY]
+        assert reads and all(len(r.point) == 2 for r in reads)
+
+
+class TestRatios:
+    def test_read_heavy_is_mostly_reads(self):
+        requests = read_heavy(_keys(), 2000, seed=4)
+        reads = sum(r.op is Op.LOOKUP for r in requests)
+        assert 0.92 < reads / len(requests) < 0.98
+
+    def test_write_heavy_is_mostly_inserts(self):
+        requests = write_heavy(_keys(), 2000, seed=4)
+        writes = sum(r.op is Op.INSERT for r in requests)
+        assert 0.75 < writes / len(requests) < 0.85
+
+    def test_mixed_is_balanced(self):
+        requests = mixed(_keys(), 2000, seed=4)
+        reads = sum(r.op is Op.LOOKUP for r in requests)
+        assert 0.45 < reads / len(requests) < 0.55
+
+    def test_zipfian_is_read_only_and_skewed(self):
+        keys = _keys()
+        requests = zipfian_hot_key(keys, 2000, seed=4)
+        assert all(r.op is Op.LOOKUP for r in requests)
+        counts = {}
+        for r in requests:
+            counts[r.key] = counts.get(r.key, 0) + 1
+        # The hottest key should dominate a uniform draw by a wide margin.
+        assert max(counts.values()) > 2000 / len(keys) * 10
+
+    def test_inserts_stay_inside_data_domain(self):
+        keys = _keys()
+        for r in write_heavy(keys, 500, seed=5):
+            if r.op is Op.INSERT:
+                assert keys.min() <= r.key <= keys.max()
+
+
+class TestRegistry:
+    def test_unknown_workload_raises_with_choices(self):
+        with pytest.raises(KeyError, match="no-such"):
+            make_workload("no-such", _keys(), 10)
+
+    def test_registry_has_the_four_named_workloads(self):
+        assert set(WORKLOADS) == {"read-heavy", "write-heavy", "mixed", "zipfian"}
+
+
+class TestDriver:
+    def test_rejects_bad_client_and_pipeline_counts(self):
+        keys = _keys(100)
+        server = IndexServer(SortedArrayIndex, num_shards=2).build(keys)
+        try:
+            with pytest.raises(ValueError):
+                run_closed_loop(server, [], clients=0)
+            with pytest.raises(ValueError):
+                run_closed_loop(server, [], clients=2, pipeline=0)
+        finally:
+            server.close()
+
+    def test_driver_accounts_for_every_request(self):
+        keys = _keys(400)
+        requests = make_workload("read-heavy", keys, 600, seed=6)
+        server = IndexServer(SortedArrayIndex, num_shards=2).build(keys)
+        try:
+            result = run_closed_loop(server, requests, clients=3, pipeline=16)
+        finally:
+            server.close()
+        assert result["completed"] + result["shed"] == len(requests)
+        assert result["shed"] == 0
+        assert result["ops_per_s"] > 0
+        assert result["client_latency"]["count"] > 0
+        assert sum(len(chunk) for chunk in result["values"]) == len(requests)
+
+    def test_write_workload_on_immutable_factory_reraises_in_driver(self):
+        from repro.onedim import PGMIndex
+
+        keys = _keys(300)
+        requests = make_workload("write-heavy", keys, 64, seed=8)
+        server = IndexServer(PGMIndex, num_shards=2).build(keys)
+        try:
+            with pytest.raises(TypeError, match="immutable"):
+                run_closed_loop(server, requests, clients=2, pipeline=8)
+        finally:
+            server.close()
+
+    def test_shed_requests_are_counted_not_raised(self):
+        from repro.serve import Overloaded
+
+        class _SheddingServer:
+            """Stands in for an IndexServer whose queues are always full."""
+
+            def serve_window(self, window):
+                return [Overloaded(depth=99) for _ in window]
+
+        keys = _keys(300)
+        requests = make_workload("zipfian", keys, 120, seed=7)
+        result = run_closed_loop(
+            _SheddingServer(), requests, clients=2, pipeline=16, batch_submit=True
+        )
+        assert result["shed"] == len(requests)
+        assert result["completed"] == 0
+        assert result["ops_per_s"] == 0.0
