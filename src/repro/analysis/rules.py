@@ -1,4 +1,4 @@
-"""The RPR001-RPR009 contract rules.
+"""The RPR001-RPR010 contract rules.
 
 Each rule is a function from an :class:`AnalysisContext` to an iterator
 of findings, registered with its stable ID, severity, and rationale.
@@ -662,3 +662,124 @@ def check_serve_shard_locks(ctx: AnalysisContext) -> Iterator[Finding]:
                         "index outside a shard lock and without documenting "
                         "the locking contract",
                     )
+
+
+# ---------------------------------------------------------------------------
+# RPR010 — shared-state snapshot discipline (the PR 6 contract)
+# ---------------------------------------------------------------------------
+#: The one serving-layer module allowed to create/unlink shm segments.
+_SHM_OWNER_STEM = "shm"
+_DIGEST_NAME_RE = re.compile(r"sha256|digest|verify", re.IGNORECASE)
+_STATE_PAIR = ("export_state", "from_state")
+
+
+def _is_shared_memory_ctor(node: ast.Call) -> bool:
+    """Whether a call constructs ``multiprocessing.shared_memory.SharedMemory``."""
+    dotted = _dotted_name(node.func)
+    return dotted is not None and dotted.rsplit(".", 1)[-1] == "SharedMemory"
+
+
+def _creates_segment(node: ast.Call) -> bool:
+    """A SharedMemory(...) call that can allocate a new OS segment."""
+    if not _is_shared_memory_ctor(node):
+        return False
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            )
+    return bool(node.args)  # positional create flag; attach-by-name uses name=
+
+
+def _maps_shared_buffer(node: ast.Call) -> bool:
+    """An ``np.ndarray(..., buffer=...)`` view over externally owned bytes."""
+    dotted = _dotted_name(node.func)
+    if dotted is None or dotted.rsplit(".", 1)[-1] != "ndarray":
+        return False
+    return any(kw.arg == "buffer" for kw in node.keywords)
+
+
+def _mentions_digest(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and _DIGEST_NAME_RE.search(node.attr):
+            return True
+        if isinstance(node, ast.Name) and _DIGEST_NAME_RE.search(node.id):
+            return True
+    return False
+
+
+@rule(
+    "RPR010",
+    "shared-state-snapshot-discipline",
+    Severity.ERROR,
+    "The multi-process serving backend shares built indexes through "
+    "shared-memory snapshots; that only stays safe if (a) segment "
+    "creation/unlinking is confined to repro.serve.shm so ownership and "
+    "leak auditing have one choke point, (b) every function that maps "
+    "ndarray views over a shared buffer verifies the manifest digest "
+    "before trusting the bytes, and (c) export_state/from_state are "
+    "overridden in pairs — a class flattening its state on export but "
+    "inheriting the generic restore (or vice versa) reconstructs garbage.",
+    ("serve", "shm", "state"),
+)
+def check_shared_state_discipline(ctx: AnalysisContext) -> Iterator[Finding]:
+    for src in ctx.files:
+        if src.tree is None:
+            continue
+        rel_parts = Path(src.rel).parts
+        in_serve = "serve" in rel_parts
+        is_owner = in_serve and Path(src.rel).stem == _SHM_OWNER_STEM
+        if in_serve and not is_owner:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.Call) and _creates_segment(node):
+                    yield _mk(
+                        "RPR010", src, node.lineno, node.col_offset,
+                        "SharedMemory segment created outside repro.serve.shm; "
+                        "route creation through pack_state so ownership and "
+                        "the repro_serve_ audit prefix stay in one place",
+                    )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "unlink"
+                    and re.search(
+                        r"shm|segment|shared",
+                        (_dotted_name(node.func.value) or "").lower(),
+                    )
+                ):
+                    yield _mk(
+                        "RPR010", src, node.lineno, node.col_offset,
+                        "shared-memory unlink() outside repro.serve.shm; use "
+                        "release_segment so retirement follows the "
+                        "owner-unlinks-after-remap discipline",
+                    )
+        if in_serve:
+            for func in ast.walk(src.tree):
+                if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                maps = [n for n in ast.walk(func)
+                        if isinstance(n, ast.Call) and _maps_shared_buffer(n)]
+                if maps and not _mentions_digest(func):
+                    yield _mk(
+                        "RPR010", src, maps[0].lineno, maps[0].col_offset,
+                        f"{func.name} maps ndarray views over a shared buffer "
+                        "without verifying the manifest digest first; a "
+                        "truncated or recycled segment would be served as "
+                        "index data",
+                    )
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            defined = {
+                name for name in _STATE_PAIR if name in _methods(node)
+            }
+            if len(defined) == 1:
+                present = next(iter(defined))
+                missing = (_STATE_PAIR[1] if present == _STATE_PAIR[0]
+                           else _STATE_PAIR[0])
+                yield _mk(
+                    "RPR010", src, node.lineno, node.col_offset,
+                    f"{node.name} overrides {present} but not {missing}; the "
+                    "export/restore pair must agree on the state layout or "
+                    "reconstruction silently corrupts",
+                )

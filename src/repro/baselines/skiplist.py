@@ -12,6 +12,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.core.interfaces import MutableOneDimIndex
+from repro.core.state import IndexState, export_index_state
 
 __all__ = ["SkipListIndex"]
 
@@ -130,6 +131,64 @@ class SkipListIndex(MutableOneDimIndex):
         while node is not None:
             yield node.key, node.value
             node = node.forward[0]
+
+    # -- built-state export: the chain flattens to arrays ------------------
+    #: Node-holding attributes nulled out during export (subclasses extend).
+    _STATE_NODE_ATTRS: tuple[str, ...] = ("_head",)
+
+    def export_state(self) -> IndexState:
+        """Flatten the tower chain into (keys, levels, values) columns.
+
+        The generic exporter would pickle the linked ``_SkipNode`` chain,
+        which recurses once per node and overflows pickle's recursion
+        limit beyond a few hundred keys; flattening keeps the export
+        iterative and puts the key column into a shareable array.
+        """
+        self._require_built()
+        keys: list[float] = []
+        levels: list[int] = []
+        values: list[object] = []
+        node = self._head.forward[0]
+        while node is not None:
+            keys.append(node.key)
+            levels.append(len(node.forward))
+            values.append(node.value)
+            node = node.forward[0]
+        saved = {name: getattr(self, name) for name in self._STATE_NODE_ATTRS}
+        try:
+            for name in self._STATE_NODE_ATTRS:
+                setattr(self, name, None)
+            self._chain_flat = (
+                np.asarray(keys, dtype=np.float64),
+                np.asarray(levels, dtype=np.int64),
+                values,
+            )
+            return export_index_state(self)
+        finally:
+            del self._chain_flat
+            for name, value in saved.items():
+                setattr(self, name, value)
+
+    @classmethod
+    def from_state(cls, state: IndexState,
+                   arrays: list[np.ndarray] | None = None) -> "SkipListIndex":
+        """Rebuild the tower chain from the flattened columns."""
+        instance = super().from_state(state, arrays)
+        assert isinstance(instance, SkipListIndex)
+        keys_arr, levels_arr, values = instance.__dict__.pop("_chain_flat")
+        head = _SkipNode(-np.inf, None, _MAX_LEVEL)
+        tails = [head] * _MAX_LEVEL
+        for key, level, value in zip(keys_arr, levels_arr, values):
+            node = _SkipNode(float(key), value, int(level))
+            for lvl in range(int(level)):
+                tails[lvl].forward[lvl] = node
+                tails[lvl] = node
+        instance._head = head
+        instance._restore_from_chain()
+        return instance
+
+    def _restore_from_chain(self) -> None:
+        """Hook: rebuild derived node references after :meth:`from_state`."""
 
     def __len__(self) -> int:
         return self._size

@@ -411,6 +411,7 @@ def _register_extensions() -> None:
     from repro.bench.batch import run_e17, run_e18
     from repro.bench.extensions import run_e13, run_e14, run_e15, run_e16
     from repro.bench.serving import run_e19
+    from repro.bench.serving_mp import run_e20
 
     EXPERIMENTS["E13"] = Experiment(
         "E13", "poisoning attacks: RMI vs PGM worst-case guarantee (§6.7)", run_e13)
@@ -426,6 +427,8 @@ def _register_extensions() -> None:
         "E18", "multi-d batch-query throughput: vectorized vs per-point", run_e18)
     EXPERIMENTS["E19"] = Experiment(
         "E19", "serving throughput/tail latency: coalesced vs one-at-a-time", run_e19)
+    EXPERIMENTS["E20"] = Experiment(
+        "E20", "serving backends: shard worker threads vs processes", run_e20)
 
 
 _register_extensions()

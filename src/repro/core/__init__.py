@@ -13,6 +13,13 @@ from repro.core.interfaces import (
 from repro.core.numeric import FLOAT64_EXACT_BITS, FLOAT64_EXACT_MAX, exact_float64
 from repro.core.registry import REGISTRY, IndexInfo, get, lineage_graph, query
 from repro.core.sanitize import SanitizeError
+from repro.core.state import (
+    IndexState,
+    StateError,
+    export_index_state,
+    index_from_state,
+    resolve_index_class,
+)
 from repro.core.taxonomy import (
     Dimensionality,
     HybridComponent,
@@ -33,6 +40,7 @@ __all__ = [
     "SanitizeError",
     "exact_float64",
     "sanitize",
+    "IndexState",
     "IndexStats",
     "MembershipFilter",
     "MultiDimIndex",
@@ -40,6 +48,10 @@ __all__ = [
     "MutableOneDimIndex",
     "NotBuiltError",
     "OneDimIndex",
+    "StateError",
+    "export_index_state",
+    "index_from_state",
+    "resolve_index_class",
     "REGISTRY",
     "IndexInfo",
     "get",

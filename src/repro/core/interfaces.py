@@ -28,6 +28,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.numeric import exact_float64
+from repro.core.state import IndexState, StateError, export_index_state, index_from_state
 
 __all__ = [
     "IndexStats",
@@ -203,6 +204,34 @@ class OneDimIndex(abc.ABC):
 
     def __len__(self) -> int:
         raise NotImplementedError
+
+    # -- built-state export (the shared-state contract) --------------------
+    def export_state(self) -> IndexState:
+        """Snapshot the built index: shareable arrays plus pickled residue.
+
+        The snapshot reconstructs via :meth:`from_state` without
+        retraining; the serving layer packs it into shared memory so
+        worker processes can map the arrays zero-copy
+        (:mod:`repro.serve.shm`).  Implementations overriding this must
+        override :meth:`from_state` too (the RPR010 pairing contract).
+        """
+        self._require_built()
+        return export_index_state(self)
+
+    @classmethod
+    def from_state(cls, state: IndexState,
+                   arrays: list[np.ndarray] | None = None) -> "OneDimIndex":
+        """Rebuild an index from :meth:`export_state` output, no retraining.
+
+        ``arrays`` optionally substitutes the exported arrays with
+        positionally aligned views (e.g. shared-memory mappings).
+        """
+        instance = index_from_state(state, arrays)
+        if not isinstance(instance, cls):
+            raise StateError(
+                f"state holds a {state.class_path()}, not a {cls.__name__}"
+            )
+        return instance
 
     # -- helpers ----------------------------------------------------------
     def _require_built(self) -> None:
@@ -380,6 +409,27 @@ class MultiDimIndex(abc.ABC):
     def _require_built(self) -> None:
         if not self._built:
             raise NotBuiltError(f"{self.name}: call build() before querying")
+
+    # -- built-state export (the shared-state contract) --------------------
+    def export_state(self) -> IndexState:
+        """Snapshot the built index: shareable arrays plus pickled residue.
+
+        Same contract as :meth:`OneDimIndex.export_state`; overriding it
+        requires overriding :meth:`from_state` as well (RPR010).
+        """
+        self._require_built()
+        return export_index_state(self)
+
+    @classmethod
+    def from_state(cls, state: IndexState,
+                   arrays: list[np.ndarray] | None = None) -> "MultiDimIndex":
+        """Rebuild an index from :meth:`export_state` output, no retraining."""
+        instance = index_from_state(state, arrays)
+        if not isinstance(instance, cls):
+            raise StateError(
+                f"state holds a {state.class_path()}, not a {cls.__name__}"
+            )
+        return instance
 
     @staticmethod
     def _prepare_points(points: np.ndarray, values: Sequence[object] | None) -> tuple[np.ndarray, list[object]]:

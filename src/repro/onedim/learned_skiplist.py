@@ -114,3 +114,12 @@ class LearnedSkipList(SkipListIndex):
             # eagerly so stale pointers never serve reads.
             self._rebuild_guide()
         return result
+
+    # -- built-state export ------------------------------------------------
+    #: The guide holds live node references; null it during export and
+    #: rebuild it from the restored chain (see SkipListIndex.export_state).
+    _STATE_NODE_ATTRS = ("_head", "_guide_nodes")
+
+    def _restore_from_chain(self) -> None:
+        self._guide_nodes = []
+        self._rebuild_guide()

@@ -9,11 +9,18 @@ reads with generation-based write invalidation, and
 :class:`ServerStats` records throughput and tail-latency histograms.
 :class:`IndexServer` is the facade gluing them together; the
 :mod:`repro.serve.workload` module provides seeded workload generators
-and the closed-loop driver behind experiment E19.
+and the closed-loop driver behind experiments E19/E20.
+
+PR 6 adds a **multi-process backend**: :mod:`repro.serve.shm` packs each
+shard's exported state into shared-memory snapshots and
+:class:`ProcessShardExecutor` runs one worker process per shard mapping
+those snapshots zero-copy, so fused batch windows execute outside the
+GIL (``IndexServer(..., backend="process")``).
 """
 
 from repro.serve.cache import ResultCache
 from repro.serve.coalescer import Coalescer
+from repro.serve.mp import ProcessShardExecutor, WorkerDied
 from repro.serve.requests import (
     COALESCABLE_OPS,
     READ_OPS,
@@ -22,9 +29,11 @@ from repro.serve.requests import (
     Overloaded,
     Request,
     Response,
+    WorkerError,
 )
 from repro.serve.server import IndexServer
 from repro.serve.sharding import ShardedStore
+from repro.serve.shm import ShardManifest, SnapshotIntegrityError, attach_view, pack_state
 from repro.serve.stats import LatencyHistogram, ServerStats
 from repro.serve.workload import WORKLOADS, make_workload, run_closed_loop
 
@@ -33,11 +42,18 @@ __all__ = [
     "Request",
     "Response",
     "Overloaded",
+    "WorkerError",
     "COALESCABLE_OPS",
     "READ_OPS",
     "WRITE_OPS",
     "ShardedStore",
     "Coalescer",
+    "ProcessShardExecutor",
+    "WorkerDied",
+    "ShardManifest",
+    "SnapshotIntegrityError",
+    "attach_view",
+    "pack_state",
     "ResultCache",
     "LatencyHistogram",
     "ServerStats",

@@ -30,7 +30,15 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.serve.requests import COALESCABLE_OPS, WRITE_OPS, Overloaded, Request, Response
+from repro.serve.mp import ProcessShardExecutor, WorkerDied
+from repro.serve.requests import (
+    COALESCABLE_OPS,
+    WRITE_OPS,
+    Overloaded,
+    Request,
+    Response,
+    WorkerError,
+)
 from repro.serve.sharding import ShardedStore
 from repro.serve.stats import ServerStats
 
@@ -108,17 +116,25 @@ class Coalescer:
             to fill once at least one request is queued; ``0`` drains
             immediately.
         capacity: per-shard queue bound for admission control.
+        executor: optional
+            :class:`~repro.serve.mp.ProcessShardExecutor`; when set,
+            fused same-op runs execute in that shard's worker *process*
+            (the dispatch thread blocks on the pipe, releasing the GIL)
+            instead of on the store in-thread.  Scalar requests and
+            writes always stay on the store.
     """
 
     def __init__(self, store: ShardedStore, stats: ServerStats,
                  max_batch: int = 256, max_delay: float = 0.001,
-                 capacity: int = 4096) -> None:
+                 capacity: int = 4096,
+                 executor: ProcessShardExecutor | None = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.store = store
         self.stats = stats
+        self.executor = executor
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.capacity = capacity
@@ -308,8 +324,17 @@ class Coalescer:
                 i += 1
 
     def _run_batch(self, shard: int, op: object, run: list[_Pending]) -> None:
+        target = self.executor if self.executor is not None else self.store
         try:
-            values = self.store.execute_batch(shard, op, [p.request for p in run])  # type: ignore[arg-type]
+            values = target.execute_batch(shard, op, [p.request for p in run])  # type: ignore[arg-type]
+        except WorkerDied as exc:
+            # The shard's worker process died holding this window; the
+            # executor has already restarted it.  Answer every in-flight
+            # request with a typed response — a crash sheds cleanly, it
+            # never hangs a window or leaks a BrokenPipeError.
+            for p in run:
+                self._resolve(p, WorkerError(shard=exc.shard, reason=exc.reason))
+            return
         except Exception as exc:  # pragma: no cover - defensive
             for p in run:
                 self._reject(p, exc)
@@ -339,7 +364,9 @@ class Coalescer:
             pending.window.complete(pending.slot, value)
         else:
             assert pending.future is not None
-            if isinstance(value, Overloaded):
+            if isinstance(value, Response) and not value.ok:
+                # Typed failure responses (Overloaded, WorkerError) pass
+                # through unwrapped so clients can branch on them.
                 pending.future.set_result(value)
             else:
                 pending.future.set_result(Response(value=value))

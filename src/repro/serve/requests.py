@@ -18,6 +18,7 @@ __all__ = [
     "Request",
     "Response",
     "Overloaded",
+    "WorkerError",
     "COALESCABLE_OPS",
     "READ_OPS",
     "WRITE_OPS",
@@ -106,6 +107,26 @@ class Overloaded(Response):
     """
 
     depth: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class WorkerError(Response):
+    """A shard worker process failed while holding this request.
+
+    Mirrors :class:`Overloaded`: a worker crash (killed mid-window,
+    pipe broken, reply timeout) surfaces as a typed *response* on every
+    in-flight request of the affected window — never a hung client and
+    never a bare ``BrokenPipeError`` — while the executor restarts the
+    worker behind the scenes.  ``shard`` names the shard whose worker
+    died; ``reason`` is a short operator-facing description.
+    """
+
+    shard: int = -1
+    reason: str = "worker process failed"
 
     @property
     def ok(self) -> bool:

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.serve.cache import ResultCache
 from repro.serve.coalescer import Coalescer
+from repro.serve.mp import ProcessShardExecutor
 from repro.serve.requests import READ_OPS, Op, Overloaded, Request, Response
 from repro.serve.sharding import ShardedStore
 from repro.serve.stats import ServerStats
@@ -48,15 +49,26 @@ class IndexServer:
         capacity: per-shard admission-control queue bound.
         cache_size: result-cache entries; ``0`` disables caching.
         cache_ttl: optional result-cache TTL in seconds.
+        backend: ``"thread"`` (default) executes fused windows on the
+            coalescer's dispatch threads; ``"process"`` ships them to
+            one worker process per shard over shared-memory snapshots
+            (:class:`~repro.serve.mp.ProcessShardExecutor`), escaping
+            the GIL for the kernel work.  Writes always execute in this
+            process either way.
     """
 
     def __init__(self, factory: Callable[[], object], num_shards: int = 4,
                  max_batch: int = 256, max_delay: float = 0.001,
                  capacity: int = 4096, cache_size: int = 0,
-                 cache_ttl: float | None = None) -> None:
+                 cache_ttl: float | None = None,
+                 backend: str = "thread") -> None:
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+        self.backend = backend
         self._store = ShardedStore(factory, num_shards=num_shards)
         self._stats = ServerStats(num_shards)
         self._cache = ResultCache(capacity=cache_size, ttl=cache_ttl)
+        self._executor: ProcessShardExecutor | None = None
         self._coalescer = Coalescer(
             self._store, self._stats,
             max_batch=max_batch, max_delay=max_delay, capacity=capacity,
@@ -73,13 +85,21 @@ class IndexServer:
         """
         self._store.build(data, values)
         self._cache.clear()
+        if self.backend == "process":
+            # Spawn workers before the coalescer threads exist so they
+            # fork from a single-threaded parent.
+            self._executor = ProcessShardExecutor(self._store, self._stats)
+            self._executor.start()
+            self._coalescer.executor = self._executor
         self._coalescer.start()
         return self
 
     def close(self) -> None:
-        """Drain outstanding requests and stop the shard workers."""
+        """Drain outstanding requests, stop shard workers, release segments."""
         if not self._closed:
             self._coalescer.stop()
+            if self._executor is not None:
+                self._executor.close()
             self._closed = True
 
     def __enter__(self) -> "IndexServer":
@@ -222,9 +242,19 @@ class IndexServer:
         return len(self._store)
 
     def stats(self) -> dict[str, object]:
-        """Combined serving + index + cache counter snapshot."""
-        out = self._stats.snapshot(index_stats=self._store.stats())
+        """Combined serving + index + cache counter snapshot.
+
+        With the process backend, worker-side query-cost deltas (drained
+        over the worker pipes) merge into the index counters via
+        :meth:`IndexStats.merge`, so the snapshot reflects work done in
+        every process, not just this one.
+        """
+        index_stats = self._store.stats()
+        if self._executor is not None and not self._closed:
+            index_stats = index_stats.merge(self._executor.index_stats())
+        out = self._stats.snapshot(index_stats=index_stats)
         out["cache"] = self._cache.snapshot()
         out["shard_sizes"] = self._store.shard_sizes()
         out["queue_depths"] = self._coalescer.queue_depths()
+        out["backend"] = self.backend
         return out

@@ -441,6 +441,21 @@ class ShardedStore:
                 return list(self.shards[shard].point_query_batch(pts))  # type: ignore[attr-defined]
         raise ValueError(f"op {op!r} is not coalescable")
 
+    # -- snapshot export (the multi-process backend's feed) ----------------
+    def export_shard(self, shard: int) -> tuple[object, int]:
+        """Export one shard's built state plus its current generation.
+
+        Runs under the shard's lock so the snapshot never observes a
+        half-applied write, and the returned generation is exactly the
+        one the snapshot reflects — the pair is what
+        :class:`repro.serve.mp.ProcessShardExecutor` publishes to worker
+        processes via :func:`repro.serve.shm.pack_state`.
+        """
+        self._require_built()
+        with self._locks[shard]:
+            state = self.shards[shard].export_state()  # type: ignore[attr-defined]
+            return state, self.generations[shard]
+
     # -- reporting ---------------------------------------------------------
     def stats(self) -> IndexStats:
         """Fold of the per-shard :class:`IndexStats` via :meth:`IndexStats.merge`."""

@@ -1,0 +1,257 @@
+"""Shared-memory shard snapshots: pack, attach, verify, unlink.
+
+This module owns the *entire* lifecycle of the serving layer's
+``multiprocessing.shared_memory`` segments (the RPR010 discipline —
+creating or unlinking a segment anywhere else in ``repro.serve`` is a
+lint error).  A shard's exported :class:`~repro.core.state.IndexState`
+is packed into **one** segment per snapshot:
+
+``[array 0 | pad | array 1 | pad | ... | pickled payload]``
+
+and described by a small typed :class:`ShardManifest` — dtype, shape and
+byte offset per array, payload extent, a sha256 over the packed bytes,
+and the shard's write generation.  The manifest (not the data) travels
+over the worker pipe; :func:`attach_view` maps the segment in the worker
+process, verifies the digest, builds **zero-copy read-only** numpy views
+over the buffer, and reconstructs a queryable index via
+:func:`~repro.core.state.index_from_state` — no retraining, no array
+copies.
+
+Unlink discipline: the snapshot *owner* (the parent process) unlinks a
+segment only after every worker has acknowledged remapping to its
+successor; workers attach without registering with the resource tracker
+(they never own the segment), so worker exit — clean or killed — neither
+unlinks a live segment nor leaks a tracker complaint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.state import IndexState, index_from_state, resolve_index_class
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "ArraySpec",
+    "ShardManifest",
+    "SnapshotIntegrityError",
+    "pack_state",
+    "attach_view",
+    "release_segment",
+    "list_repro_segments",
+]
+
+#: Every segment this library creates carries this name prefix, so tests
+#: and operators can audit ``/dev/shm`` for leaks unambiguously.
+SEGMENT_PREFIX = "repro_serve_"
+
+#: Array offsets are rounded up to this alignment inside a segment.
+_ALIGN = 64
+
+
+class SnapshotIntegrityError(RuntimeError):
+    """A snapshot segment is missing, truncated, or fails its digest."""
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one exported array inside a snapshot segment."""
+
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Typed description of one packed shard snapshot.
+
+    Everything a worker needs to map the snapshot zero-copy: the segment
+    name, per-array placement, the payload extent, an integrity digest
+    over the packed bytes, and the generation the snapshot was taken at.
+    """
+
+    shm_name: str
+    total_bytes: int
+    sha256: str
+    cls_module: str
+    cls_qualname: str
+    arrays: tuple[ArraySpec, ...]
+    payload_offset: int
+    payload_nbytes: int
+    generation: int
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _segment_name() -> str:
+    """A collision-free segment name carrying the audit prefix."""
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{secrets.token_hex(6)}"
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Workers map segments they do not own; letting their resource tracker
+    register the attachment would unlink live segments (and spam leak
+    warnings) when a worker exits.  Python 3.13 has ``track=False`` for
+    exactly this.  On older versions attach-then-unregister is the
+    documented dance, but forked workers share the parent's tracker
+    cache (a set), so the unregister would also erase the *creator's*
+    registration and the eventual unlink would trip a KeyError in the
+    tracker; suppressing the attach-side register call keeps the cache
+    balanced instead.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def pack_state(state: IndexState, generation: int = 0) -> tuple[ShardManifest, shared_memory.SharedMemory]:
+    """Pack an exported index state into one shared-memory segment.
+
+    Returns the manifest plus the owning :class:`SharedMemory` handle.
+    The caller owns the segment: it must eventually ``close()`` and
+    ``unlink()`` it (the executor does this on snapshot retirement and
+    on shutdown).
+    """
+    arrays = [np.ascontiguousarray(a) for a in state.arrays]
+    specs: list[ArraySpec] = []
+    offset = 0
+    for arr in arrays:
+        offset = _align(offset)
+        specs.append(ArraySpec(dtype=arr.dtype.str, shape=tuple(arr.shape),
+                               offset=offset if arr.nbytes else 0))
+        offset += arr.nbytes
+    payload_offset = _align(offset)
+    total = payload_offset + len(state.payload)
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(total, 1), name=_segment_name()
+    )
+    try:
+        for spec, arr in zip(specs, arrays):
+            if arr.nbytes:
+                dst = np.ndarray(arr.shape, dtype=arr.dtype,
+                                 buffer=shm.buf, offset=spec.offset)
+                dst[...] = arr
+                del dst  # release the buffer export before any close()
+        shm.buf[payload_offset:total] = state.payload
+        digest = hashlib.sha256(bytes(shm.buf[:total])).hexdigest()
+    except Exception:
+        shm.close()
+        shm.unlink()
+        raise
+    manifest = ShardManifest(
+        shm_name=shm.name,
+        total_bytes=total,
+        sha256=digest,
+        cls_module=state.cls_module,
+        cls_qualname=state.cls_qualname,
+        arrays=tuple(specs),
+        payload_offset=payload_offset,
+        payload_nbytes=len(state.payload),
+        generation=generation,
+    )
+    return manifest, shm
+
+
+def attach_view(manifest: ShardManifest) -> tuple[object, shared_memory.SharedMemory]:
+    """Map a snapshot segment and reconstruct a read-only index view.
+
+    Verifies the manifest's sha256 over the mapped bytes before trusting
+    any of them, then builds zero-copy non-writeable array views and
+    reconstructs the index without retraining.  Returns ``(view, shm)``;
+    the caller must keep ``shm`` alive as long as the view is queried,
+    and ``close()`` (never ``unlink()`` — workers do not own segments)
+    when done.
+    """
+    try:
+        shm = _attach_untracked(manifest.shm_name)
+    except FileNotFoundError:
+        raise SnapshotIntegrityError(
+            f"snapshot segment {manifest.shm_name!r} does not exist "
+            "(already unlinked?)"
+        ) from None
+    arrays: list[np.ndarray] = []
+    try:
+        if shm.size < manifest.total_bytes:
+            raise SnapshotIntegrityError(
+                f"segment {manifest.shm_name!r} holds {shm.size} bytes, "
+                f"manifest says {manifest.total_bytes}"
+            )
+        digest = hashlib.sha256(bytes(shm.buf[:manifest.total_bytes])).hexdigest()
+        if digest != manifest.sha256:
+            raise SnapshotIntegrityError(
+                f"segment {manifest.shm_name!r} sha256 mismatch: "
+                f"{digest[:12]}... != {manifest.sha256[:12]}..."
+            )
+        for spec in manifest.arrays:
+            arr = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                             buffer=shm.buf, offset=spec.offset)
+            arr.flags.writeable = False
+            arrays.append(arr)
+        payload = bytes(
+            shm.buf[manifest.payload_offset:
+                    manifest.payload_offset + manifest.payload_nbytes]
+        )
+        state = IndexState(
+            cls_module=manifest.cls_module,
+            cls_qualname=manifest.cls_qualname,
+            arrays=arrays,
+            payload=payload,
+        )
+        # Go through the class's from_state so subclass overrides (e.g.
+        # skip-list chain rebuilding) run; fall back to the generic path
+        # for classes without one.
+        cls = resolve_index_class(state)
+        from_state = getattr(cls, "from_state", None)
+        view = from_state(state) if callable(from_state) else index_from_state(state)
+    except Exception:
+        arrays.clear()  # drop buffer exports so close() cannot raise BufferError
+        shm.close()
+        raise
+    return view, shm
+
+
+def release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink an *owned* segment (the owner-side retirement path).
+
+    Owners (the executor, tests) retire segments through this helper so
+    the create/unlink lifecycle stays confined to this module — the
+    RPR010 rule flags direct ``SharedMemory(create=...)`` / ``unlink()``
+    calls elsewhere in the serving layer.  Never call this from a worker:
+    workers only ever ``close()`` their attachments.
+    """
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+def list_repro_segments() -> list[str]:
+    """Names of live ``repro_serve_*`` segments (Linux ``/dev/shm`` audit).
+
+    Returns an empty list on platforms without a ``/dev/shm`` mount; the
+    CI leak guard treats that as "nothing to check".
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.glob(f"{SEGMENT_PREFIX}*"))

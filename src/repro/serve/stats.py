@@ -111,6 +111,7 @@ class ServerStats:
         self.batches = 0
         self.batched_requests = 0
         self.writes = 0
+        self.worker_restarts = 0
         self.per_shard_requests = [0] * num_shards
         self.per_shard_batches = [0] * num_shards
         self.queue_high_water = [0] * num_shards
@@ -159,6 +160,11 @@ class ServerStats:
             for seconds in latencies:
                 record(seconds)
 
+    def record_worker_restart(self) -> None:
+        """Count one shard-worker process restart (process backend only)."""
+        with self._lock:
+            self.worker_restarts += 1
+
     def record_cache(self, hit: bool) -> None:
         with self._lock:
             if hit:
@@ -187,6 +193,7 @@ class ServerStats:
                 "batched_requests": self.batched_requests,
                 "avg_batch": avg_batch,
                 "writes": self.writes,
+                "worker_restarts": self.worker_restarts,
                 "per_shard_requests": list(self.per_shard_requests),
                 "per_shard_batches": list(self.per_shard_batches),
                 "queue_high_water": list(self.queue_high_water),

@@ -1,0 +1,52 @@
+"""RPR010 positive fixture: shared-state snapshot discipline violations."""
+
+import numpy as np
+from multiprocessing import shared_memory
+
+
+def allocate_scratch_segment(nbytes):
+    # RPR010: segment creation outside repro.serve.shm
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+class SnapshotRetirer:
+    """Retires snapshots by unlinking segments directly."""
+
+    def retire(self, shm):
+        shm.close()
+        shm.unlink()  # RPR010: unlink outside repro.serve.shm
+
+
+def map_arrays_blindly(shm, specs):
+    # RPR010: ndarray views over a shared buffer with no digest check
+    views = []
+    for dtype, shape, offset in specs:
+        views.append(np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset))
+    return views
+
+
+def map_arrays_checked(shm, manifest):
+    """Verifies the manifest sha256 before mapping; compliant."""
+    if digest_of(shm) != manifest.sha256:
+        raise ValueError("digest mismatch")
+    return [np.ndarray(s.shape, dtype=s.dtype, buffer=shm.buf, offset=s.offset)
+            for s in manifest.arrays]
+
+
+def digest_of(shm):
+    return "0" * 64
+
+
+class ExportOnlyIndex:
+    """RPR010: flattens state on export but inherits the generic restore."""
+
+    def export_state(self):
+        return None
+
+
+class RestoreOnlyIndex:
+    """RPR010: custom restore without the matching export override."""
+
+    @classmethod
+    def from_state(cls, state):
+        return cls()

@@ -1,0 +1,42 @@
+"""RPR010 negative fixture: compliant snapshot attach/retire idiom."""
+
+import numpy as np
+from multiprocessing import shared_memory
+
+
+def attach_snapshot(manifest):
+    """Attach by name (never create) and verify the digest before mapping."""
+    shm = shared_memory.SharedMemory(name=manifest.shm_name)
+    digest = sha256_of(shm, manifest.total_bytes)
+    if digest != manifest.sha256:
+        raise ValueError("snapshot digest mismatch")
+    views = [np.ndarray(s.shape, dtype=s.dtype, buffer=shm.buf, offset=s.offset)
+             for s in manifest.arrays]
+    return views, shm
+
+
+def sha256_of(shm, nbytes):
+    return "0" * 64
+
+
+def retire_snapshot(shm, release_segment):
+    """Owner-side retirement goes through the shm module's helper."""
+    release_segment(shm)
+
+
+class PairedIndex:
+    """Overrides the export/restore pair together; layouts stay in sync."""
+
+    def export_state(self):
+        return ()
+
+    @classmethod
+    def from_state(cls, state):
+        return cls()
+
+
+class InheritingIndex:
+    """Defines neither half of the pair; the generic path handles both."""
+
+    def build(self, data):
+        self.data = list(data)

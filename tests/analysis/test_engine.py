@@ -66,6 +66,7 @@ class TestCLI:
         payload = json.loads(report.read_text())
         assert payload["summary"]["findings"] == 0
         expected = {f"RPR00{i}" for i in range(1, 10)}
+        expected |= {"RPR010"}
         expected |= {f"RPR10{i}" for i in range(1, 5)}
         assert set(payload["rules"]) == expected
 
@@ -99,7 +100,7 @@ class TestCLI:
         ])
         out = capsys.readouterr().out
         assert "RPR102" not in out
-        assert "9 rule(s)" in out
+        assert "10 rule(s)" in out
         del code  # exit code depends on other rules; selection is the contract
 
     def test_select_unmatched_pattern_is_usage_error(self, capsys):
@@ -115,6 +116,7 @@ class TestCLI:
         out = capsys.readouterr().out
         for i in range(1, 10):
             assert f"RPR00{i}" in out
+        assert "RPR010" in out
         for i in range(1, 5):
             assert f"RPR10{i}" in out
 

@@ -30,8 +30,9 @@ def findings_for(rule_id: str, *fixture_names: str):
 
 
 class TestRuleRegistry:
-    def test_all_thirteen_rules_registered(self):
+    def test_all_fourteen_rules_registered(self):
         expected = [f"RPR00{i}" for i in range(1, 10)]
+        expected += ["RPR010"]
         expected += [f"RPR10{i}" for i in range(1, 5)]
         assert sorted(RULES) == expected
         assert sorted(RULE_METADATA) == sorted(RULES)
@@ -227,6 +228,45 @@ class TestRPR009ServeShardLocks:
         shutil.copyfile(src, outside)
         try:
             assert findings_for("RPR009", "rpr009_outside_scope.py") == []
+        finally:
+            outside.unlink()
+
+
+class TestRPR010SharedStateDiscipline:
+    def test_fires_on_each_seeded_violation(self):
+        findings = findings_for("RPR010", "serve/rpr010_bad.py")
+        messages = [f.message for f in findings]
+        assert len(findings) == 5
+        assert any("created outside repro.serve.shm" in m for m in messages)
+        assert any("unlink() outside repro.serve.shm" in m for m in messages)
+        assert any("map_arrays_blindly maps ndarray views" in m
+                   for m in messages)
+        assert any("ExportOnlyIndex overrides export_state but not from_state"
+                   in m for m in messages)
+        assert any("RestoreOnlyIndex overrides from_state but not export_state"
+                   in m for m in messages)
+
+    def test_digest_checked_mapper_is_quiet(self):
+        findings = findings_for("RPR010", "serve/rpr010_bad.py")
+        assert not any("map_arrays_checked" in f.message for f in findings)
+
+    def test_quiet_on_compliant_attach_and_paired_state(self):
+        assert findings_for("RPR010", "serve/rpr010_good.py") == []
+
+    def test_segment_checks_scoped_to_serve_paths(self):
+        # The same creation/unlink/mapping code outside serve/ is ignored
+        # (the confinement is a serving-layer contract), but unpaired
+        # export_state/from_state overrides are flagged repo-wide.
+        import shutil
+
+        src = FIXTURES / "serve" / "rpr010_bad.py"
+        outside = FIXTURES / "rpr010_outside_scope.py"
+        shutil.copyfile(src, outside)
+        try:
+            findings = findings_for("RPR010", "rpr010_outside_scope.py")
+            messages = [f.message for f in findings]
+            assert len(findings) == 2
+            assert all("overrides" in m for m in messages)
         finally:
             outside.unlink()
 

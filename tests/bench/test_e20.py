@@ -1,0 +1,85 @@
+"""Tests for E20 (thread vs. process shard backends) and its artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.serving_mp import (
+    DEFAULT_E20_MULTI_DIM,
+    DEFAULT_E20_ONE_DIM,
+    run_e20,
+)
+from repro.serve.shm import list_repro_segments
+
+
+class TestRunE20:
+    def test_smoke_rows_sweep_shards_for_both_backends(self, tmp_path):
+        out = tmp_path / "BENCH_serve_mp.json"
+        rows = run_e20(indexes="binary-search", indexes_md="",
+                       smoke=True, out=str(out))
+        assert [(r["space"], r["index"], r["shards"]) for r in rows] == [
+            ("1d", "binary-search", 1), ("1d", "binary-search", 2),
+        ]
+        for row in rows:
+            for arm in ("thread", "process"):
+                assert row[arm]["ops_per_s"] > 0
+                assert row[arm]["completed"] == row["requests"]
+                assert row[arm]["shed"] == 0
+                assert row[arm]["avg_batch"] > 1.0
+            assert row["thread"]["worker_restarts"] == 0
+            assert row["process"]["worker_restarts"] == 0
+            assert row["mp_vs_thread"] == pytest.approx(
+                row["process"]["ops_per_s"] / row["thread"]["ops_per_s"]
+            )
+        # mp_scaling is relative to the first shard count in the sweep.
+        assert rows[0]["mp_scaling"] == pytest.approx(1.0)
+        # Every benchmark server released its segments on close.
+        assert list_repro_segments() == []
+
+    def test_artifact_schema_records_cpu_count(self, tmp_path):
+        out = tmp_path / "serve_mp.json"
+        run_e20(indexes="binary-search", indexes_md="", smoke=True,
+                out=str(out))
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "E20"
+        assert isinstance(payload["cpu_count"], int) and payload["cpu_count"] >= 1
+        assert "python" in payload["environment"]
+        assert set(payload["results"]) == {
+            "1d/binary-search/shards=1", "1d/binary-search/shards=2",
+        }
+        entry = payload["results"]["1d/binary-search/shards=1"]
+        assert set(entry) == {"thread", "process", "mp_vs_thread",
+                              "mp_scaling", "clients", "pipeline", "max_batch"}
+        for arm in ("thread", "process"):
+            assert {"ops_per_s", "p50_us", "p95_us", "p99_us",
+                    "worker_restarts"} <= set(entry[arm])
+
+    def test_multi_dim_contender_runs(self, tmp_path):
+        rows = run_e20(indexes="", indexes_md="grid", smoke=True, out=None)
+        assert [(r["space"], r["index"]) for r in rows] == [
+            ("md", "grid"), ("md", "grid"),
+        ]
+        assert all(r["process"]["completed"] == r["requests"] for r in rows)
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(KeyError, match="no-such-index"):
+            run_e20(indexes="no-such-index", smoke=True, out=None)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            run_e20(workload="adversarial", smoke=True, out=None)
+
+
+class TestRegistration:
+    def test_e20_registered_with_defaults(self):
+        exp = EXPERIMENTS["E20"]
+        assert exp.runner is run_e20
+        assert "thread" in exp.description and "process" in exp.description
+
+    def test_default_contenders_exist(self):
+        from repro.bench.runner import MULTI_DIM_FACTORIES, ONE_DIM_FACTORIES
+        assert set(DEFAULT_E20_ONE_DIM) <= set(ONE_DIM_FACTORIES)
+        assert set(DEFAULT_E20_MULTI_DIM) <= set(MULTI_DIM_FACTORIES)

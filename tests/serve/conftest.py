@@ -1,0 +1,26 @@
+"""Serve-suite guards: no test may leak a shared-memory segment.
+
+Every ``repro_serve_*`` segment in ``/dev/shm`` is owned by exactly one
+:class:`~repro.serve.mp.ProcessShardExecutor` (or a test acting as one);
+a segment that outlives its test is a leak in the snapshot-retirement
+path, so the guard fails the offending test rather than letting the
+orphan accumulate across the suite (and across CI runs on shared
+runners).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.shm import list_repro_segments
+
+
+@pytest.fixture(autouse=True)
+def shm_orphan_guard():
+    before = set(list_repro_segments())
+    yield
+    leaked = sorted(set(list_repro_segments()) - before)
+    assert not leaked, (
+        f"test leaked shared-memory segments: {leaked} — every pack_state "
+        "segment must be retired via release_segment before the test ends"
+    )
