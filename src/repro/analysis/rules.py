@@ -783,3 +783,98 @@ def check_shared_state_discipline(ctx: AnalysisContext) -> Iterator[Finding]:
                     "export/restore pair must agree on the state layout or "
                     "reconstruction silently corrupts",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RPR011 — artifact digest-before-map discipline (the PR 7 contract)
+# ---------------------------------------------------------------------------
+#: File-to-ndarray mapping entry points: interpreting on-disk bytes as
+#: typed array data (lazily or eagerly) without copying through a parser.
+_FILE_MAP_CALLS = frozenset({"memmap", "fromfile"})
+_PICKLE_LOAD_CALLS = frozenset({"load", "loads"})
+_DISK_READ_METHODS = frozenset({"read", "read_bytes", "read_text"})
+
+
+def _file_map_calls(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    """Calls in ``func`` that map file bytes into ndarrays."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in _FILE_MAP_CALLS:
+                yield node
+
+
+def _unpickles_from_disk(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> ast.Call | None:
+    """The first pickle load in ``func``, if ``func`` also reads from disk.
+
+    In-memory unpickling (bytes handed in by a caller who already
+    verified them) is out of scope; the hazard this rule polices is
+    trusting *file* bytes — so a pickle load only counts when the same
+    function opens or reads a file.
+    """
+    pickle_call: ast.Call | None = None
+    reads_disk = False
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if parts[-1] in _PICKLE_LOAD_CALLS and "pickle" in parts[:-1]:
+                if pickle_call is None:
+                    pickle_call = node
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            reads_disk = True
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DISK_READ_METHODS
+        ):
+            reads_disk = True
+    return pickle_call if reads_disk else None
+
+
+@rule(
+    "RPR011",
+    "artifact-digest-before-map",
+    Severity.ERROR,
+    "The artifact store serves index bytes straight off disk (np.memmap "
+    "views, raw np.fromfile reads, pickled payload blobs); that is only "
+    "safe when every file is sha256-verified against the artifact "
+    "manifest *before* any of its bytes are interpreted — mapping first "
+    "and checking later (or never) serves a truncated or tampered file "
+    "as index data, and unpickling unverified file bytes executes "
+    "whatever the file says.  Mirrors RPR010's digest-before-map "
+    "discipline for shared-memory segments.",
+    ("artifact", "persistence", "integrity"),
+)
+def check_artifact_digest_discipline(ctx: AnalysisContext) -> Iterator[Finding]:
+    for src in ctx.files:
+        if src.tree is None:
+            continue
+        for func in ast.walk(src.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if _mentions_digest(func):
+                continue
+            for call in _file_map_calls(func):
+                target = _dotted_name(call.func) or "memmap"
+                yield _mk(
+                    "RPR011", src, call.lineno, call.col_offset,
+                    f"{func.name} maps file bytes into an ndarray via "
+                    f"{target}() without digest-verifying the file first; "
+                    "a corrupt or tampered artifact would be served as "
+                    "index data",
+                )
+            pickle_call = _unpickles_from_disk(func)
+            if pickle_call is not None:
+                yield _mk(
+                    "RPR011", src, pickle_call.lineno, pickle_call.col_offset,
+                    f"{func.name} unpickles bytes read from disk without "
+                    "digest-verifying them first; pickle executes code, so "
+                    "loading an unverified payload runs whatever the file "
+                    "contains",
+                )

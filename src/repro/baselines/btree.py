@@ -12,7 +12,10 @@ from __future__ import annotations
 import bisect
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.core.interfaces import MutableOneDimIndex
+from repro.core.state import IndexState, export_index_state
 
 __all__ = ["BPlusTreeIndex"]
 
@@ -57,10 +60,15 @@ class BPlusTreeIndex(MutableOneDimIndex):
         arr, vals = self._prepare(keys, values)
         self._size = int(arr.size)
         self._built = True
+        self._load_sorted(arr, vals)
+        return self
+
+    def _load_sorted(self, arr: np.ndarray, vals: list[object]) -> None:
+        """Bottom-up bulk load of already-sorted pairs (iterative)."""
         if arr.size == 0:
             self._root = _Node(leaf=True)
             self._height = 1
-            return self
+            return
 
         # Build leaves at ~2/3 fill to leave insert headroom.
         per_leaf = max(2, (2 * self.fanout) // 3)
@@ -96,7 +104,42 @@ class BPlusTreeIndex(MutableOneDimIndex):
         self._root = level[0]
         self._height = height
         self._update_size_estimate()
-        return self
+
+    # -- state export/restore ---------------------------------------------
+    def export_state(self) -> IndexState:
+        """Flatten the leaf chain into (keys, values) columns.
+
+        The generic exporter would pickle the node graph, whose leaf
+        ``next`` chain recurses once per leaf and overflows pickle's
+        recursion limit beyond a few thousand keys; flattening keeps
+        the export iterative and puts the key column into a shareable
+        array.
+        """
+        self._require_built()
+        keys: list[float] = []
+        values: list[object] = []
+        for key, value in self.items():
+            keys.append(key)
+            values.append(value)
+        root = self._root
+        try:
+            self._root = _Node(leaf=True)  # detach the node graph
+            self._chain_flat = (np.asarray(keys, dtype=np.float64), values)
+            return export_index_state(self)
+        finally:
+            del self._chain_flat
+            self._root = root
+
+    @classmethod
+    def from_state(cls, state: IndexState,
+                   arrays: list[np.ndarray] | None = None) -> "BPlusTreeIndex":
+        """Rebuild the node graph bottom-up from the flattened columns."""
+        instance = super().from_state(state, arrays)
+        assert isinstance(instance, BPlusTreeIndex)
+        keys_arr, values = instance.__dict__.pop("_chain_flat")
+        instance._load_sorted(np.asarray(keys_arr, dtype=np.float64),
+                              list(values))
+        return instance
 
     def _update_size_estimate(self) -> None:
         nodes = 0

@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.interfaces import MutableMultiDimIndex, as_object_array
+from repro.core.state import IndexState, export_index_state
 
 __all__ = ["GridIndex"]
 
@@ -63,6 +64,63 @@ class GridIndex(MutableMultiDimIndex):
         self.stats.size_bytes = self._size * (8 * self.dims + 16) + len(self._cells) * 64
         self.stats.extra["cells"] = len(self._cells)
         return self
+
+    # -- state export/restore ----------------------------------------------
+    def export_state(self) -> IndexState:
+        """Pack the per-cell buckets into CSR columns for export.
+
+        The live structure holds one small ndarray per point plus one
+        stacked pair per cell — roughly ``n`` distinct arrays, which
+        the artifact store would write (and later memmap) as ``n``
+        separate files.  Packing into a single ``(n, d)`` matrix plus
+        per-cell counts keeps the artifact at a handful of files and
+        makes the restore a pure slicing pass.
+        """
+        self._require_built()
+        cells = self._cells
+        stacked = self._stacked
+        cids: list[tuple[int, ...]] = []
+        counts: list[int] = []
+        rows: list[np.ndarray] = []
+        values: list[object] = []
+        for cid, bucket in cells.items():
+            cids.append(cid)
+            counts.append(len(bucket))
+            for p, v in bucket:
+                rows.append(p)
+                values.append(v)
+        packed = (np.vstack(rows) if rows
+                  else np.empty((0, max(self.dims, 1)), dtype=np.float64))
+        try:
+            self._cells = {}
+            self._stacked = {}
+            self._packed = (cids, np.asarray(counts, dtype=np.int64),
+                            packed, values)
+            return export_index_state(self)
+        finally:
+            del self._packed
+            self._cells = cells
+            self._stacked = stacked
+
+    @classmethod
+    def from_state(cls, state: IndexState,
+                   arrays: list[np.ndarray] | None = None) -> "GridIndex":
+        """Unpack the CSR columns back into per-cell buckets."""
+        instance = super().from_state(state, arrays)
+        assert isinstance(instance, GridIndex)
+        cids, counts, packed, values = instance.__dict__.pop("_packed")
+        cells: dict[tuple[int, ...], list[tuple[np.ndarray, object]]] = {}
+        start = 0
+        for cid, count in zip(cids, counts):
+            end = start + int(count)
+            cells[tuple(int(c) for c in cid)] = [
+                (np.array(packed[j], dtype=np.float64), values[j])
+                for j in range(start, end)
+            ]
+            start = end
+        instance._cells = cells
+        instance._stacked = {}
+        return instance
 
     def _cell_of(self, p: np.ndarray) -> tuple[int, ...]:
         frac = (p - self._lo) / (self._hi - self._lo)

@@ -409,6 +409,7 @@ EXPERIMENTS: dict[str, Experiment] = {
 def _register_extensions() -> None:
     """Register the open-challenge experiments (import-cycle-free)."""
     from repro.bench.batch import run_e17, run_e18
+    from repro.bench.coldstart import run_e21
     from repro.bench.extensions import run_e13, run_e14, run_e15, run_e16
     from repro.bench.serving import run_e19
     from repro.bench.serving_mp import run_e20
@@ -429,6 +430,8 @@ def _register_extensions() -> None:
         "E19", "serving throughput/tail latency: coalesced vs one-at-a-time", run_e19)
     EXPERIMENTS["E20"] = Experiment(
         "E20", "serving backends: shard worker threads vs processes", run_e20)
+    EXPERIMENTS["E21"] = Experiment(
+        "E21", "cold start: artifact load vs rebuild, time-to-first-query", run_e21)
 
 
 _register_extensions()

@@ -47,6 +47,7 @@ HEADLINE_KEYS = {
     "E18": "speedup",
     "E19": "speedup",
     "E20": "mp_vs_thread",
+    "E21": "load_vs_rebuild",
 }
 
 #: Top-level artifact fields that describe the machine or the output,

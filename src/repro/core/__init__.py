@@ -1,6 +1,13 @@
 """Core package: index interfaces and the paper's taxonomy artifacts."""
 
 from repro.core import sanitize
+from repro.core.artifact import (
+    ArtifactError,
+    load_index_artifact,
+    read_artifact,
+    save_index_artifact,
+    write_artifact,
+)
 from repro.core.interfaces import (
     IndexStats,
     MembershipFilter,
@@ -35,6 +42,11 @@ from repro.core.taxonomy import (
 )
 
 __all__ = [
+    "ArtifactError",
+    "load_index_artifact",
+    "read_artifact",
+    "save_index_artifact",
+    "write_artifact",
     "FLOAT64_EXACT_BITS",
     "FLOAT64_EXACT_MAX",
     "SanitizeError",

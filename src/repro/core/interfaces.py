@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -233,10 +234,58 @@ class OneDimIndex(abc.ABC):
             )
         return instance
 
+    # -- on-disk persistence (the artifact store) --------------------------
+    def save(self, path: str | Path) -> Path:
+        """Persist the built index as a verifiable artifact directory.
+
+        Writes :meth:`export_state` output through
+        :func:`repro.core.artifact.write_artifact`: raw little-endian
+        array files plus a pickled payload, described by a
+        ``manifest.json`` with a sha256 per file.  Returns the artifact
+        directory; reload it with :meth:`load` — no retraining.
+        """
+        from repro.core.artifact import write_artifact
+
+        return write_artifact(self.export_state(), path)
+
+    @classmethod
+    def load(cls, path: str | Path,
+             mmap_mode: str | None = "r") -> "OneDimIndex":
+        """Reconstruct an index saved by :meth:`save`, without retraining.
+
+        Args:
+            path: the artifact directory.
+            mmap_mode: ``"r"`` (default) maps arrays lazily as read-only
+                ``np.memmap`` views — instant cold start, zero copies;
+                ``None`` materializes private writable arrays eagerly
+                (use this when the index will be mutated heavily).
+
+        Every file is digest-verified before any bytes are mapped or
+        unpickled.
+        """
+        from repro.core.artifact import read_artifact
+
+        return cls.from_state(read_artifact(path, mmap_mode=mmap_mode))
+
     # -- helpers ----------------------------------------------------------
     def _require_built(self) -> None:
         if not self._built:
             raise NotBuiltError(f"{self.name}: call build() before querying")
+
+    def _thaw(self, *names: str) -> None:
+        """Copy-on-write the named array attributes before in-place writes.
+
+        Arrays restored from a read-only mapping (``mmap_mode="r"``
+        loads, shared-memory views) are non-writeable; swapping in a
+        private copy on first mutation keeps the backing file or segment
+        byte-identical while letting mutable indexes mutate freely.
+        Writable arrays are left untouched, so the built/eager paths pay
+        nothing.
+        """
+        for name in names:
+            arr = getattr(self, name, None)
+            if isinstance(arr, np.ndarray) and not arr.flags.writeable:
+                setattr(self, name, arr.copy())
 
     @staticmethod
     def _prepare(keys: Sequence[float], values: Sequence[object] | None) -> tuple[np.ndarray, list[object]]:
@@ -430,6 +479,42 @@ class MultiDimIndex(abc.ABC):
                 f"state holds a {state.class_path()}, not a {cls.__name__}"
             )
         return instance
+
+    # -- on-disk persistence (the artifact store) --------------------------
+    def save(self, path: str | Path) -> Path:
+        """Persist the built index as a verifiable artifact directory.
+
+        Same contract as :meth:`OneDimIndex.save`.
+        """
+        from repro.core.artifact import write_artifact
+
+        return write_artifact(self.export_state(), path)
+
+    @classmethod
+    def load(cls, path: str | Path,
+             mmap_mode: str | None = "r") -> "MultiDimIndex":
+        """Reconstruct an index saved by :meth:`save`, without retraining.
+
+        Same contract as :meth:`OneDimIndex.load`: ``mmap_mode="r"``
+        (default) maps arrays as lazy read-only views, ``None``
+        materializes writable copies; every file is digest-verified
+        before any bytes are mapped or unpickled.
+        """
+        from repro.core.artifact import read_artifact
+
+        return cls.from_state(read_artifact(path, mmap_mode=mmap_mode))
+
+    def _thaw(self, *names: str) -> None:
+        """Copy-on-write the named array attributes before in-place writes.
+
+        Same contract as :meth:`OneDimIndex._thaw`: restored read-only
+        arrays are replaced by private writable copies; writable arrays
+        are left untouched.
+        """
+        for name in names:
+            arr = getattr(self, name, None)
+            if isinstance(arr, np.ndarray) and not arr.flags.writeable:
+                setattr(self, name, arr.copy())
 
     @staticmethod
     def _prepare_points(points: np.ndarray, values: Sequence[object] | None) -> tuple[np.ndarray, list[object]]:

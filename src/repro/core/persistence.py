@@ -1,9 +1,22 @@
 """Index persistence: save built indexes to disk and load them back.
 
 Learned indexes are cheap to store (that is their headline feature), so
-shipping a built index to another process is a natural workflow.  The
-format is a versioned pickle with an integrity header; loading verifies
-both before unpickling.
+shipping a built index to another process is a natural workflow.  Since
+format version 2 the single-file layout shares its data model with the
+artifact store (:mod:`repro.core.artifact`): the index is split along
+the :mod:`repro.core.state` line into raw little-endian array blocks
+plus one pickled payload block, described by an embedded JSON manifest
+with a sha256 **per block** — aliased arrays are stored once, and every
+block (including the payload, before it is unpickled) verifies its own
+digest instead of trusting one monolithic hash over the whole file.
+
+Layout::
+
+    MAGIC | version (2) | manifest sha256 (32) | manifest length (4)
+          | manifest JSON | array block 0 | ... | payload block
+
+Version-1 files (whole-object pickle behind a single digest) still
+load.
 
 Security note: pickle executes code on load — only load index files you
 produced yourself, exactly like numpy's ``allow_pickle`` data.
@@ -12,24 +25,58 @@ produced yourself, exactly like numpy's ``allow_pickle`` data.
 from __future__ import annotations
 
 import hashlib
-import io
+import json
 import pickle
 from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.state import (
+    IndexState,
+    StateError,
+    export_index_state,
+    index_from_state,
+    resolve_index_class,
+)
 
 __all__ = ["save_index", "load_index", "PersistenceError", "FORMAT_VERSION"]
 
 #: Bump when the on-disk layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 _MAGIC = b"LIDX"
+
+#: Fixed header size of a version-2 file: magic + version + manifest
+#: digest + manifest length.
+_V2_HEADER = 4 + 2 + 32 + 4
 
 
 class PersistenceError(RuntimeError):
     """Raised when an index file is missing, corrupt, or incompatible."""
 
 
+def _export(index: object) -> tuple[IndexState, bool]:
+    """Split ``index`` into an exportable state plus its built flag.
+
+    Built indexes go through their own ``export_state`` (so subclass
+    overrides run); unbuilt indexes and filters take the generic path,
+    which needs no lifecycle.
+    """
+    built = bool(getattr(index, "_built", False))
+    export = getattr(index, "export_state", None)
+    try:
+        if built and callable(export):
+            return export(), True
+        return export_index_state(index), built
+    except (StateError, TypeError) as exc:
+        raise PersistenceError(
+            f"{type(index).__name__} is not serializable: {exc}"
+        ) from exc
+
+
 def save_index(index: object, path: str | Path) -> int:
-    """Serialise a built index to ``path``.
+    """Serialise an index to ``path``.
 
     Args:
         index: any index object from this library (built or not).
@@ -37,18 +84,46 @@ def save_index(index: object, path: str | Path) -> int:
 
     Returns:
         The number of bytes written.
-
-    The file layout is ``MAGIC | version (2 bytes) | sha256 (32 bytes) |
-    payload``; the digest covers the payload so silent corruption is
-    detected at load time.
     """
-    buffer = io.BytesIO()
-    pickle.dump(index, buffer, protocol=pickle.HIGHEST_PROTOCOL)
-    payload = buffer.getvalue()
-    digest = hashlib.sha256(payload).digest()
-    blob = _MAGIC + FORMAT_VERSION.to_bytes(2, "big") + digest + payload
-    out = Path(path)
-    out.write_bytes(blob)
+    state, built = _export(index)
+    blocks: list[bytes] = []
+    entries: list[dict[str, Any]] = []
+    offset = 0
+    for arr in state.arrays:
+        out = np.ascontiguousarray(arr)
+        if out.dtype.str.startswith(">"):
+            out = out.astype(out.dtype.newbyteorder("<"))
+        raw = out.tobytes()
+        entries.append({
+            "dtype": out.dtype.str,
+            "shape": list(out.shape),
+            "offset": offset,
+            "nbytes": len(raw),
+            "sha256": hashlib.sha256(raw).hexdigest(),
+        })
+        blocks.append(raw)
+        offset += len(raw)
+    manifest = {
+        "built": built,
+        "class": {"module": state.cls_module, "qualname": state.cls_qualname},
+        "arrays": entries,
+        "payload": {
+            "offset": offset,
+            "nbytes": len(state.payload),
+            "sha256": hashlib.sha256(state.payload).hexdigest(),
+        },
+    }
+    manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    blob = (
+        _MAGIC
+        + FORMAT_VERSION.to_bytes(2, "big")
+        + hashlib.sha256(manifest_bytes).digest()
+        + len(manifest_bytes).to_bytes(4, "big")
+        + manifest_bytes
+        + b"".join(blocks)
+        + state.payload
+    )
+    Path(path).write_bytes(blob)
     return len(blob)
 
 
@@ -56,19 +131,94 @@ def load_index(path: str | Path) -> object:
     """Load an index previously written by :func:`save_index`.
 
     Raises:
-        PersistenceError: wrong magic, unsupported version, or a payload
-            whose digest does not match (corruption).
+        PersistenceError: wrong magic, unsupported version, truncation,
+            or any block whose digest does not match (corruption).
     """
     data = Path(path).read_bytes()
-    if len(data) < 38 or data[:4] != _MAGIC:
+    if len(data) < 6 or data[:4] != _MAGIC:
         raise PersistenceError(f"{path}: not a learned-index file")
     version = int.from_bytes(data[4:6], "big")
     if version > FORMAT_VERSION:
         raise PersistenceError(
             f"{path}: format version {version} newer than supported {FORMAT_VERSION}"
         )
+    if version == 1:
+        return _load_v1(path, data)
+    return _load_v2(path, data)
+
+
+def _load_v1(path: str | Path, data: bytes) -> object:
+    """Legacy loader: whole-object pickle behind one monolithic digest."""
+    if len(data) < 38:
+        raise PersistenceError(f"{path}: truncated version-1 file")
     digest = data[6:38]
     payload = data[38:]
     if hashlib.sha256(payload).digest() != digest:
         raise PersistenceError(f"{path}: payload digest mismatch (corrupt file)")
     return pickle.loads(payload)
+
+
+def _block(path: str | Path, body: bytes, entry: dict[str, Any],
+           what: str) -> bytes:
+    """Slice one manifest-described block and verify its digest."""
+    try:
+        offset = int(entry["offset"])
+        nbytes = int(entry["nbytes"])
+        expected = str(entry["sha256"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"{path}: malformed manifest ({what})") from exc
+    raw = body[offset:offset + nbytes]
+    if len(raw) != nbytes:
+        raise PersistenceError(f"{path}: truncated file ({what})")
+    if hashlib.sha256(raw).hexdigest() != expected:
+        raise PersistenceError(f"{path}: {what} digest mismatch (corrupt file)")
+    return raw
+
+
+def _load_v2(path: str | Path, data: bytes) -> object:
+    """Manifest-described loader: every block digest-verified before use."""
+    if len(data) < _V2_HEADER:
+        raise PersistenceError(f"{path}: truncated header")
+    manifest_digest = data[6:38]
+    manifest_len = int.from_bytes(data[38:42], "big")
+    manifest_bytes = data[_V2_HEADER:_V2_HEADER + manifest_len]
+    if len(manifest_bytes) != manifest_len:
+        raise PersistenceError(f"{path}: truncated manifest")
+    if hashlib.sha256(manifest_bytes).digest() != manifest_digest:
+        raise PersistenceError(f"{path}: manifest digest mismatch (corrupt file)")
+    try:
+        manifest = json.loads(manifest_bytes)
+    except ValueError as exc:
+        raise PersistenceError(f"{path}: unreadable manifest: {exc}") from exc
+    if not isinstance(manifest, dict) or "class" not in manifest:
+        raise PersistenceError(f"{path}: malformed manifest")
+    body = data[_V2_HEADER + manifest_len:]
+    arrays: list[np.ndarray] = []
+    for i, entry in enumerate(manifest.get("arrays", [])):
+        raw = _block(path, body, entry, f"array #{i}")
+        try:
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(int(x) for x in entry["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(
+                f"{path}: bad dtype/shape for array #{i}"
+            ) from exc
+        # Private writable copy: persistence-loaded indexes stay fully
+        # mutable (the artifact store is the zero-copy mmap path).
+        arrays.append(np.frombuffer(raw, dtype=dtype).reshape(shape).copy())
+    payload = _block(path, body, manifest["payload"], "payload")
+    state = IndexState(
+        cls_module=str(manifest["class"].get("module", "")),
+        cls_qualname=str(manifest["class"].get("qualname", "")),
+        arrays=arrays,
+        payload=payload,
+    )
+    try:
+        if manifest.get("built"):
+            cls = resolve_index_class(state)
+            from_state = getattr(cls, "from_state", None)
+            if callable(from_state):
+                return from_state(state)
+        return index_from_state(state)
+    except StateError as exc:
+        raise PersistenceError(f"{path}: {exc}") from exc

@@ -56,6 +56,19 @@ class _SharedArrayRef:
     index: int
 
 
+@dataclass(frozen=True)
+class _RefBranch:
+    """A container rebuilt because an array ref lives somewhere beneath it.
+
+    Ref-free subtrees are left in the payload as their original objects,
+    so reconstruction only walks the (small) spine that actually carries
+    refs — a million-entry value list costs O(1) to splice back, not a
+    million recursive visits.
+    """
+
+    items: Any
+
+
 @dataclass
 class IndexState:
     """One built index, split into shareable arrays and pickled residue.
@@ -104,16 +117,29 @@ def _decompose(value: Any, arrays: list[np.ndarray],
             arrays.append(value)
         return _SharedArrayRef(memo[key])
     if type(value) is list:
-        return [_decompose(item, arrays, memo) for item in value]
+        out = [_decompose(item, arrays, memo) for item in value]
+        if all(a is b for a, b in zip(out, value)):
+            return value  # ref-free: keep the original, recompose skips it
+        return _RefBranch(out)
     if type(value) is tuple:
-        return tuple(_decompose(item, arrays, memo) for item in value)
+        out_t = tuple(_decompose(item, arrays, memo) for item in value)
+        if all(a is b for a, b in zip(out_t, value)):
+            return value
+        return _RefBranch(out_t)
     if type(value) is dict:
-        return {k: _decompose(v, arrays, memo) for k, v in value.items()}
+        out_d = {k: _decompose(v, arrays, memo) for k, v in value.items()}
+        if all(out_d[k] is v for k, v in value.items()):
+            return value
+        return _RefBranch(out_d)
     return value
 
 
 def _recompose(value: Any, arrays: list[np.ndarray]) -> Any:
-    """Inverse of :func:`_decompose`: splice ``arrays`` back in."""
+    """Inverse of :func:`_decompose`: splice ``arrays`` back in.
+
+    Only :class:`_SharedArrayRef` leaves and :class:`_RefBranch` spines
+    are visited; everything else is already its final object.
+    """
     if isinstance(value, _SharedArrayRef):
         try:
             return arrays[value.index]
@@ -122,12 +148,17 @@ def _recompose(value: Any, arrays: list[np.ndarray]) -> Any:
                 f"state references array #{value.index} but only "
                 f"{len(arrays)} arrays were provided"
             ) from None
-    if type(value) is list:
-        return [_recompose(item, arrays) for item in value]
-    if type(value) is tuple:
-        return tuple(_recompose(item, arrays) for item in value)
-    if type(value) is dict:
-        return {k: _recompose(v, arrays) for k, v in value.items()}
+    if isinstance(value, _RefBranch):
+        items = value.items
+        if type(items) is list:
+            return [_recompose(item, arrays) for item in items]
+        if type(items) is tuple:
+            return tuple(_recompose(item, arrays) for item in items)
+        if type(items) is dict:
+            return {k: _recompose(v, arrays) for k, v in items.items()}
+        raise StateError(
+            f"malformed ref branch of type {type(items).__name__}"
+        )
     return value
 
 

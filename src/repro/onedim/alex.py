@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.interfaces import MutableOneDimIndex
+from repro.core.state import IndexState, export_index_state
 from repro.models.linear import LinearModel
 
 __all__ = ["ALEXIndex"]
@@ -241,6 +242,44 @@ class ALEXIndex(MutableOneDimIndex):
             visit(self._root)
         self.stats.size_bytes = total
         self.stats.extra["nodes"] = nodes
+
+    # -- state export/restore ---------------------------------------------------
+    def export_state(self) -> IndexState:
+        """Sever the doubly-linked leaf chain around the generic export.
+
+        Pickling the ``prev``/``next`` chain recurses once per data
+        node and overflows pickle's recursion limit on large trees.
+        The leaves stay reachable through the inner-node tree (pickle
+        depth = tree height), and :meth:`_link_leaves` reconstructs
+        the chain on restore.
+        """
+        self._require_built()
+        head = self._head
+        leaves: list[_DataNode] = []
+        node = head
+        while node is not None:
+            leaves.append(node)
+            node = node.next
+        try:
+            for leaf in leaves:
+                leaf.prev = None
+                leaf.next = None
+            self._head = None
+            return export_index_state(self)
+        finally:
+            self._head = head
+            for i, leaf in enumerate(leaves):
+                leaf.prev = leaves[i - 1] if i > 0 else None
+                leaf.next = leaves[i + 1] if i + 1 < len(leaves) else None
+
+    @classmethod
+    def from_state(cls, state: IndexState,
+                   arrays: list[np.ndarray] | None = None) -> "ALEXIndex":
+        """Relink the leaf chain after the generic restore."""
+        instance = super().from_state(state, arrays)
+        assert isinstance(instance, ALEXIndex)
+        instance._link_leaves()
+        return instance
 
     # -- navigation ------------------------------------------------------------
     def _find_leaf(self, key: float) -> _DataNode:

@@ -210,7 +210,9 @@ class FITingTreeIndex(MutableOneDimIndex):
             seg.keys = np.delete(seg.keys, pos)
             del seg.values[pos]
             self._size -= 1
-            if seg.keys.size:
+            if seg.keys.size or seg.buf_keys:
+                # Re-segment even when only buffered keys remain — dropping
+                # the segment here would silently lose its insert buffer.
                 self._merge_segment(si)
             else:
                 del self._segments[si]

@@ -45,7 +45,13 @@ import numpy as np
 
 from repro.core.interfaces import IndexStats
 from repro.serve.requests import Op, Request
-from repro.serve.shm import ShardManifest, attach_view, pack_state, release_segment
+from repro.serve.shm import (
+    ShardManifest,
+    attach_view,
+    pack_artifact,
+    pack_state,
+    release_segment,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.connection import Connection
@@ -252,9 +258,18 @@ class ProcessShardExecutor:
         Replaces (closes **and unlinks**) any previously owned segment
         for the shard after the new one is packed, so at most two
         snapshots of a shard ever coexist and none outlive the executor.
+
+        Shards that are still byte-identical to an on-disk artifact
+        (restored via ``from_snapshot`` and unwritten since) are packed
+        straight from the artifact files — the parent never re-exports
+        state or touches the payload pickle on that path.
         """
-        state, generation = self.store.export_shard(shard)
-        manifest, segment = pack_state(state, generation)
+        source, state, generation = self.store.snapshot_source(shard)
+        if source is not None:
+            manifest, segment = pack_artifact(source, generation)
+        else:
+            assert state is not None
+            manifest, segment = pack_state(state, generation)
         old = self._segments[shard]
         self._segments[shard] = segment
         self._published[shard] = generation

@@ -22,6 +22,7 @@ server can stand in for a bare index in parity tests.
 from __future__ import annotations
 
 from concurrent.futures import Future
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -85,13 +86,7 @@ class IndexServer:
         """
         self._store.build(data, values)
         self._cache.clear()
-        if self.backend == "process":
-            # Spawn workers before the coalescer threads exist so they
-            # fork from a single-threaded parent.
-            self._executor = ProcessShardExecutor(self._store, self._stats)
-            self._executor.start()
-            self._coalescer.executor = self._executor
-        self._coalescer.start()
+        self._start_serving()
         return self
 
     def close(self) -> None:
@@ -101,6 +96,63 @@ class IndexServer:
             if self._executor is not None:
                 self._executor.close()
             self._closed = True
+
+    def _start_serving(self) -> None:
+        """Start the executor (process backend) and the coalescer threads."""
+        if self.backend == "process":
+            # Spawn workers before the coalescer threads exist so they
+            # fork from a single-threaded parent.
+            self._executor = ProcessShardExecutor(self._store, self._stats)
+            self._executor.start()
+            self._coalescer.executor = self._executor
+        self._coalescer.start()
+
+    # -- snapshot persistence (cold-start restore) -------------------------
+    def save_snapshot(self, directory: str | Path) -> Path:
+        """Persist every shard's built state + bounds + generations.
+
+        Delegates to :meth:`ShardedStore.save_snapshot`: one index
+        artifact directory per shard (each exported under its shard
+        lock) plus ``store.json`` with the partitioner metadata and the
+        generation each artifact reflects.  The server keeps serving
+        while the snapshot is written; a shard that takes a write
+        mid-snapshot is simply recorded at its pre-write generation.
+        """
+        return self._store.save_snapshot(directory)
+
+    @classmethod
+    def from_snapshot(cls, directory: str | Path,
+                      factory: Callable[[], object] | None = None,
+                      mmap_mode: str | None = "r",
+                      max_batch: int = 256, max_delay: float = 0.001,
+                      capacity: int = 4096, cache_size: int = 0,
+                      cache_ttl: float | None = None,
+                      backend: str = "thread") -> "IndexServer":
+        """Restore a serving-ready server from :meth:`save_snapshot` output.
+
+        Cold start without rebuilding: every shard is reconstructed from
+        its artifact files (read-only memmap views under the default
+        ``mmap_mode="r"``) and **no index ``build()`` runs**.  Restored
+        generation counters resume where the snapshot left them, so
+        result-cache keys stay on the same generation sequence across
+        the restart.  ``factory`` is only needed if the store will ever
+        be rebuilt in place; serving needs none.
+        """
+        store = ShardedStore.from_snapshot(
+            directory, factory=factory, mmap_mode=mmap_mode
+        )
+        server = cls(
+            store._factory, num_shards=store.num_shards,
+            max_batch=max_batch, max_delay=max_delay, capacity=capacity,
+            cache_size=cache_size, cache_ttl=cache_ttl, backend=backend,
+        )
+        server._store = store
+        server._coalescer = Coalescer(
+            store, server._stats,
+            max_batch=max_batch, max_delay=max_delay, capacity=capacity,
+        )
+        server._start_serving()
+        return server
 
     def __enter__(self) -> "IndexServer":
         return self

@@ -30,18 +30,34 @@ on.
 
 from __future__ import annotations
 
+import json
 import threading
 from functools import reduce
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.artifact import (
+    ArtifactError,
+    environment_snapshot,
+    load_index_artifact,
+    write_artifact,
+)
 from repro.core.interfaces import IndexStats, MultiDimIndex, OneDimIndex
+from repro.core.state import IndexState
 from repro.curves.capacity import require_code_budget
 from repro.curves.zorder import zencode_array
 from repro.serve.requests import Op, Request
 
-__all__ = ["ShardedStore"]
+__all__ = ["ShardedStore", "STORE_SNAPSHOT_FORMAT", "STORE_SNAPSHOT_VERSION"]
+
+#: Discriminator + version of the store-level ``store.json`` snapshot
+#: metadata (per-shard data lives in ordinary index artifacts).
+STORE_SNAPSHOT_FORMAT = "repro-store-snapshot"
+STORE_SNAPSHOT_VERSION = 1
+
+_STORE_META = "store.json"
 
 #: Single-key ops routed by one vectorized ``searchsorted`` in 1-d stores.
 _KEYED_OPS = frozenset({Op.LOOKUP, Op.CONTAINS, Op.INSERT, Op.DELETE})
@@ -79,6 +95,11 @@ class ShardedStore:
         self._lo = np.empty(0)
         self._hi = np.empty(0)
         self._built = False
+        # Artifact provenance per shard: set by save_snapshot/from_snapshot
+        # so the process backend can pack segments straight from the files
+        # while the shard is still byte-identical to them (generation match).
+        self._artifact_dirs: list[Path | None] = [None] * num_shards
+        self._artifact_gens: list[int] = [-1] * num_shards
 
     # -- construction ------------------------------------------------------
     def build(self, data: np.ndarray, values: Sequence[object] | None = None) -> "ShardedStore":
@@ -136,6 +157,8 @@ class ShardedStore:
             if n else np.empty(0, dtype=np.int64)
         )
         self.shards = []
+        self._artifact_dirs = [None] * self.num_shards
+        self._artifact_gens = [-1] * self.num_shards
         for s in range(self.num_shards):
             rows = np.flatnonzero(sids == s)
             part = data[rows] if n else (
@@ -455,6 +478,130 @@ class ShardedStore:
         with self._locks[shard]:
             state = self.shards[shard].export_state()  # type: ignore[attr-defined]
             return state, self.generations[shard]
+
+    def snapshot_source(self, shard: int) -> tuple[Path | None, IndexState | None, int]:
+        """Best snapshot feed for one shard: artifact files or live export.
+
+        Under the shard lock: if the shard is still byte-identical to
+        the artifact directory it was saved to / restored from (its
+        generation has not moved since), return that directory so the
+        executor can pack the worker segment **straight from the files**
+        (:func:`repro.serve.shm.pack_artifact`) — no state export, no
+        payload unpickle in the parent.  A shard that has seen writes
+        since falls back to a live :meth:`export_shard`-style export.
+        Returns ``(artifact_dir, state, generation)`` with exactly one
+        of the first two non-None.
+        """
+        self._require_built()
+        with self._locks[shard]:
+            generation = self.generations[shard]
+            source = self._artifact_dirs[shard]
+            if source is not None and generation == self._artifact_gens[shard]:
+                return source, None, generation
+            state = self.shards[shard].export_state()  # type: ignore[attr-defined]
+            return None, state, generation
+
+    # -- snapshot persistence (cold-start restore) -------------------------
+    def save_snapshot(self, directory: str | Path) -> Path:
+        """Persist the whole store: shard artifacts + partitioner metadata.
+
+        Each shard's state is exported under its lock (so no snapshot
+        observes a half-applied write) and written as an ordinary index
+        artifact directory (``shard_0000/ ...``); ``store.json`` records
+        the partition bounds, Morton lattice, and the exact generation
+        each shard artifact reflects, which is what lets
+        :meth:`from_snapshot` resume cache-generation continuity.
+        """
+        self._require_built()
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        shard_dirs: list[str] = []
+        generations: list[int] = []
+        for s in range(self.num_shards):
+            rel = f"shard_{s:04d}"
+            with self._locks[s]:
+                state = self.shards[s].export_state()  # type: ignore[attr-defined]
+                generation = self.generations[s]
+            write_artifact(state, root / rel)
+            with self._locks[s]:
+                if self.generations[s] == generation:
+                    self._artifact_dirs[s] = root / rel
+                    self._artifact_gens[s] = generation
+            shard_dirs.append(rel)
+            generations.append(generation)
+        meta = {
+            "format": STORE_SNAPSHOT_FORMAT,
+            "format_version": STORE_SNAPSHOT_VERSION,
+            "num_shards": self.num_shards,
+            "multi_dim": self.multi_dim,
+            "dims": self.dims,
+            "bits": self._bits,
+            "bounds": self._bounds.tolist(),
+            "lo": [float(x) for x in self._lo],
+            "hi": [float(x) for x in self._hi],
+            "generations": generations,
+            "shards": shard_dirs,
+            "environment": environment_snapshot(),
+        }
+        (root / _STORE_META).write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        )
+        return root
+
+    @classmethod
+    def from_snapshot(cls, directory: str | Path,
+                      factory: Callable[[], object] | None = None,
+                      mmap_mode: str | None = "r") -> "ShardedStore":
+        """Restore a store from :meth:`save_snapshot` output, build-free.
+
+        Every shard is reconstructed from its artifact files (read-only
+        memmap views by default — pass ``mmap_mode=None`` for writable
+        eager copies); partition bounds and generation counters resume
+        exactly where they were saved.  No index ``build()`` runs.
+        """
+        root = Path(directory)
+        meta_path = root / _STORE_META
+        if not meta_path.is_file():
+            raise ArtifactError(f"{root}: no {_STORE_META} (not a store snapshot)")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(f"{meta_path}: unreadable metadata: {exc}") from exc
+        if not isinstance(meta, dict) or meta.get("format") != STORE_SNAPSHOT_FORMAT:
+            raise ArtifactError(f"{meta_path}: not a {STORE_SNAPSHOT_FORMAT} file")
+        version = meta.get("format_version")
+        if not isinstance(version, int) or version > STORE_SNAPSHOT_VERSION:
+            raise ArtifactError(
+                f"{meta_path}: snapshot version {version!r} newer than "
+                f"supported {STORE_SNAPSHOT_VERSION}"
+            )
+        num_shards = int(meta["num_shards"])
+        if factory is None:
+            def factory() -> object:
+                raise RuntimeError(
+                    "store was restored from a snapshot without a factory; "
+                    "pass factory= to from_snapshot before calling build()"
+                )
+        store = cls(factory, num_shards=num_shards, bits=meta.get("bits"))
+        store.multi_dim = bool(meta["multi_dim"])
+        store.dims = int(meta["dims"])
+        bounds_dtype = np.int64 if store.multi_dim else np.float64
+        store._bounds = np.asarray(meta["bounds"], dtype=bounds_dtype)
+        store._lo = np.asarray(meta["lo"], dtype=np.float64)
+        store._hi = np.asarray(meta["hi"], dtype=np.float64)
+        generations = [int(g) for g in meta["generations"]]
+        shard_dirs = [str(rel) for rel in meta["shards"]]
+        if len(generations) != num_shards or len(shard_dirs) != num_shards:
+            raise ArtifactError(f"{meta_path}: shard list does not match num_shards")
+        store.shards = [
+            load_index_artifact(root / rel, mmap_mode=mmap_mode)
+            for rel in shard_dirs
+        ]
+        store.generations = generations
+        store._artifact_dirs = [root / rel for rel in shard_dirs]
+        store._artifact_gens = list(generations)
+        store._built = True
+        return store
 
     # -- reporting ---------------------------------------------------------
     def stats(self) -> IndexStats:

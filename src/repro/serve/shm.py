@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.artifact import read_artifact
 from repro.core.state import IndexState, index_from_state, resolve_index_class
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "ShardManifest",
     "SnapshotIntegrityError",
     "pack_state",
+    "pack_artifact",
     "attach_view",
     "release_segment",
     "list_repro_segments",
@@ -169,6 +171,23 @@ def pack_state(state: IndexState, generation: int = 0) -> tuple[ShardManifest, s
         generation=generation,
     )
     return manifest, shm
+
+
+def pack_artifact(directory: str | Path,
+                  generation: int = 0) -> tuple[ShardManifest, shared_memory.SharedMemory]:
+    """Pack an on-disk artifact directly into a shared-memory segment.
+
+    The cold-start path of the process backend: instead of re-exporting
+    state from a live parent index, the artifact's files are sha256
+    verified against its manifest (digest-before-map, via
+    :func:`repro.core.artifact.read_artifact`) and their bytes copied
+    straight from the read-only file mappings into the segment — the
+    payload pickle is never loaded in the parent, and no index is
+    reconstructed here.  Ownership contract is identical to
+    :func:`pack_state`: the caller must eventually retire the returned
+    segment through :func:`release_segment`.
+    """
+    return pack_state(read_artifact(directory, mmap_mode="r"), generation)
 
 
 def attach_view(manifest: ShardManifest) -> tuple[object, shared_memory.SharedMemory]:

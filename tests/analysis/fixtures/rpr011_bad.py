@@ -1,0 +1,26 @@
+"""RPR011 positive fixture: artifact bytes trusted before verification."""
+
+import pickle
+
+import numpy as np
+
+
+def map_arrays_blindly(manifest, root):
+    """Maps every array file without checking a single byte."""
+    views = []
+    for entry in manifest["arrays"]:
+        views.append(
+            np.memmap(root / entry["file"], dtype=entry["dtype"], mode="r")  # RPR011
+        )
+    return views
+
+
+def read_array_blindly(path, dtype):
+    """Eager read is just as unverified as a lazy map."""
+    return np.fromfile(path, dtype=dtype)  # RPR011
+
+
+def load_payload_blindly(path):
+    """Unpickles file bytes nobody hashed — pickle executes code."""
+    with open(path, "rb") as fh:
+        return pickle.loads(fh.read())  # RPR011

@@ -1,0 +1,32 @@
+"""RPR011 negative fixture: every file digest-verified before mapping."""
+
+import hashlib
+import pickle
+
+import numpy as np
+
+
+def map_arrays_checked(manifest, root):
+    """sha256 per file, compared against the manifest, before any map."""
+    views = []
+    for entry in manifest["arrays"]:
+        path = root / entry["file"]
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        if digest != entry["sha256"]:
+            raise ValueError(f"{path}: digest mismatch")
+        views.append(np.memmap(path, dtype=entry["dtype"], mode="r"))
+    return views
+
+
+def load_payload_checked(path, expected_sha256):
+    """Payload bytes hashed and compared before pickle touches them."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if hashlib.sha256(raw).hexdigest() != expected_sha256:
+        raise ValueError(f"{path}: payload digest mismatch")
+    return pickle.loads(raw)
+
+
+def unpickle_verified_bytes(blob):
+    """In-memory unpickle of caller-verified bytes is out of scope."""
+    return pickle.loads(blob)

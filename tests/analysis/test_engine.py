@@ -35,7 +35,7 @@ class TestRepoGate:
         # Every syntactic rule fires at least once across the fixture set.
         fired = {f.rule_id for f in result.findings}
         assert {"RPR003", "RPR004", "RPR005", "RPR006", "RPR007", "RPR008",
-                "RPR101", "RPR102", "RPR103", "RPR104"} <= fired
+                "RPR011", "RPR101", "RPR102", "RPR103", "RPR104"} <= fired
 
 
 class TestCLI:
@@ -66,7 +66,7 @@ class TestCLI:
         payload = json.loads(report.read_text())
         assert payload["summary"]["findings"] == 0
         expected = {f"RPR00{i}" for i in range(1, 10)}
-        expected |= {"RPR010"}
+        expected |= {"RPR010", "RPR011"}
         expected |= {f"RPR10{i}" for i in range(1, 5)}
         assert set(payload["rules"]) == expected
 
@@ -100,7 +100,7 @@ class TestCLI:
         ])
         out = capsys.readouterr().out
         assert "RPR102" not in out
-        assert "10 rule(s)" in out
+        assert "11 rule(s)" in out
         del code  # exit code depends on other rules; selection is the contract
 
     def test_select_unmatched_pattern_is_usage_error(self, capsys):
@@ -117,6 +117,7 @@ class TestCLI:
         for i in range(1, 10):
             assert f"RPR00{i}" in out
         assert "RPR010" in out
+        assert "RPR011" in out
         for i in range(1, 5):
             assert f"RPR10{i}" in out
 

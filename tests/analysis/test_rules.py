@@ -30,9 +30,9 @@ def findings_for(rule_id: str, *fixture_names: str):
 
 
 class TestRuleRegistry:
-    def test_all_fourteen_rules_registered(self):
+    def test_all_fifteen_rules_registered(self):
         expected = [f"RPR00{i}" for i in range(1, 10)]
-        expected += ["RPR010"]
+        expected += ["RPR010", "RPR011"]
         expected += [f"RPR10{i}" for i in range(1, 5)]
         assert sorted(RULES) == expected
         assert sorted(RULE_METADATA) == sorted(RULES)
@@ -269,6 +269,29 @@ class TestRPR010SharedStateDiscipline:
             assert all("overrides" in m for m in messages)
         finally:
             outside.unlink()
+
+
+class TestRPR011ArtifactDigestDiscipline:
+    def test_fires_on_each_unverified_access(self):
+        findings = findings_for("RPR011", "rpr011_bad.py")
+        messages = [f.message for f in findings]
+        assert len(findings) == 3
+        assert any("map_arrays_blindly maps file bytes" in m and "memmap" in m
+                   for m in messages)
+        assert any("read_array_blindly maps file bytes" in m and "fromfile" in m
+                   for m in messages)
+        assert any("load_payload_blindly unpickles bytes read from disk" in m
+                   for m in messages)
+
+    def test_quiet_on_digest_checked_access(self):
+        assert findings_for("RPR011", "rpr011_good.py") == []
+
+    def test_in_memory_unpickle_is_out_of_scope(self):
+        # unpickle_verified_bytes in the good fixture never reads a file;
+        # verify the bad fixture's findings never point at a function
+        # that only handles in-memory bytes.
+        findings = findings_for("RPR011", "rpr011_good.py")
+        assert not any("unpickle_verified_bytes" in f.message for f in findings)
 
 
 class TestRPR101CodeBudget:

@@ -1,0 +1,78 @@
+"""Tests for E21 (artifact cold start vs. rebuild) and its artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.coldstart import (
+    LARGE_SCALE_CONTROL,
+    MODEL_HEAVY_MULTI_DIM,
+    MODEL_HEAVY_ONE_DIM,
+    run_e21,
+)
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.history import HEADLINE_KEYS, extract_headlines
+from repro.serve.shm import list_repro_segments
+
+
+class TestRunE21:
+    def test_smoke_rows_cover_both_spaces_and_server(self, tmp_path):
+        out = tmp_path / "BENCH_coldstart.json"
+        rows = run_e21(smoke=True, out=str(out))
+        spaces = {(r["space"], r["index"]) for r in rows}
+        assert ("1d", "rmi") in spaces
+        assert ("1d", "binary-search") in spaces
+        assert ("md", "zm-index") in spaces
+        assert ("server", "rmi") in spaces
+        for row in rows:
+            assert row["build_s"] > 0
+            assert row["load_s"] > 0
+            assert row["artifact_bytes"] > 0
+            assert row["load_vs_rebuild"] == pytest.approx(
+                row["build_s"] / row["load_s"]
+            )
+        server_rows = [r for r in rows if r["space"] == "server"]
+        assert all(r["shards"] == 4 for r in server_rows)
+        assert list_repro_segments() == []
+
+    def test_artifact_schema(self, tmp_path):
+        out = tmp_path / "coldstart.json"
+        run_e21(smoke=True, out=str(out))
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "E21"
+        assert isinstance(payload["cpu_count"], int) and payload["cpu_count"] >= 1
+        assert "python" in payload["environment"]
+        assert "1d/rmi/n=2000" in payload["results"]
+        for entry in payload["results"].values():
+            assert set(entry) == {"build_s", "load_s", "artifact_bytes",
+                                  "load_vs_rebuild"}
+        headlines = extract_headlines(payload)
+        assert headlines  # every row exposes the E21 headline ratio
+        assert set(headlines) == set(payload["results"])
+
+    def test_sizes_accepts_comma_string(self):
+        rows = run_e21(sizes="1500", smoke=False, repeats=1, out=None)
+        # Full registries at the (single) first size.
+        from repro.bench.runner import MULTI_DIM_FACTORIES, ONE_DIM_FACTORIES
+        assert {r["index"] for r in rows if r["space"] == "1d"} == \
+            set(ONE_DIM_FACTORIES)
+        assert {r["index"] for r in rows if r["space"] == "md"} == \
+            set(MULTI_DIM_FACTORIES)
+
+
+class TestRegistration:
+    def test_e21_registered_with_defaults(self):
+        exp = EXPERIMENTS["E21"]
+        assert exp.runner is run_e21
+        assert "cold start" in exp.description
+
+    def test_headline_key_is_load_vs_rebuild(self):
+        assert HEADLINE_KEYS["E21"] == "load_vs_rebuild"
+
+    def test_model_heavy_contenders_exist(self):
+        from repro.bench.runner import MULTI_DIM_FACTORIES, ONE_DIM_FACTORIES
+        assert set(MODEL_HEAVY_ONE_DIM) <= set(ONE_DIM_FACTORIES)
+        assert set(MODEL_HEAVY_MULTI_DIM) <= set(MULTI_DIM_FACTORIES)
+        assert set(LARGE_SCALE_CONTROL) <= set(ONE_DIM_FACTORIES)

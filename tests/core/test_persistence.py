@@ -87,3 +87,98 @@ class TestFormatSafety:
         path.write_bytes(bytes(blob))
         with pytest.raises(PersistenceError, match="newer than supported"):
             load_index(path)
+
+
+class AliasedHolder:
+    """Module-level stand-in with aliased arrays (reconstructable by path)."""
+
+
+class TestV2Layout:
+    def test_header_shape_and_manifest(self, tmp_path):
+        import hashlib
+        import json
+
+        keys = load_1d("uniform", 200, seed=21)
+        index = ONE_DIM_FACTORIES["pgm"]().build(keys)
+        path = tmp_path / "pgm.lidx"
+        save_index(index, path)
+        blob = path.read_bytes()
+        assert blob[:4] == b"LIDX"
+        assert int.from_bytes(blob[4:6], "big") == FORMAT_VERSION == 2
+        manifest_len = int.from_bytes(blob[38:42], "big")
+        manifest_bytes = blob[42:42 + manifest_len]
+        assert hashlib.sha256(manifest_bytes).digest() == blob[6:38]
+        manifest = json.loads(manifest_bytes)
+        assert manifest["built"] is True
+        assert manifest["class"]["qualname"].endswith("PGMIndex")
+        for entry in manifest["arrays"]:
+            assert {"dtype", "shape", "offset", "nbytes", "sha256"} <= set(entry)
+        assert {"offset", "nbytes", "sha256"} <= set(manifest["payload"])
+
+    def test_aliased_arrays_stored_once(self, tmp_path):
+        import json
+
+        shared = np.arange(512, dtype=np.float64)
+        obj = AliasedHolder()
+        obj.first = shared
+        obj.second = shared
+        path = tmp_path / "alias.lidx"
+        written = save_index(obj, path)
+        # One block for the alias pair: far smaller than two copies.
+        assert written < 2 * shared.nbytes
+        blob = path.read_bytes()
+        manifest_len = int.from_bytes(blob[38:42], "big")
+        manifest = json.loads(blob[42:42 + manifest_len])
+        assert len(manifest["arrays"]) == 1
+        restored = load_index(path)
+        assert restored.first is restored.second
+        np.testing.assert_array_equal(restored.first, shared)
+
+    def test_unbuilt_index_roundtrip(self, tmp_path):
+        index = ONE_DIM_FACTORIES["pgm"]()
+        path = tmp_path / "unbuilt.lidx"
+        save_index(index, path)
+        restored = load_index(path)
+        keys = load_1d("uniform", 300, seed=22)
+        restored.build(keys)
+        sk = np.sort(keys)
+        assert restored.lookup(float(sk[5])) == 5
+
+    def test_corrupt_manifest_detected(self, tmp_path):
+        keys = load_1d("uniform", 100, seed=23)
+        index = ONE_DIM_FACTORIES["pgm"]().build(keys)
+        path = tmp_path / "pgm.lidx"
+        save_index(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[50] ^= 0xFF  # inside the manifest JSON
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError, match="manifest digest mismatch"):
+            load_index(path)
+
+    def test_version1_file_still_loads(self, tmp_path):
+        import hashlib
+        import pickle
+
+        keys = load_1d("uniform", 200, seed=24)
+        index = ONE_DIM_FACTORIES["pgm"]().build(keys)
+        payload = pickle.dumps(index)
+        blob = (b"LIDX" + (1).to_bytes(2, "big")
+                + hashlib.sha256(payload).digest() + payload)
+        path = tmp_path / "legacy.lidx"
+        path.write_bytes(blob)
+        restored = load_index(path)
+        sk = np.sort(keys)
+        assert restored.lookup(float(sk[11])) == 11
+
+    def test_version1_corruption_detected(self, tmp_path):
+        import hashlib
+        import pickle
+
+        payload = pickle.dumps({"not": "an index"})
+        blob = bytearray(b"LIDX" + (1).to_bytes(2, "big")
+                         + hashlib.sha256(payload).digest() + payload)
+        blob[-1] ^= 0xFF
+        path = tmp_path / "legacy.lidx"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError, match="digest mismatch"):
+            load_index(path)

@@ -223,6 +223,19 @@ class TestFITingTree:
         coarse = FITingTreeIndex(epsilon=256).build(lognormal_keys)
         assert fine.num_segments > coarse.num_segments
 
+    def test_delete_of_last_array_key_keeps_buffer(self):
+        # Regression: deleting the only main-array key of a segment used
+        # to drop the whole segment, silently losing its insert buffer.
+        index = FITingTreeIndex().build([1.0], ["a"])
+        index.insert(0.0, "b")
+        assert index.delete(1.0) is True
+        assert index.lookup(0.0) == "b"
+        assert index.range_query(-1.0, 2.0) == [(0.0, "b")]
+        assert len(index) == 1
+        assert index.delete(0.0) is True
+        assert len(index) == 0
+        assert index.range_query(-1.0, 2.0) == []
+
 
 class TestXIndex:
     def test_group_compaction_and_split(self):
