@@ -13,19 +13,28 @@ with repo-specific rules, each with a stable ID, severity,
 * RPR101-RPR104 — numeric-safety rules backed by the
   :mod:`repro.analysis.dataflow` abstract interpreter (code-budget
   overflow, lossy float64 casts, mixed-dtype routing, signed/unsigned
-  round-trips).
+  round-trips);
+* RPR201-RPR205 — concurrency contracts backed by the interprocedural
+  lock model of :mod:`repro.analysis.concurrency` (lock-order cycles,
+  unguarded shared state, predicate-loop waits, generation-counter
+  atomicity, segment lifecycle ownership), cross-validated at runtime
+  by :mod:`repro.core.lockorder` under ``REPRO_SANITIZE=1``.
 
 Run ``python -m repro.analysis`` from the repository root; see the
 "Static analysis" section of README.md for the rule table.
 """
 
+from repro.analysis import concurrency  # noqa: F401  (registers RPR201-205)
 from repro.analysis import numeric_rules  # noqa: F401  (registers RPR101-104)
+from repro.analysis.concurrency import build_model, static_lock_graph
 from repro.analysis.dataflow import (
     AbstractValue,
     FunctionFacts,
     ModuleFacts,
     analyze_module,
     bit_width,
+    lock_aliases,
+    thread_spawn_targets,
 )
 from repro.analysis.engine import (
     AnalysisResult,
@@ -52,7 +61,12 @@ __all__ = [
     "ModuleFacts",
     "analyze_module",
     "bit_width",
+    "build_model",
+    "concurrency",
+    "lock_aliases",
     "numeric_rules",
+    "static_lock_graph",
+    "thread_spawn_targets",
     "IndexClassInfo",
     "RegistryView",
     "RuleMeta",

@@ -8,18 +8,28 @@ Examples::
     python -m repro.analysis --rules RPR003,RPR004 path/to/file.py
     python -m repro.analysis --select RPR1          # numeric-safety family only
     python -m repro.analysis --ignore RPR101,RPR104 # everything except these
+    python -m repro.analysis --baseline old.json    # fail only on NEW findings
+    python -m repro.analysis --lock-graph graph.json  # dump the static lock graph
     python -m repro.analysis --list-rules
 
 Exit status is 0 when no unsuppressed finding remains, 1 otherwise.
+With ``--baseline`` the gate is ratcheted instead: findings already
+present in the baseline report are tolerated (printed, but not fatal)
+and only findings *absent from the baseline* make the exit status
+nonzero — the adoption path for turning a new rule family on against a
+codebase with known, not-yet-fixed violations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.analysis.concurrency import static_lock_graph
 from repro.analysis.engine import build_context, render_json, render_text, run_analysis
+from repro.analysis.findings import Finding
 from repro.analysis.rules import RULE_METADATA, RULES
 
 
@@ -59,6 +69,16 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help="comma-separated rule ids or prefixes to skip",
     )
     parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="JSON report from a previous run (--output/--format json); "
+             "exit nonzero only on findings not present in it",
+    )
+    parser.add_argument(
+        "--lock-graph", type=Path, default=None,
+        help="write the static lock-acquisition graph (the RPR2xx model) "
+             "to this file as JSON",
+    )
+    parser.add_argument(
         "--no-registry", action="store_true",
         help="skip the live-registry rules even on a full-repo run",
     )
@@ -87,6 +107,34 @@ def _expand_rule_patterns(spec: str) -> set[str] | None:
             return None
         expanded |= matches
     return expanded
+
+
+def _finding_key(payload: dict[str, object]) -> tuple[object, ...]:
+    """Stable identity of one finding across runs (the baseline unit)."""
+    return tuple(payload.get(k) for k in ("rule", "path", "line", "col", "message"))
+
+
+def _load_baseline(path: Path) -> set[tuple[object, ...]] | None:
+    """Finding identities from a previous ``--format json`` report."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        findings = payload["findings"]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read baseline {path}: {exc!r}", file=sys.stderr)
+        return None
+    return {_finding_key(f) for f in findings}
+
+
+def _apply_baseline(findings: list[Finding],
+                    baseline: set[tuple[object, ...]]) -> int:
+    """Ratcheted exit code: nonzero only for findings not in the baseline."""
+    new = [f for f in findings if _finding_key(f.to_dict()) not in baseline]
+    stale = baseline - {_finding_key(f.to_dict()) for f in findings}
+    print(
+        f"baseline: {len(new)} new finding(s), "
+        f"{len(findings) - len(new)} baselined, {len(stale)} resolved."
+    )
+    return 1 if new else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -126,11 +174,24 @@ def main(argv: list[str] | None = None) -> int:
         paths=paths,
         use_registry=not args.no_registry,
     )
+    baseline: set[tuple[object, ...]] | None = None
+    if args.baseline is not None:
+        baseline = _load_baseline(args.baseline)
+        if baseline is None:
+            return 2
+
     result = run_analysis(ctx, rule_ids)
 
     if args.output is not None:
         args.output.write_text(render_json(result) + "\n", encoding="utf-8")
+    if args.lock_graph is not None:
+        graph = static_lock_graph(ctx)
+        args.lock_graph.write_text(
+            json.dumps(graph, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
     print(render_json(result) if args.format == "json" else render_text(result))
+    if baseline is not None:
+        return _apply_baseline(result.findings, baseline)
     return result.exit_code
 
 

@@ -1,0 +1,1070 @@
+"""Interprocedural lock-discipline analysis: the RPR2xx rule family.
+
+The RPR0xx rules check one node at a time; concurrency contracts cannot
+be checked that way — whether ``self.generations[s] += 1`` is safe
+depends on which locks every *caller* of the enclosing method holds.
+This module builds a small interprocedural model of each class in the
+scanned files:
+
+* **lock discovery** — ``self.X = threading.Lock()`` (also ``RLock`` /
+  ``Condition`` and the sanitizer factories ``make_lock`` /
+  ``make_rlock`` / ``make_condition``), including shard-indexed
+  families built with list comprehensions.  A lock attribute becomes a
+  *group* node named ``ClassName.attr`` — the same identity the runtime
+  witness (:mod:`repro.core.lockorder`) uses, so the two graphs diff
+  cleanly.
+* **held-set walking** — every statement of every method is visited
+  with the ordered tuple of lexically held groups, resolving ``with
+  self._locks[s]:`` directly and ``with cond:`` through the alias map
+  of :func:`repro.analysis.dataflow.lock_aliases`.
+* **entry-held fixpoint** — private helpers inherit the *intersection*
+  of what their callers hold at every call site (must-hold semantics:
+  sound for "is this access protected").  Thread and process entry
+  points (:func:`repro.analysis.dataflow.thread_spawn_targets`) start
+  with nothing held.
+* **acquires-transitive fixpoint** — each method's may-acquire set
+  closes over self-calls and calls through attributes whose class is
+  inferable (``__init__`` annotations, ``AnnAssign``, direct
+  constructor assignment), giving cross-class edges such as
+  ``Coalescer._conds -> ServerStats._lock`` from
+  ``self.stats.record_shed()`` under a condition.
+
+The model feeds five rules: RPR201 (lock-order cycles — static
+deadlock), RPR202 (guarded-elsewhere attributes accessed with no lock
+held), RPR203 (``Condition.wait`` outside a predicate loop), RPR204
+(generation counters not updated atomically with the mutation they
+version), and RPR205 (shared-memory create/unlink reachable from a
+worker-process entry point).  :func:`static_lock_graph` exports the
+node/edge model for the CLI ``--lock-graph`` dump and for the tier-1
+test that cross-validates it against the runtime witness graph.
+
+Documented under-approximations (kept deliberately, see DESIGN.md):
+calls like ``self._queues[shard].append(...)`` count as *reads* of the
+attribute (container-interior mutation is invisible), and only
+``self``-rooted state is tracked — aliasing through locals other than
+the recognised lock aliases is out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.dataflow import lock_aliases, thread_spawn_targets
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import (
+    _LOCK_FREE_RE,
+    AnalysisContext,
+    _creates_segment,
+    _dotted_name,
+    _methods,
+    _mk,
+    _self_attr,
+    rule,
+)
+from repro.analysis.source import SourceFile
+
+__all__ = [
+    "ClassModel",
+    "ProjectModel",
+    "build_model",
+    "static_lock_graph",
+]
+
+#: Constructor leaf names that create a lock, keyed to the lock kind.
+_LOCK_CTORS = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+    "make_lock": "lock",
+    "make_rlock": "rlock",
+    "make_condition": "condition",
+}
+
+#: Method docstrings matching this deliberately-unlocked vocabulary are
+#: RPR202 contract escapes (same convention as RPR009's lock mention).
+_ESCAPE_RE = re.compile(r"lock|racy|snapshot|stale|single-thread", re.IGNORECASE)
+
+#: Attributes versioning shard state (the result cache keys on these).
+_GENERATION_RE = re.compile(r"generation", re.IGNORECASE)
+
+#: Shared-memory-ish receivers whose ``.unlink()`` is segment removal.
+_SEGMENT_NAME_RE = re.compile(r"shm|seg|mem", re.IGNORECASE)
+
+#: Names that create or unlink segments when called from a worker role.
+_SEGMENT_LIFECYCLE_FNS = {"pack_state", "pack_artifact", "release_segment"}
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NON_TYPE_IDENTS = {"None", "Optional", "Union"}
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One discovered lock attribute of a class."""
+
+    attr: str
+    kind: str  # "lock" | "rlock" | "condition"
+    indexed: bool
+    lineno: int
+
+
+@dataclass(frozen=True)
+class AttrSite:
+    """One read or write of ``self.<attr>`` inside a method body."""
+
+    attr: str
+    lineno: int
+    col: int
+    write: bool
+    held: tuple[str, ...]
+    #: For generation writes under a lexical lock: whether the innermost
+    #: ``with`` body also mutates other state (RPR204 atomicity check).
+    co_mutation: bool = False
+
+
+@dataclass(frozen=True)
+class AcquireSite:
+    """One ``with <lock>:`` entry, with the groups already held there."""
+
+    group: str
+    lineno: int
+    col: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """``self.<callee>(...)`` with the lexically held groups."""
+
+    callee: str
+    lineno: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ExtCallSite:
+    """``self.<attr>.<method>(...)`` where ``attr``'s class is known."""
+
+    cls: str
+    method: str
+    lineno: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WaitSite:
+    """A ``.wait(...)`` call on a condition-kind lock receiver."""
+
+    group: str
+    lineno: int
+    col: int
+    in_while: bool
+
+
+@dataclass
+class MethodModel:
+    """Everything the rules need to know about one method."""
+
+    name: str
+    node: _FuncDef
+    docstring: str
+    attr_sites: list[AttrSite] = field(default_factory=list)
+    acquire_sites: list[AcquireSite] = field(default_factory=list)
+    self_calls: list[CallSite] = field(default_factory=list)
+    ext_calls: list[ExtCallSite] = field(default_factory=list)
+    wait_sites: list[WaitSite] = field(default_factory=list)
+    #: Groups held at *every* call site (must-hold intersection).
+    entry_held: frozenset[str] = frozenset()
+    #: Groups this method may acquire, transitively (may-acquire union).
+    acquires_trans: frozenset[str] = frozenset()
+
+
+@dataclass
+class ClassModel:
+    """Per-class lock/attribute/call model."""
+
+    name: str
+    src: SourceFile
+    node: ast.ClassDef
+    locks: dict[str, LockDecl] = field(default_factory=dict)
+    methods: dict[str, MethodModel] = field(default_factory=dict)
+    #: Inferred class name of typed attributes (for ext-call edges).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: Methods handed to Thread/Process as ``target=self.X``.
+    spawn_targets: set[str] = field(default_factory=set)
+
+    def group(self, attr: str) -> str:
+        return f"{self.name}.{attr}"
+
+
+@dataclass(frozen=True)
+class EdgeNote:
+    """Provenance of one static lock-order edge."""
+
+    src: SourceFile
+    lineno: int
+    text: str
+
+
+@dataclass
+class ProjectModel:
+    """The whole-scan model shared by every RPR2xx rule."""
+
+    classes: dict[str, ClassModel] = field(default_factory=dict)
+    #: Lock-order edges ``(held_group, acquired_group) -> provenance``.
+    edges: dict[tuple[str, str], list[EdgeNote]] = field(default_factory=dict)
+    #: Module-level functions per module name, with their source file.
+    module_funcs: dict[str, dict[str, tuple[SourceFile, _FuncDef]]] = \
+        field(default_factory=dict)
+    #: ``from X import name`` maps per module: local name -> (module, name).
+    module_imports: dict[str, dict[str, tuple[str, str]]] = field(default_factory=dict)
+    #: Worker-process entry points: (module, function-name, src, lineno).
+    process_entries: list[tuple[str, str, SourceFile, int]] = field(default_factory=list)
+    #: Worker-process entry methods: (class-name, method-name, src, lineno).
+    process_entry_methods: list[tuple[str, str, SourceFile, int]] = \
+        field(default_factory=list)
+
+    def all_groups(self) -> frozenset[str]:
+        return frozenset(
+            cls.group(attr) for cls in self.classes.values() for attr in cls.locks
+        )
+
+
+# ---------------------------------------------------------------------------
+# Lock discovery and attribute-type inference
+# ---------------------------------------------------------------------------
+def _leaf_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _lock_ctor_kind(value: ast.expr) -> tuple[str, bool] | None:
+    """``(kind, indexed)`` when ``value`` constructs a lock (family)."""
+    if isinstance(value, ast.Call):
+        kind = _LOCK_CTORS.get(_leaf_name(value.func) or "")
+        return (kind, False) if kind is not None else None
+    if isinstance(value, ast.ListComp):
+        inner = _lock_ctor_kind(value.elt)
+        return (inner[0], True) if inner is not None and not inner[1] else None
+    if isinstance(value, ast.List) and value.elts:
+        kinds = [_lock_ctor_kind(elt) for elt in value.elts]
+        if all(k is not None and not k[1] for k in kinds):
+            first = kinds[0]
+            assert first is not None
+            return (first[0], True)
+    return None
+
+
+def _discover_locks(cls: ast.ClassDef) -> dict[str, LockDecl]:
+    """``self.X = <lock ctor>`` declarations anywhere in the class."""
+    locks: dict[str, LockDecl] = {}
+    for method in _methods(cls).values():
+        for node in ast.walk(method):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if target is None or value is None or not _self_attr(target):
+                continue
+            kind = _lock_ctor_kind(value)
+            if kind is not None:
+                assert isinstance(target, ast.Attribute)
+                locks.setdefault(
+                    target.attr, LockDecl(target.attr, kind[0], kind[1], node.lineno)
+                )
+    return locks
+
+
+def _annotation_type_names(annotation: ast.expr) -> list[str]:
+    """Candidate class names from a parameter/attribute annotation.
+
+    Handles plain names, dotted names, PEP 604 unions, and string
+    annotations (``store: "ShardedStore"``); ``None``/``Optional``/
+    ``Union`` never name a concrete class.
+    """
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return [
+            ident for ident in _IDENT_RE.findall(annotation.value)
+            if ident not in _NON_TYPE_IDENTS
+        ]
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return (_annotation_type_names(annotation.left)
+                + _annotation_type_names(annotation.right))
+    leaf = _leaf_name(annotation)
+    if leaf is not None and leaf not in _NON_TYPE_IDENTS:
+        return [leaf]
+    return []
+
+
+def _attr_type_candidates(cls: ast.ClassDef) -> dict[str, list[str]]:
+    """Possible class names per ``self.X``, resolved against the scan later."""
+    candidates: dict[str, list[str]] = {}
+    methods = _methods(cls)
+    param_types: dict[str, list[str]] = {}
+    init = methods.get("__init__")
+    if init is not None:
+        for arg in list(init.args.posonlyargs) + list(init.args.args) \
+                + list(init.args.kwonlyargs):
+            if arg.annotation is not None:
+                param_types[arg.arg] = _annotation_type_names(arg.annotation)
+    for method in methods.values():
+        for node in ast.walk(method):
+            if isinstance(node, ast.AnnAssign) and _self_attr(node.target):
+                assert isinstance(node.target, ast.Attribute)
+                candidates.setdefault(node.target.attr, []).extend(
+                    _annotation_type_names(node.annotation)
+                )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and _self_attr(node.targets[0]):
+                target = node.targets[0]
+                assert isinstance(target, ast.Attribute)
+                if isinstance(node.value, ast.Name) and node.value.id in param_types \
+                        and method.name == "__init__":
+                    candidates.setdefault(target.attr, []).extend(
+                        param_types[node.value.id]
+                    )
+                elif isinstance(node.value, ast.Call):
+                    leaf = _leaf_name(node.value.func)
+                    if leaf is not None:
+                        candidates.setdefault(target.attr, []).append(leaf)
+    return candidates
+
+
+# ---------------------------------------------------------------------------
+# Held-set method walker
+# ---------------------------------------------------------------------------
+class _MethodWalker:
+    """Visits one method body carrying the ordered held-group tuple."""
+
+    def __init__(self, model: MethodModel, locks: dict[str, LockDecl],
+                 class_name: str, attr_types: dict[str, str]) -> None:
+        self.model = model
+        self.locks = locks
+        self.class_name = class_name
+        self.attr_types = attr_types
+        self.aliases = lock_aliases(model.node, frozenset(locks))
+        self._with_bodies: list[list[ast.stmt]] = []
+
+    def run(self) -> None:
+        self._walk_body(self.model.node.body, (), False)
+
+    # -- lock resolution ---------------------------------------------------
+    def _lock_attr(self, expr: ast.expr) -> str | None:
+        """The lock attribute acquired by ``expr``, if it is one."""
+        node = expr
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) and _self_attr(node) \
+                and node.attr in self.locks:
+            return node.attr
+        if isinstance(node, ast.Name) and node.id in self.aliases:
+            return self.aliases[node.id]
+        return None
+
+    def _group_of(self, attr: str) -> str:
+        return f"{self.class_name}.{attr}"
+
+    # -- statement walking -------------------------------------------------
+    def _walk_body(self, stmts: list[ast.stmt], held: tuple[str, ...],
+                   in_while: bool) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, held, in_while)
+
+    def _walk_stmt(self, stmt: ast.AST, held: tuple[str, ...],
+                   in_while: bool) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new_held = held
+            acquired_here = 0
+            for item in stmt.items:
+                attr = self._lock_attr(item.context_expr)
+                if attr is not None:
+                    group = self._group_of(attr)
+                    self.model.acquire_sites.append(AcquireSite(
+                        group, item.context_expr.lineno,
+                        item.context_expr.col_offset, new_held,
+                    ))
+                    new_held = new_held + (group,)
+                    acquired_here += 1
+                else:
+                    self._scan_expr(item.context_expr, held, in_while)
+            if acquired_here:
+                self._with_bodies.append(stmt.body)
+            self._walk_body(stmt.body, new_held, in_while)
+            if acquired_here:
+                self._with_bodies.pop()
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test, held, in_while)
+            self._walk_body(stmt.body, held, True)
+            self._walk_body(stmt.orelse, held, in_while)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested callables run later on unknown threads: nothing held.
+            self._walk_body(stmt.body, (), False)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._walk_body(stmt.body, (), False)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, held, in_while)
+            elif isinstance(child, (ast.stmt, ast.excepthandler)) \
+                    or type(child).__name__ == "match_case":
+                self._walk_stmt(child, held, in_while)
+
+    # -- expression scanning -----------------------------------------------
+    def _scan_expr(self, expr: ast.expr, held: tuple[str, ...],
+                   in_while: bool) -> None:
+        stack: list[tuple[ast.AST, tuple[str, ...]]] = [(expr, held)]
+        while stack:
+            node, h = stack.pop()
+            if isinstance(node, ast.Lambda):
+                stack.append((node.body, ()))
+                for default in node.args.defaults:
+                    stack.append((default, h))
+                for kw_default in node.args.kw_defaults:
+                    if kw_default is not None:
+                        stack.append((kw_default, h))
+                continue
+            self._note_node(node, h, in_while)
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, h))
+
+    def _note_node(self, node: ast.AST, held: tuple[str, ...],
+                   in_while: bool) -> None:
+        if isinstance(node, ast.Attribute) and _self_attr(node):
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            self._record_site(node.attr, node.lineno, node.col_offset, write, held)
+            return
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            base = node.value
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            if isinstance(base, ast.Attribute) and _self_attr(base):
+                self._record_site(base.attr, node.lineno, node.col_offset, True, held)
+            return
+        if isinstance(node, ast.Call):
+            self._note_call(node, held, in_while)
+
+    def _record_site(self, attr: str, lineno: int, col: int, write: bool,
+                     held: tuple[str, ...]) -> None:
+        co_mutation = False
+        if write and held and self._with_bodies and _GENERATION_RE.search(attr):
+            co_mutation = _has_co_mutation(self._with_bodies[-1], attr)
+        self.model.attr_sites.append(
+            AttrSite(attr, lineno, col, write, held, co_mutation)
+        )
+
+    def _note_call(self, call: ast.Call, held: tuple[str, ...],
+                   in_while: bool) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        if func.attr == "wait":
+            attr = self._lock_attr(receiver)
+            if attr is not None and self.locks[attr].kind == "condition":
+                self.model.wait_sites.append(WaitSite(
+                    self._group_of(attr), call.lineno, call.col_offset, in_while,
+                ))
+                return
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            self.model.self_calls.append(CallSite(func.attr, call.lineno, held))
+            return
+        if isinstance(receiver, ast.Attribute) and _self_attr(receiver):
+            typed = self.attr_types.get(receiver.attr)
+            if typed is not None:
+                self.model.ext_calls.append(
+                    ExtCallSite(typed, func.attr, call.lineno, held)
+                )
+
+
+def _has_co_mutation(body: list[ast.stmt], gen_attr: str) -> bool:
+    """Whether a locked region mutates anything besides the counter itself.
+
+    Co-mutation means another ``self`` attribute is stored, or a method
+    is called on a receiver other than bare ``self`` (e.g.
+    ``self.shards[s].insert(...)``) — the mutation the generation bump
+    is supposed to version.
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Attribute) and _self_attr(node) \
+                    and isinstance(node.ctx, (ast.Store, ast.Del)) \
+                    and node.attr != gen_attr:
+                return True
+            if isinstance(node, ast.Subscript) \
+                    and isinstance(node.ctx, (ast.Store, ast.Del)):
+                base = node.value
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Attribute) and _self_attr(base) \
+                        and base.attr != gen_attr:
+                    return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                if not (isinstance(recv, ast.Name) and recv.id == "self"):
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Model construction: scan, fixpoints, edges
+# ---------------------------------------------------------------------------
+def _module_name(src: SourceFile) -> str:
+    parts = list(src.rel.replace("\\", "/").removesuffix(".py").split("/"))
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    return ".".join(parts)
+
+
+def _is_private_helper(name: str) -> bool:
+    return name.startswith("_") and not (name.startswith("__") and name.endswith("__"))
+
+
+def _scan_file(src: SourceFile, project: ProjectModel) -> None:
+    module = _module_name(src)
+    funcs: dict[str, tuple[SourceFile, _FuncDef]] = {}
+    imports: dict[str, tuple[str, str]] = {}
+    for node in src.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            funcs[node.name] = (src, node)
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = (node.module, alias.name)
+    project.module_funcs[module] = funcs
+    project.module_imports[module] = imports
+
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.ClassDef):
+            cls = ClassModel(node.name, src, node, locks=_discover_locks(node))
+            for kind, target, lineno in thread_spawn_targets(node):
+                if target.startswith("self."):
+                    cls.spawn_targets.add(target.removeprefix("self."))
+                    if kind == "process":
+                        project.process_entry_methods.append(
+                            (node.name, target.removeprefix("self."), src, lineno)
+                        )
+            for name, method in _methods(node).items():
+                cls.methods[name] = MethodModel(
+                    name, method, ast.get_docstring(method) or ""
+                )
+            project.classes.setdefault(node.name, cls)
+
+    # Module-level process entries (``Process(target=worker_fn)``): the
+    # target may be spawned from inside a method, so scan the whole tree.
+    for kind, target, lineno in thread_spawn_targets(src.tree):
+        if kind == "process" and not target.startswith("self."):
+            project.process_entries.append((module, target, src, lineno))
+
+
+def _entry_held_fixpoint(project: ProjectModel) -> None:
+    """Must-hold entry sets: optimistic top, decreasing intersection."""
+    top = project.all_groups()
+    for cls in project.classes.values():
+        callers: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+        for method in cls.methods.values():
+            for call in method.self_calls:
+                callers.setdefault(call.callee, []).append((method.name, call.held))
+        eligible = {
+            name for name in cls.methods
+            if _is_private_helper(name)
+            and name not in cls.spawn_targets
+            and callers.get(name)
+        }
+        entry: dict[str, frozenset[str]] = {
+            name: (top if name in eligible else frozenset()) for name in cls.methods
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in eligible:
+                meet: frozenset[str] | None = None
+                for caller, held in callers[name]:
+                    reaches = entry.get(caller, frozenset()) | frozenset(held)
+                    meet = reaches if meet is None else (meet & reaches)
+                new = meet if meet is not None else frozenset()
+                if new != entry[name]:
+                    entry[name] = new
+                    changed = True
+        for name, method in cls.methods.items():
+            method.entry_held = entry[name]
+
+
+def _acquires_fixpoint(project: ProjectModel) -> None:
+    """May-acquire closure over self-calls and typed attribute calls."""
+    acq: dict[tuple[str, str], frozenset[str]] = {}
+    for cls in project.classes.values():
+        for name, method in cls.methods.items():
+            acq[(cls.name, name)] = frozenset(
+                site.group for site in method.acquire_sites
+            )
+    changed = True
+    while changed:
+        changed = False
+        for cls in project.classes.values():
+            for name, method in cls.methods.items():
+                new = set(acq[(cls.name, name)])
+                for call in method.self_calls:
+                    new |= acq.get((cls.name, call.callee), frozenset())
+                for ext in method.ext_calls:
+                    new |= acq.get((ext.cls, ext.method), frozenset())
+                frozen = frozenset(new)
+                if frozen != acq[(cls.name, name)]:
+                    acq[(cls.name, name)] = frozen
+                    changed = True
+    for cls in project.classes.values():
+        for name, method in cls.methods.items():
+            method.acquires_trans = acq[(cls.name, name)]
+
+
+def _collect_edges(project: ProjectModel) -> None:
+    """May-order edges: lexical acquisitions plus call-site closures."""
+
+    def add(held_group: str, acquired: str, note: EdgeNote) -> None:
+        if held_group == acquired:
+            return
+        project.edges.setdefault((held_group, acquired), []).append(note)
+
+    for cls in project.classes.values():
+        for method in cls.methods.values():
+            where = f"{cls.name}.{method.name}"
+            for site in method.acquire_sites:
+                note = EdgeNote(cls.src, site.lineno, f"{where}:{site.lineno}")
+                for held_group in frozenset(site.held) | method.entry_held:
+                    add(held_group, site.group, note)
+            for call in method.self_calls:
+                target = cls.methods.get(call.callee)
+                if target is None:
+                    continue
+                note = EdgeNote(
+                    cls.src, call.lineno,
+                    f"{where}:{call.lineno} via {cls.name}.{call.callee}",
+                )
+                for held_group in frozenset(call.held) | method.entry_held:
+                    for acquired in target.acquires_trans:
+                        add(held_group, acquired, note)
+            for ext in method.ext_calls:
+                ext_cls = project.classes.get(ext.cls)
+                target = ext_cls.methods.get(ext.method) if ext_cls else None
+                if target is None:
+                    continue
+                note = EdgeNote(
+                    cls.src, ext.lineno,
+                    f"{where}:{ext.lineno} via {ext.cls}.{ext.method}",
+                )
+                for held_group in frozenset(ext.held) | method.entry_held:
+                    for acquired in target.acquires_trans:
+                        add(held_group, acquired, note)
+
+
+def build_model(ctx: AnalysisContext) -> ProjectModel:
+    """The interprocedural lock model for ``ctx`` (cached per context)."""
+    project = ProjectModel()
+    for src in ctx.files:
+        _scan_file(src, project)
+    known = set(project.classes)
+    for cls in project.classes.values():
+        for attr, names in _attr_type_candidates(cls.node).items():
+            for name in names:
+                if name in known:
+                    cls.attr_types[attr] = name
+                    break
+    for cls in project.classes.values():
+        for method in cls.methods.values():
+            _MethodWalker(method, cls.locks, cls.name, cls.attr_types).run()
+    _entry_held_fixpoint(project)
+    _acquires_fixpoint(project)
+    _collect_edges(project)
+    return project
+
+
+_MODEL_CACHE: list[tuple[AnalysisContext, ProjectModel]] = []
+
+
+def _model(ctx: AnalysisContext) -> ProjectModel:
+    for cached_ctx, cached in _MODEL_CACHE:
+        if cached_ctx is ctx:
+            return cached
+    model = build_model(ctx)
+    del _MODEL_CACHE[:]
+    _MODEL_CACHE.append((ctx, model))
+    return model
+
+
+def static_lock_graph(ctx: AnalysisContext) -> dict[str, object]:
+    """JSON-ready static lock graph: nodes, edges, provenance notes.
+
+    Node identities match the runtime witness groups
+    (:mod:`repro.core.lockorder`), so the tier-1 cross-validation test
+    and the CI artifact diff can compare the two graphs directly.
+    """
+    model = _model(ctx)
+    nodes: dict[str, dict[str, object]] = {}
+    for cls in sorted(model.classes.values(), key=lambda c: c.name):
+        for decl in sorted(cls.locks.values(), key=lambda d: d.attr):
+            nodes[cls.group(decl.attr)] = {
+                "class": cls.name,
+                "attr": decl.attr,
+                "kind": decl.kind,
+                "indexed": decl.indexed,
+                "path": cls.src.rel,
+                "line": decl.lineno,
+            }
+    edges = [
+        {
+            "from": held_group,
+            "to": acquired,
+            "notes": sorted({note.text for note in notes}),
+        }
+        for (held_group, acquired), notes in sorted(model.edges.items())
+    ]
+    return {"nodes": nodes, "edges": edges}
+
+
+# ---------------------------------------------------------------------------
+# RPR201 — lock-order cycles (static deadlock detection)
+# ---------------------------------------------------------------------------
+def _reachable(edges: dict[str, set[str]], start: str) -> set[str]:
+    seen: set[str] = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for succ in edges.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def _cycle_path(edges: dict[str, set[str]], start: str) -> list[str]:
+    """A concrete ``start -> ... -> start`` walk (start lies on a cycle)."""
+    parents: dict[str, str] = {}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for succ in edges.get(node, ()):
+            if succ == start:
+                path = [start]
+                while node != start:
+                    path.append(node)
+                    node = parents[node]
+                path.append(start)
+                return list(reversed(path))
+            if succ not in parents:
+                parents[succ] = node
+                stack.append(succ)
+    return [start, start]  # pragma: no cover - caller guarantees a cycle
+
+
+@rule(
+    "RPR201",
+    "static lock-order cycle",
+    Severity.ERROR,
+    "Two threads acquiring the same lock groups in opposite orders can "
+    "each hold one lock while blocking on the other — a deadlock that "
+    "needs no failing run to exist.  The static acquisition-order graph "
+    "(lexical nesting closed over self-calls and typed attribute calls) "
+    "must stay acyclic; the REPRO_SANITIZE=1 runtime witness enforces "
+    "the same invariant per-interleaving.",
+    tags=("concurrency",),
+)
+def rule_lock_order_cycle(ctx: AnalysisContext) -> Iterator[Finding]:
+    model = _model(ctx)
+    succ: dict[str, set[str]] = {}
+    for (held_group, acquired), _notes in model.edges.items():
+        succ.setdefault(held_group, set()).add(acquired)
+    reported: set[frozenset[str]] = set()
+    for (held_group, acquired), notes in sorted(model.edges.items()):
+        if held_group not in _reachable(succ, acquired):
+            continue
+        cycle = _cycle_path(succ, held_group)
+        key = frozenset(cycle)
+        if key in reported:
+            continue
+        reported.add(key)
+        legs = []
+        for a, b in zip(cycle, cycle[1:]):
+            leg_notes = model.edges.get((a, b), [])
+            where = leg_notes[0].text if leg_notes else "?"
+            legs.append(f"{a} -> {b} at {where}")
+        note = notes[0]
+        yield _mk(
+            "RPR201", note.src, note.lineno, 0,
+            f"lock-order cycle {' -> '.join(cycle)}: {'; '.join(legs)}",
+        )
+    # Lexically nested re-acquisition of one non-reentrant group is a
+    # self-deadlock with no second thread required.  Indexed families
+    # are excluded: increasing-rank nesting is the sanctioned protocol,
+    # which only the runtime witness can check (ranks are dynamic).
+    for cls in model.classes.values():
+        for method in cls.methods.values():
+            for site in method.acquire_sites:
+                if site.group not in site.held:
+                    continue
+                attr = site.group.rsplit(".", 1)[-1]
+                decl = cls.locks.get(attr)
+                if decl is None or decl.indexed or decl.kind == "rlock":
+                    continue
+                yield _mk(
+                    "RPR201", cls.src, site.lineno, site.col,
+                    f"nested acquisition of non-reentrant lock "
+                    f"{site.group} in {cls.name}.{method.name} "
+                    f"(already held here) self-deadlocks",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR202 — guarded-elsewhere state accessed with no lock held
+# ---------------------------------------------------------------------------
+@rule(
+    "RPR202",
+    "shared state accessed outside its lock",
+    Severity.ERROR,
+    "An attribute whose writes are lock-protected somewhere but which "
+    "other call sites read or write bare is a data race: the bare "
+    "access can observe (or publish) torn intermediate state.  Write "
+    "sites define the discipline (lockset reasoning) — build-once "
+    "attributes whose only writes are deliberately unlocked do not "
+    "conscript every reader.  Deliberately racy snapshot reads escape "
+    "by saying so in the method docstring (lock/racy/snapshot/stale/"
+    "single-thread), mirroring RPR009's convention; lock-free classes "
+    "escape via their class docstring.",
+    tags=("concurrency",),
+)
+def rule_unguarded_shared_state(ctx: AnalysisContext) -> Iterator[Finding]:
+    model = _model(ctx)
+    for cls in sorted(model.classes.values(), key=lambda c: c.name):
+        if not cls.locks:
+            continue
+        class_doc = ast.get_docstring(cls.node) or ""
+        if _LOCK_FREE_RE.search(class_doc):
+            continue
+        sites: dict[str, list[tuple[MethodModel, AttrSite, frozenset[str]]]] = {}
+        mutable: set[str] = set()
+        for method in cls.methods.values():
+            if method.name == "__init__":
+                continue
+            for site in method.attr_sites:
+                if site.attr in cls.locks:
+                    continue
+                eff = frozenset(site.held) | method.entry_held
+                sites.setdefault(site.attr, []).append((method, site, eff))
+                if site.write:
+                    mutable.add(site.attr)
+        for attr in sorted(sites):
+            if attr not in mutable:
+                continue
+            write_guards = sorted(set().union(frozenset(), *(
+                eff for _m, s, eff in sites[attr] if s.write
+            )))
+            read_guards = sorted(set().union(frozenset(), *(
+                eff for _m, s, eff in sites[attr] if not s.write
+            )))
+            if write_guards:
+                # Lock-disciplined state: every bare access races the
+                # locked writers.
+                flagged = sites[attr]
+                guards = write_guards
+            elif read_guards:
+                # Readers lock, writers don't: flag the bare writes
+                # (the classic forgotten-lock mutation).
+                flagged = [(m, s, eff) for m, s, eff in sites[attr] if s.write]
+                guards = read_guards
+            else:
+                continue
+            seen_lines: set[int] = set()
+            for method, site, eff in flagged:
+                if eff or site.lineno in seen_lines:
+                    continue
+                if _ESCAPE_RE.search(method.docstring):
+                    continue
+                seen_lines.add(site.lineno)
+                yield _mk(
+                    "RPR202", cls.src, site.lineno, site.col,
+                    f"{cls.name}.{attr} is guarded by {', '.join(guards)} "
+                    f"elsewhere but {'written' if site.write else 'read'} "
+                    f"in {method.name} with no lock held",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR203 — Condition.wait outside a predicate loop
+# ---------------------------------------------------------------------------
+@rule(
+    "RPR203",
+    "condition wait without predicate loop",
+    Severity.ERROR,
+    "Condition.wait returns on spurious wakeups and notify_all storms; "
+    "a wait not re-checked inside a while loop proceeds on a predicate "
+    "that may already be false again.  wait_for re-checks internally "
+    "and is exempt.",
+    tags=("concurrency",),
+)
+def rule_wait_needs_loop(ctx: AnalysisContext) -> Iterator[Finding]:
+    model = _model(ctx)
+    for cls in sorted(model.classes.values(), key=lambda c: c.name):
+        for method in cls.methods.values():
+            for site in method.wait_sites:
+                if site.in_while:
+                    continue
+                yield _mk(
+                    "RPR203", cls.src, site.lineno, site.col,
+                    f"{site.group}.wait() in {cls.name}.{method.name} is not "
+                    f"inside a while loop re-checking its predicate; use "
+                    f"'while not <pred>: cond.wait()' or cond.wait_for()",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR204 — generation bumps not atomic with the mutation they version
+# ---------------------------------------------------------------------------
+@rule(
+    "RPR204",
+    "generation counter not atomic with its mutation",
+    Severity.ERROR,
+    "The result cache keys invalidation on shard generation counters: a "
+    "bump outside the shard lock, or in a different locked region than "
+    "the write it versions, lets a reader cache pre-write state under a "
+    "post-write generation (a permanently stale entry).",
+    tags=("concurrency",),
+)
+def rule_generation_atomicity(ctx: AnalysisContext) -> Iterator[Finding]:
+    model = _model(ctx)
+    for cls in sorted(model.classes.values(), key=lambda c: c.name):
+        if not cls.locks:
+            continue
+        for method in cls.methods.values():
+            if method.name == "__init__":
+                continue
+            for site in method.attr_sites:
+                if not site.write or not _GENERATION_RE.search(site.attr):
+                    continue
+                eff = frozenset(site.held) | method.entry_held
+                if not eff:
+                    yield _mk(
+                        "RPR204", cls.src, site.lineno, site.col,
+                        f"generation counter {cls.name}.{site.attr} updated "
+                        f"in {method.name} with no lock held; bump it inside "
+                        f"the lock that guards the mutation it versions",
+                    )
+                    continue
+                if site.held:
+                    atomic = site.co_mutation
+                else:
+                    atomic = _has_co_mutation(method.node.body, site.attr)
+                if not atomic:
+                    yield _mk(
+                        "RPR204", cls.src, site.lineno, site.col,
+                        f"generation counter {cls.name}.{site.attr} bumped in "
+                        f"{method.name} without the mutation it versions in "
+                        f"the same locked region; readers can pair pre-write "
+                        f"state with a post-write generation",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RPR205 — segment lifecycle reachable from a worker-process role
+# ---------------------------------------------------------------------------
+def _segment_ops(node: _FuncDef) -> Iterator[tuple[int, int, str]]:
+    """(line, col, op) for segment create/unlink operations in ``node``."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        if _creates_segment(sub):
+            yield sub.lineno, sub.col_offset, "creation (SharedMemory(create=True))"
+            continue
+        leaf = _leaf_name(sub.func)
+        if leaf in _SEGMENT_LIFECYCLE_FNS:
+            yield sub.lineno, sub.col_offset, f"lifecycle call {leaf}()"
+            continue
+        if isinstance(sub.func, ast.Attribute) and sub.func.attr == "unlink":
+            recv = _dotted_name(sub.func.value) or _leaf_name(sub.func.value) or ""
+            if _SEGMENT_NAME_RE.search(recv):
+                yield sub.lineno, sub.col_offset, f"unlink ({recv}.unlink())"
+
+
+def _rpr205_successors(
+    project: ProjectModel, module: str, cls_name: str | None, node: _FuncDef,
+) -> Iterator[tuple[str, str | None, str]]:
+    """Callees of ``node`` as (module, class-or-None, name) keys."""
+    imports = project.module_imports.get(module, {})
+    funcs = project.module_funcs.get(module, {})
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        if isinstance(sub.func, ast.Name):
+            name = sub.func.id
+            if name in funcs:
+                yield module, None, name
+            elif name in imports:
+                target_module, target_name = imports[name]
+                if target_name in project.module_funcs.get(target_module, {}):
+                    yield target_module, None, target_name
+        elif isinstance(sub.func, ast.Attribute) and cls_name is not None:
+            recv = sub.func.value
+            if isinstance(recv, ast.Name) and recv.id == "self":
+                owner = project.classes.get(cls_name)
+                if owner is not None and sub.func.attr in owner.methods:
+                    yield module, cls_name, sub.func.attr
+
+
+@rule(
+    "RPR205",
+    "segment lifecycle crosses process roles",
+    Severity.ERROR,
+    "Exactly one process role may own a shared-memory segment's "
+    "lifecycle: if worker-reachable code can create or unlink segments, "
+    "a worker crash mid-operation leaks the segment or yanks it from "
+    "under sibling processes.  Workers attach by name and close; the "
+    "parent creates and unlinks (the cross-module extension of "
+    "RPR010's single-owner check).",
+    tags=("concurrency", "shared-memory"),
+)
+def rule_worker_segment_lifecycle(ctx: AnalysisContext) -> Iterator[Finding]:
+    model = _model(ctx)
+    entries: list[tuple[str, str | None, str, str]] = []
+    for module, fname, _src, _line in model.process_entries:
+        entries.append((module, None, fname, fname))
+    for cls_name, mname, src, _line in model.process_entry_methods:
+        entries.append((_module_name(src), cls_name, mname, f"{cls_name}.{mname}"))
+    reported: set[tuple[str, int]] = set()
+    for module, cls_name, fname, entry_label in entries:
+        work = [(module, cls_name, fname)]
+        visited: set[tuple[str, str | None, str]] = set()
+        while work:
+            mod, owner, name = work.pop()
+            if (mod, owner, name) in visited:
+                continue
+            visited.add((mod, owner, name))
+            if owner is not None:
+                owner_cls = model.classes.get(owner)
+                if owner_cls is None or name not in owner_cls.methods:
+                    continue
+                src, node = owner_cls.src, owner_cls.methods[name].node
+            else:
+                entry_fn = model.module_funcs.get(mod, {}).get(name)
+                if entry_fn is None:
+                    continue
+                src, node = entry_fn
+            for line, col, op in _segment_ops(node):
+                if (src.rel, line) in reported:
+                    continue
+                reported.add((src.rel, line))
+                yield _mk(
+                    "RPR205", src, line, col,
+                    f"shared-memory segment {op} is reachable from "
+                    f"worker-process entry point {entry_label!r}; segment "
+                    f"create/unlink must stay with the owning parent role "
+                    f"(workers attach by name and close)",
+                )
+            work.extend(_rpr205_successors(model, mod, owner, node))

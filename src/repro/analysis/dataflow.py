@@ -44,6 +44,8 @@ __all__ = [
     "ModuleFacts",
     "analyze_module",
     "bit_width",
+    "thread_spawn_targets",
+    "lock_aliases",
 ]
 
 #: Upper bound (bits) assumed for array positions/sizes (searchsorted,
@@ -857,3 +859,129 @@ def analyze_module(tree: ast.Module) -> ModuleFacts:
         attr_env = class_attrs.get(cls, {}) if cls is not None else {}
         module.functions.append(runner(node, qualname, attr_env, None))
     return module
+
+
+# ---------------------------------------------------------------------------
+# Concurrency dataflow extensions (RPR2xx support)
+# ---------------------------------------------------------------------------
+# The lock-discipline analyzer (:mod:`repro.analysis.concurrency`) needs
+# two small dataflow facts the numeric interpreter above does not track:
+# which functions run on *other* threads or processes (spawn-target
+# discovery), and which local names are aliases of a ``self`` lock
+# attribute (``cond = self._conds[shard]`` followed by ``with cond:``).
+
+_SPAWN_CTORS = {"Thread": "thread", "Process": "process"}
+
+
+def thread_spawn_targets(
+    node: ast.AST,
+) -> Iterator[tuple[str, str, int]]:
+    """Spawn targets in ``node``: ``(kind, target, lineno)`` triples.
+
+    ``kind`` is ``"thread"`` or ``"process"``; ``target`` is either a
+    plain function name (``"worker_main"``) or ``"self.<method>"`` for
+    bound-method targets.  Matches any constructor whose trailing name
+    is ``Thread``/``Process`` (``threading.Thread``, ``ctx.Process``,
+    bare ``Process`` from an import), keyed on the ``target=`` keyword —
+    positional targets do not occur in idiomatic spawn code and are
+    ignored.
+    """
+    for call in ast.walk(node):
+        if not isinstance(call, ast.Call):
+            continue
+        leaf: str | None = None
+        if isinstance(call.func, ast.Name):
+            leaf = call.func.id
+        elif isinstance(call.func, ast.Attribute):
+            leaf = call.func.attr
+        kind = _SPAWN_CTORS.get(leaf or "")
+        if kind is None:
+            continue
+        for kw in call.keywords:
+            if kw.arg != "target":
+                continue
+            value = kw.value
+            if isinstance(value, ast.Name):
+                yield kind, value.id, call.lineno
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                yield kind, f"self.{value.attr}", call.lineno
+
+
+def _lock_attr_of(node: ast.expr, lock_attrs: frozenset[str] | set[str]) -> str | None:
+    """The lock attribute behind ``self.X`` / ``self.X[...]``, if any."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in lock_attrs
+    ):
+        return node.attr
+    return None
+
+
+def lock_aliases(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    lock_attrs: frozenset[str] | set[str],
+) -> dict[str, str]:
+    """Local names that alias a ``self`` lock attribute inside ``func``.
+
+    Covers the two idioms the serving layer uses:
+
+    * ``cond = self._conds[shard]`` (plain assignment of the attribute
+      or one subscript of it), and
+    * ``for cond in self._conds:`` / ``for s, cond in
+      enumerate(self._conds):`` (iteration over an indexed lock family).
+
+    The map is flow-insensitive but *poisoned* conservatively: a name
+    that is ever rebound to anything that is not the same lock attribute
+    is dropped entirely, so a stale alias can never mark an unrelated
+    ``with`` block as a lock acquisition.
+    """
+    aliases: dict[str, str] = {}
+    poisoned: set[str] = set()
+
+    def bind(name: str, attr: str | None) -> None:
+        if attr is None:
+            poisoned.add(name)
+        elif name in aliases and aliases[name] != attr:
+            poisoned.add(name)
+        else:
+            aliases[name] = attr
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bind(target.id, _lock_attr_of(node.value, lock_attrs))
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                bind(node.target.id, _lock_attr_of(node.value, lock_attrs))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            source = node.iter
+            element: ast.expr | None = node.target
+            if (
+                isinstance(source, ast.Call)
+                and isinstance(source.func, ast.Name)
+                and source.func.id == "enumerate"
+                and source.args
+            ):
+                source = source.args[0]
+                if isinstance(element, ast.Tuple) and len(element.elts) == 2:
+                    element = element.elts[1]
+                else:
+                    element = None
+            attr = _lock_attr_of(source, lock_attrs) if not isinstance(
+                source, ast.Subscript) else None
+            if isinstance(element, ast.Name):
+                bind(element.id, attr)
+            elif element is not None:
+                for sub in ast.walk(element):
+                    if isinstance(sub, ast.Name):
+                        bind(sub.id, None)
+    return {name: attr for name, attr in aliases.items() if name not in poisoned}

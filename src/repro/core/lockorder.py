@@ -1,0 +1,308 @@
+"""Runtime lock-order witness: ``REPRO_SANITIZE=1`` tracks acquisition order.
+
+The static analyzer (``repro.analysis.concurrency``, the RPR2xx rule
+family) proves lock-order acyclicity from the AST; this module is the
+dynamic cross-check, exactly as ``repro.core.sanitize`` is for the
+numeric RPR1xx rules.  When the sanitizer is enabled, the serving
+layer's locks are created through :func:`make_lock` /
+:func:`make_rlock` / :func:`make_condition`, which wrap the primitive
+in a tracker that:
+
+* keeps a per-thread stack of held lock *groups* (a group is one
+  logical lock family, e.g. ``"ShardedStore._locks"`` — the same node
+  identity the static lock graph uses);
+* records a ``held -> acquired`` edge into one process-global order
+  graph every time a thread acquires a lock while holding another;
+* raises :class:`LockOrderError` **before blocking** when the new edge
+  would close a cycle — a potential deadlock is reported from a single
+  interleaving, no hang required.
+
+Same-group refinement: shard-indexed lock families are deadlock-free
+when every thread acquires members in increasing ``rank`` order, so
+in-order same-group nesting is allowed and out-of-order nesting raises
+immediately (it is a cycle of length one at group granularity).
+Re-entrant re-acquisition of the *same* lock (RLocks) is ignored.
+
+The recorded graph is exported by :func:`snapshot` — CI uploads it next
+to the static analyzer's graph so the two can be diffed, and the tier-1
+cross-validation test asserts every runtime edge is present in the
+static graph.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Protocol
+
+from repro.core.sanitize import SanitizeError, enabled
+
+__all__ = [
+    "LockLike",
+    "LockOrderError",
+    "LockOrderGraph",
+    "TrackedLock",
+    "TrackedCondition",
+    "make_lock",
+    "make_rlock",
+    "make_condition",
+    "order_graph",
+    "snapshot",
+    "reset",
+]
+
+
+class LockLike(Protocol):
+    """Structural type shared by Lock, RLock, and :class:`TrackedLock`."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> object: ...
+
+
+class LockOrderError(SanitizeError):
+    """Acquiring this lock here could deadlock against another thread.
+
+    Raised *before* the acquisition blocks, from the first interleaving
+    that completes a cycle in the process-global acquisition-order
+    graph — the witness does not need two threads to actually collide.
+    """
+
+
+class LockOrderGraph:
+    """Process-global acquisition-order graph over lock groups.
+
+    Nodes are lock group names; a directed edge ``A -> B`` means some
+    thread acquired a ``B`` lock while holding an ``A`` lock.  The graph
+    is kept acyclic by construction: :meth:`record` refuses (raises) a
+    cycle-forming edge instead of adding it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: dict[str, set[str]] = {}
+        self._notes: dict[tuple[str, str], str] = {}
+
+    def _path(self, start: str, goal: str) -> list[str] | None:
+        """A directed path ``start -> ... -> goal`` in the current edges."""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for succ in self._edges.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    def record(self, held: str, acquired: str, note: str) -> None:
+        """Add edge ``held -> acquired``; raise if it would close a cycle."""
+        with self._lock:
+            if acquired in self._edges.get(held, ()):
+                return
+            back = self._path(acquired, held)
+            if back is not None:
+                prior = " ; ".join(
+                    f"{a}->{b} ({self._notes.get((a, b), 'unrecorded')})"
+                    for a, b in zip(back, back[1:])
+                )
+                raise LockOrderError(
+                    f"lock-order inversion: acquiring {acquired!r} while "
+                    f"holding {held!r} ({note}) closes a cycle with prior "
+                    f"order {' -> '.join(back)} [{prior}]"
+                )
+            self._edges.setdefault(held, set()).add(acquired)
+            self._notes[(held, acquired)] = note
+
+    def snapshot(self) -> dict[str, list[str]]:
+        """Adjacency listing ``{group: sorted successor groups}``."""
+        with self._lock:
+            return {src: sorted(dsts) for src, dsts in sorted(self._edges.items())}
+
+    def edge_notes(self) -> dict[str, str]:
+        """``"A -> B" -> first-observation note`` for the CI artifact."""
+        with self._lock:
+            return {
+                f"{a} -> {b}": note for (a, b), note in sorted(self._notes.items())
+            }
+
+    def clear(self) -> None:
+        """Forget every recorded edge (test isolation)."""
+        with self._lock:
+            self._edges.clear()
+            self._notes.clear()
+
+
+_GLOBAL = LockOrderGraph()
+_HELD = threading.local()
+
+
+def order_graph() -> LockOrderGraph:
+    """The process-global order graph the tracked locks record into."""
+    return _GLOBAL
+
+
+def snapshot() -> dict[str, list[str]]:
+    """Adjacency listing of the runtime-observed lock-order graph."""
+    return _GLOBAL.snapshot()
+
+
+def reset() -> None:
+    """Clear the global graph (the current thread's held stack survives)."""
+    _GLOBAL.clear()
+
+
+def _stack() -> list[tuple[str, int]]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = []
+        _HELD.stack = stack
+    return stack
+
+
+def _note_acquire(group: str, rank: int, graph: LockOrderGraph) -> None:
+    """Record order edges for acquiring ``(group, rank)``; push it as held."""
+    stack = _stack()
+    if (group, rank) not in stack:
+        for held_group, held_rank in reversed(stack):
+            if held_group == group:
+                if rank <= held_rank:
+                    raise LockOrderError(
+                        f"same-group lock-order inversion: acquiring "
+                        f"{group}[{rank}] while holding {group}[{held_rank}]; "
+                        f"members of one group must be taken in increasing "
+                        f"rank order"
+                    )
+                break  # in-order same-group nesting: the sanctioned protocol
+            graph.record(
+                held_group, group,
+                f"thread {threading.current_thread().name!r} acquired "
+                f"{group}[{rank}] holding {held_group}[{held_rank}]",
+            )
+            break
+    stack.append((group, rank))
+
+
+def _note_release(group: str, rank: int) -> None:
+    stack = _stack()
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i] == (group, rank):
+            del stack[i]
+            return
+
+
+class TrackedLock:
+    """A Lock/RLock wrapper recording acquisition-order edges.
+
+    ``group`` is the static lock-graph node this lock belongs to;
+    ``rank`` orders members within a group (shard index) so the
+    increasing-rank protocol can be distinguished from an inversion.
+    """
+
+    def __init__(self, inner: LockLike, group: str, rank: int = 0,
+                 graph: LockOrderGraph | None = None) -> None:
+        self._inner = inner
+        self.group = group
+        self.rank = rank
+        self._graph = graph if graph is not None else _GLOBAL
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _note_acquire(self.group, self.rank, self._graph)
+        ok = self._inner.acquire(blocking, timeout)
+        if not ok:
+            _note_release(self.group, self.rank)
+        return bool(ok)
+
+    def release(self) -> None:
+        self._inner.release()
+        _note_release(self.group, self.rank)
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        return bool(locked()) if callable(locked) else False
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: object = None, exc: object = None,
+                 tb: object = None) -> None:
+        self.release()
+
+
+class TrackedCondition:
+    """A Condition wrapper whose lock acquisitions feed the order graph.
+
+    ``wait``/``wait_for`` release and re-acquire the underlying lock
+    internally; the tracker deliberately keeps the group on the held
+    stack across a wait — the blocked thread cannot acquire anything
+    else, and its order position is unchanged when it wakes.
+    """
+
+    def __init__(self, inner: threading.Condition, group: str, rank: int = 0,
+                 graph: LockOrderGraph | None = None) -> None:
+        self._inner = inner
+        self.group = group
+        self.rank = rank
+        self._graph = graph if graph is not None else _GLOBAL
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _note_acquire(self.group, self.rank, self._graph)
+        ok = self._inner.acquire(blocking, timeout)
+        if not ok:
+            _note_release(self.group, self.rank)
+        return bool(ok)
+
+    def release(self) -> None:
+        self._inner.release()
+        _note_release(self.group, self.rank)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._inner.wait(timeout)
+
+    def wait_for(self, predicate: Callable[[], bool],
+                 timeout: float | None = None) -> bool:
+        return self._inner.wait_for(predicate, timeout)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: object = None, exc: object = None,
+                 tb: object = None) -> None:
+        self.release()
+
+
+def make_lock(group: str, rank: int = 0) -> LockLike:
+    """A ``threading.Lock``, order-tracked when the sanitizer is enabled.
+
+    The environment is read at *creation* time (locks are created once
+    per server, acquired millions of times); tests that want tracking
+    must set ``REPRO_SANITIZE=1`` before constructing the store/server.
+    """
+    if enabled():
+        return TrackedLock(threading.Lock(), group, rank)
+    return threading.Lock()
+
+
+def make_rlock(group: str, rank: int = 0) -> LockLike:
+    """A ``threading.RLock``, order-tracked when the sanitizer is enabled."""
+    if enabled():
+        return TrackedLock(threading.RLock(), group, rank)
+    return threading.RLock()
+
+
+def make_condition(group: str, rank: int = 0) -> "threading.Condition | TrackedCondition":
+    """A ``threading.Condition``, order-tracked when the sanitizer is enabled."""
+    if enabled():
+        return TrackedCondition(threading.Condition(), group, rank)
+    return threading.Condition()

@@ -12,10 +12,11 @@ eviction.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from typing import Callable
+
+from repro.core.lockorder import make_lock
 
 __all__ = ["ResultCache"]
 
@@ -42,7 +43,7 @@ class ResultCache:
         self.capacity = capacity
         self.ttl = ttl
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("ResultCache._lock")
         self._entries: OrderedDict[object, tuple[object, float]] = OrderedDict()
         self.hits = 0
         self.misses = 0

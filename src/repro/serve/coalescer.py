@@ -19,6 +19,14 @@ Admission control: queues are bounded.  A submission that finds its
 shard queue full is answered immediately with
 :class:`~repro.serve.requests.Overloaded` (a response, not an
 exception) and counted in :attr:`ServerStats.shed`.
+
+Shutdown: :meth:`Coalescer.close` is idempotent and never drops a
+queued request silently — the stopping flag flips under every shard's
+condition (so a racing ``submit`` either enqueues before the flag and
+is drained, or observes it and raises), workers drain their queues
+before exiting and are joined with a bounded timeout, and any requests
+left behind by a worker that would not die in time are served
+synchronously by the closing thread.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.core.lockorder import make_condition, make_lock
 from repro.serve.mp import ProcessShardExecutor, WorkerDied
 from repro.serve.requests import (
     COALESCABLE_OPS,
@@ -80,7 +89,7 @@ class Window:
         self.results: list[object] = [None] * size
         self._remaining = size
         self._event = threading.Event()
-        self._lock = threading.Lock()
+        self._lock = make_lock("Window._lock")
         self._error: BaseException | None = None
 
     def complete(self, slot: int, value: object) -> None:
@@ -98,8 +107,10 @@ class Window:
 
     def wait(self) -> list[object]:
         self._event.wait()
-        if self._error is not None:
-            raise self._error
+        with self._lock:
+            error = self._error
+        if error is not None:
+            raise error
         return self.results
 
 
@@ -139,7 +150,8 @@ class Coalescer:
         self.max_delay = max_delay
         self.capacity = capacity
         self._queues: list[deque[_Pending]] = [deque() for _ in range(store.num_shards)]
-        self._conds = [threading.Condition() for _ in range(store.num_shards)]
+        self._conds = [make_condition("Coalescer._conds", rank=s)
+                       for s in range(store.num_shards)]
         self._workers: list[threading.Thread] = []
         self._stopping = False
 
@@ -160,6 +172,8 @@ class Coalescer:
         pending = _Pending(request, time.perf_counter(), future=fut, callback=callback)
         cond = self._conds[shard]
         with cond:
+            if self._stopping:
+                raise RuntimeError("coalescer is closed; no new requests accepted")
             depth = len(self._queues[shard])
             if depth >= self.capacity:
                 self.stats.record_shed()
@@ -206,7 +220,12 @@ class Coalescer:
         return window
 
     def _enqueue_window(self, pendings: list[_Pending]) -> None:
-        """Group a routed window by home shard and enqueue with shedding."""
+        """Group a routed window by home shard and enqueue with shedding.
+
+        Raises ``RuntimeError`` if the coalescer is closed; shard groups
+        enqueued before the closed flag was observed are still drained
+        and resolved (nothing queued is ever dropped).
+        """
         homes = self.store.route_home_batch([p.request for p in pendings])
         by_shard: dict[int, list[_Pending]] = {}
         for pending, shard in zip(pendings, homes):
@@ -214,6 +233,9 @@ class Coalescer:
         for shard, group in by_shard.items():
             cond = self._conds[shard]
             with cond:
+                if self._stopping:
+                    raise RuntimeError(
+                        "coalescer is closed; no new requests accepted")
                 depth = len(self._queues[shard])
                 room = max(0, self.capacity - depth)
                 taken = group[:room]
@@ -232,25 +254,48 @@ class Coalescer:
 
     # -- worker side -------------------------------------------------------
     def start(self) -> None:
-        """Spawn one daemon worker thread per shard (idempotent)."""
+        """Spawn one daemon worker thread per shard (idempotent).
+
+        Reopens a closed coalescer: the stopping flag is cleared under
+        every shard's condition before any worker exists to observe it.
+        """
         if self._workers:
             return
-        self._stopping = False
+        for cond in self._conds:
+            with cond:
+                self._stopping = False
         for s in range(self.store.num_shards):
             t = threading.Thread(target=self._worker, args=(s,),
                                  name=f"serve-shard-{s}", daemon=True)
             self._workers.append(t)
             t.start()
 
-    def stop(self) -> None:
-        """Drain outstanding requests, then stop and join the workers."""
-        self._stopping = True
+    def close(self, timeout: float = 5.0) -> int:
+        """Stop accepting work, drain every queued request, join workers.
+
+        Idempotent.  The stopping flag flips under each shard's
+        condition, so a concurrent ``submit`` either enqueued before the
+        flag (and is drained below) or observes it and raises — there is
+        no window in which a request can be queued and then silently
+        dropped.  Workers drain their queues before exiting and are
+        joined against one shared ``timeout`` deadline; anything a
+        worker that missed the deadline left queued is served
+        synchronously here.  Returns the number of requests the closer
+        had to serve itself (0 when the workers drained everything).
+        """
         for cond in self._conds:
             with cond:
+                self._stopping = True
                 cond.notify_all()
+        deadline = time.monotonic() + max(0.0, timeout)
         for t in self._workers:
-            t.join()
+            t.join(max(0.0, deadline - time.monotonic()))
         self._workers = []
+        return self.flush()
+
+    def stop(self) -> None:
+        """Back-compat alias for :meth:`close` (pre-PR-8 name)."""
+        self.close()
 
     def flush(self, shard: int | None = None) -> int:
         """Drain queued requests synchronously in the calling thread.

@@ -36,7 +36,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-import threading
 import time
 from functools import reduce
 from typing import TYPE_CHECKING, Sequence
@@ -44,6 +43,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.core.interfaces import IndexStats
+from repro.core.lockorder import make_lock
 from repro.serve.requests import Op, Request
 from repro.serve.shm import (
     ShardManifest,
@@ -197,7 +197,12 @@ class ProcessShardExecutor:
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
-        self._pipe_locks = [threading.Lock() for _ in range(n)]
+        self._pipe_locks = [make_lock("ProcessShardExecutor._pipe_locks", rank=s)
+                            for s in range(n)]
+        # Executor-level lifecycle + observability state; ordered after
+        # the pipe locks (_restart reads _closed while a pipe is held),
+        # never taken before one.
+        self._state_lock = make_lock("ProcessShardExecutor._state_lock")
         self._procs: list[object | None] = [None] * n
         self._conns: list["Connection | None"] = [None] * n
         self._segments: list["SharedMemory | None"] = [None] * n
@@ -213,17 +218,27 @@ class ProcessShardExecutor:
         Call *before* starting the coalescer threads so the workers fork
         from a single-threaded parent.
         """
-        if self._started:
-            return
+        with self._state_lock:
+            if self._started:
+                return
+            self._started = True
         for shard in range(self.store.num_shards):
-            self._spawn(shard)
-        self._started = True
+            with self._pipe_locks[shard]:
+                self._spawn(shard)
 
     def close(self) -> None:
-        """Stop workers, then close and unlink every owned segment."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop workers, then close and unlink every owned segment.
+
+        Idempotent; the closed flag flips under the state lock *before*
+        any pipe lock is taken, so an in-flight dispatch that beats a
+        pipe lock here completes (or restarts and raises) normally and a
+        dispatch that loses the race fails with a typed
+        :class:`WorkerDied` from :meth:`_restart` instead of hanging.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
         for shard in range(self.store.num_shards):
             with self._pipe_locks[shard]:
                 conn = self._conns[shard]
@@ -401,7 +416,9 @@ class ProcessShardExecutor:
 
     def _restart(self, shard: int) -> None:
         """Tear down a dead worker and spawn a successor (counted in stats)."""
-        if self._closed:
+        with self._state_lock:
+            closed = self._closed
+        if closed:
             raise WorkerDied(shard, "executor is closed")
         proc = self._procs[shard]
         conn = self._conns[shard]
@@ -458,8 +475,11 @@ class ProcessShardExecutor:
                 except (WorkerDied, OSError):
                     continue
             if kind == "ok" and isinstance(value, IndexStats):
-                self._worker_stats[shard] = self._worker_stats[shard].merge(value)
-        return reduce(IndexStats.merge, self._worker_stats, IndexStats())
+                with self._state_lock:
+                    self._worker_stats[shard] = \
+                        self._worker_stats[shard].merge(value)
+        with self._state_lock:
+            return reduce(IndexStats.merge, list(self._worker_stats), IndexStats())
 
     # -- internal ----------------------------------------------------------
     def _retire_segment(self, shard: int) -> None:

@@ -90,9 +90,16 @@ class IndexServer:
         return self
 
     def close(self) -> None:
-        """Drain outstanding requests, stop shard workers, release segments."""
+        """Drain outstanding requests, stop shard workers, release segments.
+
+        Idempotent end to end: the coalescer closes first (workers drain
+        their queues and any leftovers are served synchronously — see
+        :meth:`Coalescer.close`), and only then does the process
+        executor shut down, so every queued request still had a live
+        backend when it executed.
+        """
         if not self._closed:
-            self._coalescer.stop()
+            self._coalescer.close()
             if self._executor is not None:
                 self._executor.close()
             self._closed = True

@@ -31,8 +31,6 @@ on.
 from __future__ import annotations
 
 import json
-import threading
-from functools import reduce
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -45,6 +43,7 @@ from repro.core.artifact import (
     write_artifact,
 )
 from repro.core.interfaces import IndexStats, MultiDimIndex, OneDimIndex
+from repro.core.lockorder import make_rlock
 from repro.core.state import IndexState
 from repro.curves.capacity import require_code_budget
 from repro.curves.zorder import zencode_array
@@ -88,7 +87,8 @@ class ShardedStore:
         self._bits = bits
         self.shards: list[object] = []
         self.generations = [0] * num_shards
-        self._locks = [threading.RLock() for _ in range(num_shards)]
+        self._locks = [make_rlock("ShardedStore._locks", rank=s)
+                       for s in range(num_shards)]
         self._bounds = np.empty(0)          # shard split keys / codes
         self.multi_dim = False
         self.dims = 0
@@ -379,7 +379,12 @@ class ShardedStore:
 
     # -- mutation ----------------------------------------------------------
     def _require_mutable(self, method: str) -> None:
-        """Raise a typed error instead of an AttributeError deep in a worker."""
+        """Raise a typed error instead of an AttributeError deep in a worker.
+
+        The unlocked shard read is deliberately racy-safe: mutability is
+        a property of the factory's *class*, identical across shards and
+        across the store's lifetime once built.
+        """
         if not hasattr(self.shards[0], method):
             raise TypeError(
                 f"{type(self.shards[0]).__name__} is immutable; "
@@ -605,16 +610,24 @@ class ShardedStore:
 
     # -- reporting ---------------------------------------------------------
     def stats(self) -> IndexStats:
-        """Fold of the per-shard :class:`IndexStats` via :meth:`IndexStats.merge`."""
-        return reduce(
-            lambda a, b: a.merge(b),
-            (shard.stats for shard in self.shards),  # type: ignore[attr-defined]
-            IndexStats(),
-        )
+        """Fold of per-shard :class:`IndexStats`, each read under its shard lock.
+
+        Per-shard counters are internally consistent (no torn multi-field
+        reads); the fold across shards is still a moving snapshot.
+        """
+        out = IndexStats()
+        for s in range(len(self.shards)):
+            with self._locks[s]:
+                out = out.merge(self.shards[s].stats)  # type: ignore[attr-defined]
+        return out
 
     def shard_sizes(self) -> list[int]:
-        """Number of entries held by each shard."""
-        return [len(shard) for shard in self.shards]  # type: ignore[arg-type]
+        """Number of entries held by each shard, each read under its lock."""
+        sizes: list[int] = []
+        for s in range(len(self.shards)):
+            with self._locks[s]:
+                sizes.append(len(self.shards[s]))  # type: ignore[arg-type]
+        return sizes
 
     def __len__(self) -> int:
         return sum(self.shard_sizes())

@@ -11,9 +11,8 @@ merging the per-shard :class:`repro.core.interfaces.IndexStats` objects
 
 from __future__ import annotations
 
-import threading
-
 from repro.core.interfaces import IndexStats
+from repro.core.lockorder import make_lock
 
 __all__ = ["LatencyHistogram", "ServerStats"]
 
@@ -101,7 +100,7 @@ class ServerStats:
     """
 
     def __init__(self, num_shards: int) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("ServerStats._lock")
         self.num_shards = num_shards
         self.requests = 0
         self.responses = 0

@@ -1,0 +1,38 @@
+"""RPR201 positive fixture: opposite lock orders plus nested re-entry."""
+
+import threading
+
+
+class TwoLockInverted:
+    """Takes A then B on one path and B then A (via a helper) on another."""
+
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.total = 0
+
+    def ab(self):
+        with self._lock_a:
+            with self._lock_b:
+                self.total += 1
+
+    def ba(self):
+        with self._lock_b:
+            self._take_a()
+
+    def _take_a(self):
+        with self._lock_a:
+            self.total -= 1
+
+
+class SelfNested:
+    """Re-acquires its own non-reentrant lock while already holding it."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def outer(self):
+        with self._lock:
+            with self._lock:
+                self.count += 1

@@ -1,0 +1,38 @@
+"""RPR201 negative fixture: every path takes A before B; RLock re-entry."""
+
+import threading
+
+
+class TwoLockOrdered:
+    """Both paths honour the A-before-B order, directly and via a helper."""
+
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.total = 0
+
+    def ab(self):
+        with self._lock_a:
+            with self._lock_b:
+                self.total += 1
+
+    def also_ab(self):
+        with self._lock_a:
+            self._take_b()
+
+    def _take_b(self):
+        with self._lock_b:
+            self.total -= 1
+
+
+class ReentrantNested:
+    """Nested acquisition of an RLock is sanctioned re-entry, not deadlock."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.count = 0
+
+    def outer(self):
+        with self._lock:
+            with self._lock:
+                self.count += 1

@@ -1,0 +1,33 @@
+"""RPR202 positive fixture: locked writers, bare readers (and vice versa)."""
+
+import threading
+
+
+class RacyCounter:
+    """Writes under the lock; ``peek`` reads bare with no escape docstring."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def incr(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count
+
+
+class ForgottenWriteLock:
+    """Readers lock ``_mode`` but the writer mutates it bare."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._mode = "idle"
+
+    def get_mode(self):
+        with self._lock:
+            return self._mode
+
+    def set_mode(self, mode):
+        self._mode = mode

@@ -1,0 +1,36 @@
+"""RPR202 negative fixture: full discipline, docstring escapes, lock-free."""
+
+import threading
+
+
+class DisciplinedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def incr(self):
+        with self._lock:
+            self._count += 1
+
+    def read(self):
+        with self._lock:
+            return self._count
+
+    def peek(self):
+        """Racy snapshot read for monitoring; staleness is acceptable."""
+        return self._count
+
+
+class SingleWriter:
+    """Lock-free by design: a single writer thread owns every field."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def incr(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count

@@ -1,0 +1,15 @@
+"""RPR203 positive fixture: Condition.wait guarded by ``if``, not a loop."""
+
+import threading
+
+
+class IfGuardedWait:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._ready = False
+
+    def take(self):
+        with self._cond:
+            if not self._ready:
+                self._cond.wait()
+            self._ready = False

@@ -1,0 +1,20 @@
+"""RPR203 negative fixture: predicate loop and ``wait_for`` forms."""
+
+import threading
+
+
+class LoopGuardedWait:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._ready = False
+
+    def take(self):
+        with self._cond:
+            while not self._ready:
+                self._cond.wait()
+            self._ready = False
+
+    def take_with_timeout(self):
+        with self._cond:
+            self._cond.wait_for(lambda: self._ready, timeout=1.0)
+            self._ready = False

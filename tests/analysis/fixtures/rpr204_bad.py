@@ -1,0 +1,20 @@
+"""RPR204 positive fixture: generation bumps detached from their mutation."""
+
+import threading
+
+
+class DetachedGenerations:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.generation = 0
+        self.items = []
+
+    def append_unlocked_bump(self, item):
+        with self._lock:
+            self.items.append(item)
+        self.generation += 1
+
+    def append_bump_alone(self, item):
+        self.items.append(item)
+        with self._lock:
+            self.generation += 1

@@ -1,0 +1,15 @@
+"""RPR204 negative fixture: bump and mutation share one locked region."""
+
+import threading
+
+
+class AtomicGenerations:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.generation = 0
+        self.items = []
+
+    def append(self, item):
+        with self._lock:
+            self.items.append(item)
+            self.generation += 1

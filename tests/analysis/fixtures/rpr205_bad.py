@@ -1,0 +1,31 @@
+"""RPR205 positive fixture: worker-reachable segment create and unlink."""
+
+from multiprocessing import Process
+from multiprocessing.shared_memory import SharedMemory
+
+
+def worker_main(name):
+    shm = SharedMemory(name=name)
+    try:
+        use(shm)
+    finally:
+        shm.close()
+        _cleanup(shm)
+
+
+def _cleanup(shm):
+    shm.unlink()
+
+
+def creator_worker(size):
+    shm = SharedMemory(create=True, size=size)
+    use(shm)
+
+
+def use(shm):
+    return len(shm.buf)
+
+
+def spawn():
+    Process(target=worker_main, args=("seg",)).start()
+    Process(target=creator_worker, args=(64,)).start()

@@ -1,0 +1,25 @@
+"""RPR205 negative fixture: parent owns the lifecycle, worker attaches."""
+
+from multiprocessing import Process
+from multiprocessing.shared_memory import SharedMemory
+
+
+def worker_main(name):
+    shm = SharedMemory(name=name)
+    try:
+        use(shm)
+    finally:
+        shm.close()
+
+
+def use(shm):
+    return len(shm.buf)
+
+
+def parent():
+    shm = SharedMemory(create=True, size=64)
+    proc = Process(target=worker_main, args=(shm.name,))
+    proc.start()
+    proc.join()
+    shm.close()
+    shm.unlink()

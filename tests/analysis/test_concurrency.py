@@ -1,0 +1,165 @@
+"""Concurrency analyzer tests: RPR201-205 fixtures + the lock-graph model.
+
+Each rule gets one positive and one negative fixture (mirroring
+``test_rules.py``), and the interprocedural model itself is pinned
+against the live serving stack: the static lock graph of ``src/repro``
+must contain exactly the sanctioned acquisition edges and stay acyclic.
+That last test is the static half of the cross-validation contract —
+the runtime half lives in ``tests/core/test_lockorder.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency import build_model, static_lock_graph
+from repro.analysis.engine import build_context, run_analysis
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def findings_for(rule_id: str, *fixture_names: str):
+    ctx = build_context(
+        FIXTURES,
+        paths=[FIXTURES / name for name in fixture_names],
+        use_registry=False,
+    )
+    return run_analysis(ctx, [rule_id]).findings
+
+
+def model_for(*fixture_names: str):
+    ctx = build_context(
+        FIXTURES,
+        paths=[FIXTURES / name for name in fixture_names],
+        use_registry=False,
+    )
+    return build_model(ctx)
+
+
+class TestFixtures:
+    """One positive and one negative fixture per rule."""
+
+    @pytest.mark.parametrize("rule_id,expected", [
+        ("RPR201", 2),  # interprocedural a->b->a cycle + self-nested Lock
+        ("RPR202", 2),  # bare read of locked attr + bare write of read-locked attr
+        ("RPR203", 1),  # if-guarded Condition.wait
+        ("RPR204", 2),  # generation bump outside / alone inside the lock
+        ("RPR205", 2),  # worker-reachable unlink + create
+    ])
+    def test_bad_fixture_fires(self, rule_id, expected):
+        bad = f"rpr{rule_id[3:]}_bad.py"
+        findings = findings_for(rule_id, bad)
+        assert len(findings) == expected, [f.message for f in findings]
+        assert all(f.rule_id == rule_id for f in findings)
+
+    @pytest.mark.parametrize("rule_id", ["RPR201", "RPR202", "RPR203", "RPR204", "RPR205"])
+    def test_good_fixture_is_clean(self, rule_id):
+        good = f"rpr{rule_id[3:]}_good.py"
+        assert findings_for(rule_id, good) == []
+
+    def test_rpr201_cycle_message_has_provenance(self):
+        """The cycle finding names both legs so the report is actionable."""
+        messages = [f.message for f in findings_for("RPR201", "rpr201_bad.py")]
+        cycle = next(m for m in messages if "lock-order cycle" in m)
+        assert "TwoLockInverted._lock_a" in cycle
+        assert "TwoLockInverted._lock_b" in cycle
+        # The b->a leg only exists through the _take_a helper.
+        assert "_take_a" in cycle
+
+    def test_rpr202_names_the_guard(self):
+        messages = [f.message for f in findings_for("RPR202", "rpr202_bad.py")]
+        assert any("RacyCounter._lock" in m for m in messages)
+
+    def test_rpr205_reports_both_lifecycle_ops(self):
+        messages = " ".join(f.message for f in findings_for("RPR205", "rpr205_bad.py"))
+        assert "unlink" in messages
+        assert "create" in messages
+
+
+class TestModel:
+    """Unit-level checks on the interprocedural lock model."""
+
+    def test_lock_discovery_kinds(self):
+        model = model_for("rpr201_good.py", "rpr203_good.py")
+        ordered = model.classes["TwoLockOrdered"]
+        assert {d.attr: d.kind for d in ordered.locks.values()} == {
+            "_lock_a": "lock", "_lock_b": "lock",
+        }
+        reentrant = model.classes["ReentrantNested"]
+        assert reentrant.locks["_lock"].kind == "rlock"
+        waiter = model.classes["LoopGuardedWait"]
+        assert waiter.locks["_cond"].kind == "condition"
+
+    def test_edges_follow_helper_calls(self):
+        """`also_ab` holds _lock_a across `_take_b`, producing the a->b edge."""
+        model = model_for("rpr201_good.py")
+        edges = {(src, dst) for (src, dst) in model.edges}
+        assert ("TwoLockOrdered._lock_a", "TwoLockOrdered._lock_b") in edges
+        assert ("TwoLockOrdered._lock_b", "TwoLockOrdered._lock_a") not in edges
+
+    def test_entry_held_for_private_helper(self):
+        """`_take_b` is only ever called with _lock_a held, and knows it."""
+        model = model_for("rpr201_good.py")
+        helper = model.classes["TwoLockOrdered"].methods["_take_b"]
+        assert "TwoLockOrdered._lock_a" in helper.entry_held
+
+    def test_wait_sites_record_loop_context(self):
+        model = model_for("rpr203_bad.py", "rpr203_good.py")
+        bad = model.classes["IfGuardedWait"].methods["take"]
+        assert [w.in_while for w in bad.wait_sites] == [False]
+        good = model.classes["LoopGuardedWait"].methods["take"]
+        assert [w.in_while for w in good.wait_sites] == [True]
+
+
+class TestRepoLockGraph:
+    """The serving stack's static lock graph is pinned and acyclic."""
+
+    # Every acquisition ordering the serving stack is allowed to exhibit.
+    SANCTIONED = {
+        ("Coalescer._conds", "ServerStats._lock"),
+        ("ProcessShardExecutor._pipe_locks", "ProcessShardExecutor._state_lock"),
+        ("ProcessShardExecutor._pipe_locks", "ServerStats._lock"),
+        ("ProcessShardExecutor._pipe_locks", "ShardedStore._locks"),
+    }
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        ctx = build_context(REPO_ROOT, use_registry=False)
+        return static_lock_graph(ctx)
+
+    def test_expected_nodes(self, graph):
+        assert {
+            "Coalescer._conds", "LockOrderGraph._lock",
+            "ProcessShardExecutor._pipe_locks", "ProcessShardExecutor._state_lock",
+            "ResultCache._lock", "ServerStats._lock",
+            "ShardedStore._locks", "Window._lock",
+        } <= set(graph["nodes"])
+
+    def test_edges_are_exactly_the_sanctioned_set(self, graph):
+        edges = {(e["from"], e["to"]) for e in graph["edges"]}
+        assert edges == self.SANCTIONED
+
+    def test_graph_is_acyclic(self, graph):
+        adj: dict[str, set[str]] = {}
+        for e in graph["edges"]:
+            adj.setdefault(e["from"], set()).add(e["to"])
+        state: dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            state[node] = 1
+            for nxt in adj.get(node, ()):
+                assert state.get(nxt) != 1, f"cycle through {node} -> {nxt}"
+                if nxt not in state:
+                    visit(nxt)
+            state[node] = 2
+
+        for node in graph["nodes"]:
+            if node not in state:
+                visit(node)
+
+    def test_edges_carry_provenance_notes(self, graph):
+        for e in graph["edges"]:
+            assert e["notes"], f"edge {e['from']} -> {e['to']} has no provenance"

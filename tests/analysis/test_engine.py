@@ -35,7 +35,8 @@ class TestRepoGate:
         # Every syntactic rule fires at least once across the fixture set.
         fired = {f.rule_id for f in result.findings}
         assert {"RPR003", "RPR004", "RPR005", "RPR006", "RPR007", "RPR008",
-                "RPR011", "RPR101", "RPR102", "RPR103", "RPR104"} <= fired
+                "RPR011", "RPR101", "RPR102", "RPR103", "RPR104",
+                "RPR201", "RPR202", "RPR203", "RPR204", "RPR205"} <= fired
 
 
 class TestCLI:
@@ -68,6 +69,7 @@ class TestCLI:
         expected = {f"RPR00{i}" for i in range(1, 10)}
         expected |= {"RPR010", "RPR011"}
         expected |= {f"RPR10{i}" for i in range(1, 5)}
+        expected |= {f"RPR20{i}" for i in range(1, 6)}
         assert set(payload["rules"]) == expected
 
     def test_rule_selection(self, capsys):
@@ -100,7 +102,7 @@ class TestCLI:
         ])
         out = capsys.readouterr().out
         assert "RPR102" not in out
-        assert "11 rule(s)" in out
+        assert "16 rule(s)" in out
         del code  # exit code depends on other rules; selection is the contract
 
     def test_select_unmatched_pattern_is_usage_error(self, capsys):
@@ -155,3 +157,69 @@ class TestRenderers:
         payload = json.loads(render_json(result))
         assert payload["summary"]["files_analyzed"] == 1
         assert payload["rules"]["RPR006"]["severity"] == "error"
+
+
+class TestBaselineMode:
+    """--baseline ratchets the gate: only NEW findings are fatal."""
+
+    BAD = "rpr202_bad.py"
+
+    def _report(self, tmp_path, *extra):
+        report = tmp_path / "baseline.json"
+        main(["--root", str(FIXTURES), "--output", str(report),
+              str(FIXTURES / self.BAD), *extra])
+        return report
+
+    def test_known_findings_are_tolerated(self, tmp_path, capsys):
+        baseline = self._report(tmp_path)
+        capsys.readouterr()
+        code = main(["--root", str(FIXTURES), "--baseline", str(baseline),
+                     str(FIXTURES / self.BAD)])
+        assert code == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_new_findings_still_fail(self, tmp_path, capsys):
+        baseline = self._report(tmp_path, "--rules", "RPR202")
+        capsys.readouterr()
+        # The same file under *all* rules surfaces findings the
+        # RPR202-only baseline has never seen.
+        code = main(["--root", str(FIXTURES), "--baseline", str(baseline),
+                     str(FIXTURES / "rpr203_bad.py"), str(FIXTURES / self.BAD)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "new finding(s)" in out
+        assert "0 new finding(s)" not in out
+
+    def test_resolved_findings_are_counted(self, tmp_path, capsys):
+        baseline = self._report(tmp_path, "--rules", "RPR202")
+        capsys.readouterr()
+        code = main(["--root", str(FIXTURES), "--baseline", str(baseline),
+                     "--rules", "RPR202", str(FIXTURES / "rpr202_good.py")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+        assert "0 resolved" not in out  # the baselined findings resolved
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["--baseline", str(missing)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["--baseline", str(bad)]) == 2
+
+
+class TestLockGraphDump:
+    def test_lock_graph_artifact_matches_library(self, tmp_path, capsys):
+        from repro.analysis.concurrency import static_lock_graph
+        from repro.analysis.engine import build_context
+
+        out_path = tmp_path / "lock-graph.json"
+        code = main(["--root", str(REPO_ROOT), "--select", "RPR2",
+                     "--lock-graph", str(out_path)])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert {"nodes", "edges"} == set(payload)
+        expected = static_lock_graph(build_context(REPO_ROOT, use_registry=False))
+        assert payload == json.loads(json.dumps(expected))

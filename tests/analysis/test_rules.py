@@ -30,10 +30,11 @@ def findings_for(rule_id: str, *fixture_names: str):
 
 
 class TestRuleRegistry:
-    def test_all_fifteen_rules_registered(self):
+    def test_all_twenty_rules_registered(self):
         expected = [f"RPR00{i}" for i in range(1, 10)]
         expected += ["RPR010", "RPR011"]
         expected += [f"RPR10{i}" for i in range(1, 5)]
+        expected += [f"RPR20{i}" for i in range(1, 6)]
         assert sorted(RULES) == expected
         assert sorted(RULE_METADATA) == sorted(RULES)
 

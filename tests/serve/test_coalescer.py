@@ -169,3 +169,67 @@ class TestThreadedDeterminism:
             for i, value in enumerate(chunk):
                 flat[client + 4 * i] = value
         assert [flat[i] for i in range(len(requests))] == expected
+
+
+class TestClose:
+    """Shutdown ordering: nothing queued is ever dropped, close is reusable."""
+
+    def test_close_without_start_drains_queue_synchronously(self):
+        keys, _, stats, coalescer = _fixture()
+        direct = SortedArrayIndex().build(keys)
+        futures = [
+            coalescer.submit(Request(op=Op.LOOKUP, key=float(k))) for k in keys[:20]
+        ]
+        assert coalescer.close() == 20  # the closer served every leftover
+        for key, fut in zip(keys[:20], futures):
+            assert fut.result(timeout=5.0).value == direct.lookup(key)
+        assert stats.responses == 20
+
+    def test_close_with_workers_resolves_every_future(self):
+        keys, _, _, coalescer = _fixture(max_batch=8, max_delay=0.001)
+        coalescer.start()
+        futures = [
+            coalescer.submit(Request(op=Op.LOOKUP, key=float(k))) for k in keys[:100]
+        ]
+        coalescer.close()
+        assert all(f.done() for f in futures)
+        assert not any(isinstance(f.result(), Overloaded) for f in futures)
+
+    def test_close_is_idempotent(self):
+        _, _, _, coalescer = _fixture()
+        coalescer.start()
+        coalescer.close()
+        assert coalescer.close() == 0
+        assert coalescer.queue_depths() == [0, 0]
+
+    def test_submit_after_close_raises(self):
+        keys, _, _, coalescer = _fixture()
+        coalescer.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            coalescer.submit(Request(op=Op.LOOKUP, key=float(keys[0])))
+        with pytest.raises(RuntimeError, match="closed"):
+            coalescer.submit_many(
+                [Request(op=Op.LOOKUP, key=float(keys[0]))]
+            )
+
+    def test_start_reopens_a_closed_coalescer(self):
+        keys, _, _, coalescer = _fixture(max_batch=8, max_delay=0.001)
+        direct = SortedArrayIndex().build(keys)
+        coalescer.start()
+        coalescer.close()
+        coalescer.start()
+        fut = coalescer.submit(Request(op=Op.LOOKUP, key=float(keys[3])))
+        assert fut.result(timeout=5.0).value == direct.lookup(keys[3])
+        coalescer.close()
+
+    def test_server_close_orders_coalescer_before_executor(self):
+        """IndexServer.close() is idempotent and leaves no pending futures."""
+        keys = np.random.default_rng(1).uniform(0.0, 1e6, 300)
+        server = IndexServer(SortedArrayIndex, num_shards=2, max_batch=16,
+                             max_delay=0.001).build(keys)
+        futures = [
+            server.submit(Request(op=Op.LOOKUP, key=float(k))) for k in keys[:50]
+        ]
+        server.close()
+        assert all(f.done() for f in futures)
+        server.close()  # idempotent
