@@ -18,12 +18,21 @@ with repo-specific rules, each with a stable ID, severity,
   lock model of :mod:`repro.analysis.concurrency` (lock-order cycles,
   unguarded shared state, predicate-loop waits, generation-counter
   atomicity, segment lifecycle ownership), cross-validated at runtime
-  by :mod:`repro.core.lockorder` under ``REPRO_SANITIZE=1``.
+  by :mod:`repro.core.lockorder` under ``REPRO_SANITIZE=1``;
+* RPR301-RPR303 — complexity contracts backed by the static cost model
+  of :mod:`repro.analysis.complexity` (hot paths bounded by their
+  declared :mod:`repro.core.complexity` class, vectorization discipline
+  in batch kernels, serve-layer allocation bounds), cross-validated
+  empirically by the :mod:`repro.bench.scaling` witness (E22);
+* RPR012 — stale-suppression audit (``# lint: disable`` comments that
+  no longer silence anything), implemented inside the engine because it
+  needs every other rule's suppressed findings.
 
 Run ``python -m repro.analysis`` from the repository root; see the
 "Static analysis" section of README.md for the rule table.
 """
 
+from repro.analysis import complexity  # noqa: F401  (registers RPR301-303)
 from repro.analysis import concurrency  # noqa: F401  (registers RPR201-205)
 from repro.analysis import numeric_rules  # noqa: F401  (registers RPR101-104)
 from repro.analysis.concurrency import build_model, static_lock_graph
@@ -62,6 +71,7 @@ __all__ = [
     "analyze_module",
     "bit_width",
     "build_model",
+    "complexity",
     "concurrency",
     "lock_aliases",
     "numeric_rules",

@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 from repro.analysis.findings import Finding
 from repro.analysis.registry_view import RegistryView, build_registry_view
 from repro.analysis.rules import RULE_METADATA, RULES, AnalysisContext
-from repro.analysis.source import SourceFile
+from repro.analysis.source import SourceFile, SuppressionDirective
 
 __all__ = ["AnalysisResult", "collect_files", "build_context", "run_analysis",
            "render_text", "render_json"]
@@ -85,9 +85,54 @@ def run_analysis(
                 result.suppressed.append(finding)
             else:
                 result.findings.append(finding)
+    if "RPR012" in selected:
+        _audit_stale_suppressions(ctx, result, selected)
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return result
+
+
+def _audit_stale_suppressions(ctx: AnalysisContext, result: AnalysisResult,
+                              selected: tuple[str, ...]) -> None:
+    """RPR012: flag directives that silenced nothing this run.
+
+    Runs inside the engine because it needs every other rule's
+    *suppressed* findings.  A directive is auditable for a rule id only
+    when that rule actually ran (otherwise we cannot know whether it
+    would have fired); unknown rule ids are stale unconditionally.
+    """
+    audited = set(selected) - {"RPR012"}
+    hits: set[tuple[str, str, int]] = {
+        (f.path, f.rule_id, f.line) for f in result.suppressed
+    }
+
+    def is_stale(src: SourceFile, d: SuppressionDirective, rule_id: str) -> bool:
+        if rule_id not in RULES:
+            return True
+        if rule_id not in audited:
+            return False
+        return not any((src.rel, rule_id, line) in hits for line in d.covered)
+
+    for src in ctx.files:
+        for directive in src.directives:
+            stale = [r for r in directive.rules if is_stale(src, directive, r)]
+            if not stale:
+                continue
+            finding = Finding(
+                rule_id="RPR012",
+                severity=RULE_METADATA["RPR012"].severity,
+                path=src.rel,
+                line=directive.line,
+                col=0,
+                message=(
+                    f"suppression of {', '.join(stale)} silences nothing "
+                    "on the line(s) it covers; delete the stale directive"
+                ),
+            )
+            if src.is_suppressed("RPR012", directive.line):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
 
 
 def render_text(result: AnalysisResult) -> str:

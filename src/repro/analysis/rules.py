@@ -878,3 +878,29 @@ def check_artifact_digest_discipline(ctx: AnalysisContext) -> Iterator[Finding]:
                     "loading an unverified payload runs whatever the file "
                     "contains",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RPR012 — stale-suppression audit
+# ---------------------------------------------------------------------------
+@rule(
+    "RPR012",
+    "stale-suppression",
+    Severity.ERROR,
+    "A `# lint: disable=` comment that no longer silences any finding "
+    "is a standing invitation to reintroduce the violation unnoticed; "
+    "as rules evolve, dead directives must be deleted to keep the "
+    "zero-suppression invariant honest.  A directive naming an unknown "
+    "rule id is always stale.",
+    ("hygiene",),
+)
+def check_stale_suppressions(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Implemented in :func:`repro.analysis.engine.run_analysis`.
+
+    The audit needs the *suppressed* findings of every other selected
+    rule, which only the engine sees after running them; this function
+    exists to give RPR012 a stable registration, metadata, and
+    selectability like any other rule.
+    """
+    del ctx
+    return iter(())

@@ -22,34 +22,60 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["SourceFile", "parse_suppressions"]
+__all__ = ["SourceFile", "SuppressionDirective", "parse_directives",
+           "parse_suppressions"]
 
 _DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
 
 
-def parse_suppressions(text: str) -> dict[int, set[str]]:
-    """Map line number -> rule ids suppressed on that line.
+@dataclass(frozen=True)
+class SuppressionDirective:
+    """One ``# lint: disable=`` comment and the lines it covers.
+
+    Kept alongside the flattened line->rules map so the stale-suppression
+    audit (RPR012) can ask, per *directive*, whether it still silences
+    anything — a question the flattened map cannot answer once two
+    directives overlap.
+    """
+
+    line: int                 # line carrying the comment
+    rules: tuple[str, ...]    # rule ids it names, sorted
+    covered: tuple[int, ...]  # lines it suppresses (own line, maybe next)
+
+
+def parse_directives(text: str) -> list[SuppressionDirective]:
+    """All suppression directives in ``text``, with coverage.
 
     A trailing comment covers its own line; a comment alone on a line
     covers the following line (and its own, harmlessly).
     """
-    suppressed: dict[int, set[str]] = {}
+    directives: list[SuppressionDirective] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
     except (tokenize.TokenError, SyntaxError, IndentationError):
-        return suppressed
+        return directives
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
         match = _DISABLE_RE.search(tok.string)
         if not match:
             continue
-        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        rules = sorted({r.strip() for r in match.group(1).split(",") if r.strip()})
         line = tok.start[0]
         own_line = tok.line[: tok.start[1]].strip() == ""
-        suppressed.setdefault(line, set()).update(rules)
-        if own_line:
-            suppressed.setdefault(line + 1, set()).update(rules)
+        covered = (line, line + 1) if own_line else (line,)
+        directives.append(
+            SuppressionDirective(line=line, rules=tuple(rules), covered=covered)
+        )
+    return directives
+
+
+def parse_suppressions(text: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    suppressed: dict[int, set[str]] = {}
+    for directive in parse_directives(text):
+        for line in directive.covered:
+            suppressed.setdefault(line, set()).update(directive.rules)
     return suppressed
 
 
@@ -63,6 +89,7 @@ class SourceFile:
     tree: ast.Module | None
     syntax_error: str | None = None
     suppressions: dict[int, set[str]] = field(default_factory=dict)
+    directives: list[SuppressionDirective] = field(default_factory=list)
 
     @classmethod
     def load(cls, path: Path, root: Path) -> "SourceFile":
@@ -77,13 +104,19 @@ class SourceFile:
             tree = ast.parse(text, filename=str(path))
         except SyntaxError as exc:
             error = f"{exc.msg} (line {exc.lineno})"
+        directives = parse_directives(text)
+        suppressions: dict[int, set[str]] = {}
+        for directive in directives:
+            for line in directive.covered:
+                suppressions.setdefault(line, set()).update(directive.rules)
         return cls(
             path=path,
             rel=rel,
             text=text,
             tree=tree,
             syntax_error=error,
-            suppressions=parse_suppressions(text),
+            suppressions=suppressions,
+            directives=directives,
         )
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:

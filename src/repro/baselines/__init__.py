@@ -5,6 +5,7 @@ from repro.baselines.btree import BPlusTreeIndex
 from repro.baselines.gridfile import GridIndex
 from repro.baselines.hash_index import HashIndex
 from repro.baselines.kdtree import KDTreeIndex
+from repro.baselines.linear_scan import LinearScanIndex
 from repro.baselines.lsm import LSMTreeIndex, SortedRun, TOMBSTONE
 from repro.baselines.quadtree import QuadTreeIndex
 from repro.baselines.rtree import RTreeIndex
@@ -19,6 +20,7 @@ __all__ = [
     "GridIndex",
     "HashIndex",
     "KDTreeIndex",
+    "LinearScanIndex",
     "LSMTreeIndex",
     "SortedRun",
     "TOMBSTONE",

@@ -131,7 +131,11 @@ class LSMTreeIndex(MutableOneDimIndex):
         self._refresh_size()
 
     def _compact(self) -> None:
-        """Merge all runs into one, newest value wins, tombstones dropped."""
+        """Merge all runs into one, newest value wins, tombstones dropped.
+
+        Compaction-bounded: runs once per ``max_runs`` flushes, so the
+        O(n) merge amortizes across the inserts that filled those runs.
+        """
         merged: dict[float, object] = {}
         for run in self._runs:  # oldest first; later runs overwrite
             for k, v in zip(run.keys, run.values):
@@ -151,6 +155,12 @@ class LSMTreeIndex(MutableOneDimIndex):
 
     # -- reads -------------------------------------------------------------------
     def lookup(self, key: float) -> object | None:
+        """Memtable probe, then per-run model-guided search, newest first.
+
+        Compaction-bounded run list: ``_flush_memtable`` compacts once
+        ``len(self._runs)`` exceeds ``max_runs``, so the loop visits at
+        most ``max_runs + 1`` runs.
+        """
         self._require_built()
         key = float(key)
         if key in self._memtable:

@@ -86,6 +86,9 @@ class QuadTreeIndex(MutableMultiDimIndex):
 
     # -- insert helpers -----------------------------------------------------
     def _insert_point(self, p: np.ndarray, value: object, count: bool) -> None:
+        """Level-bounded descent (root growth doubles the box each step,
+        splits cap depth at ``max_depth``) followed by a capacity-bounded
+        leaf scan — leaves split past ``capacity`` points."""
         root = self._root
         assert root is not None
         x, y = float(p[0]), float(p[1])
@@ -145,6 +148,8 @@ class QuadTreeIndex(MutableMultiDimIndex):
 
     # -- queries ---------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Quadrant descent to a leaf, then a capacity-bounded point scan
+        (leaves split once they exceed ``leaf_capacity`` points)."""
         self._require_built()
         if self._root is None:
             return None

@@ -168,6 +168,12 @@ class RTreeIndex(MutableMultiDimIndex):
         return self._point_search(self._root, q)
 
     def _point_search(self, node: _RNode, q: np.ndarray) -> object | None:
+        """MBR-pruned descent for an exact point.
+
+        Fanout-bounded: each node holds at most ``max_entries`` entries,
+        so the leaf scan and the per-node child loop are O(1); the
+        recursion depth follows the balanced-tree premise.
+        """
         self.stats.nodes_visited += 1
         if node.mbr_lo is None:
             return None
@@ -256,7 +262,11 @@ class RTreeIndex(MutableMultiDimIndex):
         self._size += 1
 
     def _replace_if_present(self, node: _RNode, p: np.ndarray, value: object) -> bool:
-        """Overwrite the value of an existing exact point, if any."""
+        """Overwrite the value of an existing exact point, if any.
+
+        Fanout-bounded like :meth:`_point_search`: at most
+        ``max_entries`` entries per visited node.
+        """
         if node.mbr_lo is None:
             return False
         if np.any(p < node.mbr_lo) or np.any(p > node.mbr_hi):
@@ -286,7 +296,11 @@ class RTreeIndex(MutableMultiDimIndex):
         return None
 
     def _split_leaf(self, node: _RNode) -> _RNode:
-        """Quadratic split of an overfull leaf; returns the new sibling."""
+        """Quadratic split of an overfull leaf; returns the new sibling.
+
+        Fanout-bounded: redistributes one node's at most
+        ``max_entries + 1`` entries between two leaves.
+        """
         entries = node.entries
         seed_a, seed_b = self._pick_seeds([p for p, _ in entries])
         group_a = [entries[seed_a]]
@@ -305,6 +319,7 @@ class RTreeIndex(MutableMultiDimIndex):
         return sibling
 
     def _split_internal(self, node: _RNode) -> _RNode:
+        """Fanout-bounded quadratic split, like :meth:`_split_leaf`."""
         entries = node.entries
         centres = [0.5 * (c.mbr_lo + c.mbr_hi) for c in entries]
         seed_a, seed_b = self._pick_seeds(centres)

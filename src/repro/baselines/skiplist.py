@@ -41,6 +41,7 @@ class SkipListIndex(MutableOneDimIndex):
         self._size = 0
 
     def _random_level(self) -> int:
+        """Level-bounded coin-flip loop: caps at ``_MAX_LEVEL``."""
         level = 1
         while level < _MAX_LEVEL and self._rng.random() < 0.5:
             level += 1
@@ -60,6 +61,12 @@ class SkipListIndex(MutableOneDimIndex):
         return self
 
     def _find_predecessors(self, key: float) -> list[_SkipNode]:
+        """Predecessor pointers for ``key`` at every level.
+
+        Level-bounded descent: the outer loop walks the tower height and
+        each level's forward scan advances a shared cursor — the classic
+        expected-O(log n) skip-list search.
+        """
         update = [self._head] * _MAX_LEVEL
         node = self._head
         for lvl in range(self._level - 1, -1, -1):
@@ -94,6 +101,8 @@ class SkipListIndex(MutableOneDimIndex):
         return out
 
     def insert(self, key: float, value: object | None = None) -> None:
+        """Level-bounded splice: expected-O(log n) predecessor search,
+        then a tower update of at most ``_MAX_LEVEL`` pointers."""
         self._require_built()
         key = float(key)
         update = self._find_predecessors(key)

@@ -411,6 +411,7 @@ def _register_extensions() -> None:
     from repro.bench.batch import run_e17, run_e18
     from repro.bench.coldstart import run_e21
     from repro.bench.extensions import run_e13, run_e14, run_e15, run_e16
+    from repro.bench.scaling import run_e22
     from repro.bench.serving import run_e19
     from repro.bench.serving_mp import run_e20
 
@@ -432,6 +433,8 @@ def _register_extensions() -> None:
         "E20", "serving backends: shard worker threads vs processes", run_e20)
     EXPERIMENTS["E21"] = Experiment(
         "E21", "cold start: artifact load vs rebuild, time-to-first-query", run_e21)
+    EXPERIMENTS["E22"] = Experiment(
+        "E22", "scaling witness: counted work per lookup vs n, per contract", run_e22)
 
 
 _register_extensions()

@@ -48,6 +48,7 @@ HEADLINE_KEYS = {
     "E19": "speedup",
     "E20": "mp_vs_thread",
     "E21": "load_vs_rebuild",
+    "E22": "sublinearity",
 }
 
 #: Top-level artifact fields that describe the machine or the output,

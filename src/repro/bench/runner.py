@@ -18,6 +18,7 @@ from repro.baselines import (
     GridIndex,
     HashIndex,
     KDTreeIndex,
+    LinearScanIndex,
     LSMTreeIndex,
     QuadTreeIndex,
     RTreeIndex,
@@ -80,6 +81,7 @@ __all__ = [
 
 #: All 1-d indexes with lookup support (learned + traditional baselines).
 ONE_DIM_FACTORIES: dict[str, Callable[[], OneDimIndex]] = {
+    "linear-scan": LinearScanIndex,
     "binary-search": SortedArrayIndex,
     "b+tree": BPlusTreeIndex,
     "skiplist": SkipListIndex,
@@ -104,6 +106,7 @@ ONE_DIM_FACTORIES: dict[str, Callable[[], OneDimIndex]] = {
 
 #: The mutable subset (insert/delete benchmarks).
 MUTABLE_ONE_DIM_FACTORIES: dict[str, Callable[[], MutableOneDimIndex]] = {
+    "linear-scan": LinearScanIndex,
     "b+tree": BPlusTreeIndex,
     "skiplist": SkipListIndex,
     "lsm": LSMTreeIndex,

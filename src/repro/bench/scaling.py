@@ -1,0 +1,324 @@
+"""E22 — empirical scaling witness for the complexity contracts.
+
+The static analyzer (RPR301 in :mod:`repro.analysis.complexity`) proves
+from the AST that no hot path *can* exceed its declared
+:class:`~repro.core.taxonomy.ComplexityClass` — but an AST argument is
+only as good as its cost model, and a docstring escape ("capacity
+bounded", "duplicate-bounded", ...) is a claim, not a measurement.  This
+module is the other half of the contract: it *runs* every registered
+factory across a geometric n-sweep, counts the machine-independent work
+per lookup (:class:`~repro.core.interfaces.IndexStats` counters — no
+wall clocks, so the witness is deterministic and CI-stable), fits the
+log-log slope of work against n, and compares the fitted class with the
+contract declared in :data:`repro.core.complexity.CONTRACTS`.
+
+Classification is deliberately coarse — the lattice has three rungs:
+
+* slope < :data:`CONSTANT_SLOPE_MAX` — work does not grow: ``CONSTANT``;
+* slope > :data:`LINEAR_SLOPE_MIN` — work grows like a power of n:
+  ``LINEAR`` (a sqrt(n) hot path is a broken learned index, and the
+  witness calls it what the contract cares about: not sublinear);
+* anything between — ``LOGARITHMIC`` (an O(log n) series over this
+  sweep has log-log slope ~0.1).
+
+Consistency is asymmetric, matching the paper's thesis: a fitted class
+*at or below* the declaration passes (an epsilon-bounded PGM lookup
+legitimately measures flat), but a contract that declares ``LINEAR``
+must *measure* linear — the scan controls (``linear-scan``, the fixed
+lattice ``grid``) exist so E1/E7 speedups have an honest denominator,
+and a "linear" control that stopped scanning would silently flatter
+nothing at all.
+
+The headline, ``sublinearity = max(0, 1 - slope)``, is ~1 for learned
+indexes and ~0 for the scan controls; :mod:`repro.bench.compare` guards
+it against regressions like every other experiment headline.
+
+Run ``python -m repro.bench.scaling --smoke`` for the CI configuration
+(every factory, small sweep, seconds-scale); the full sweep to 10^6
+keys is for workstation runs.  Exit status 1 means at least one
+contract was contradicted by measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.bench.batch import _environment_metadata
+from repro.bench.runner import (
+    FILTER_FACTORIES,
+    MULTI_DIM_FACTORIES,
+    ONE_DIM_FACTORIES,
+)
+from repro.core.complexity import contract_for
+from repro.core.taxonomy import ComplexityClass
+from repro.data import load_1d, load_nd
+
+__all__ = [
+    "run_e22",
+    "fit_loglog_slope",
+    "classify_slope",
+    "is_consistent",
+    "DEFAULT_SIZES",
+    "SMOKE_SIZES",
+    "CONSTANT_SLOPE_MAX",
+    "LINEAR_SLOPE_MIN",
+]
+
+#: Full geometric sweep (workstation runs; multi-d builds dominate).
+DEFAULT_SIZES = (1_000, 10_000, 100_000, 1_000_000)
+
+#: CI sweep: still geometric, still every factory, seconds-scale.
+SMOKE_SIZES = (1_000, 4_000, 16_000)
+
+#: Fitted slope below this is CONSTANT: the counters did not grow.
+CONSTANT_SLOPE_MAX = 0.06
+
+#: Fitted slope above this is LINEAR: work grows like a power of n.
+LINEAR_SLOPE_MIN = 0.55
+
+#: IndexStats fields summed into "work per operation".
+_WORK_COUNTERS = (
+    "comparisons",
+    "keys_scanned",
+    "nodes_visited",
+    "model_predictions",
+    "corrections",
+)
+
+#: Filters built over (n, d) point arrays instead of 1-d key arrays.
+_POINT_FILTERS = frozenset({"spatial-lbf"})
+
+#: Queries sampled (with a fixed seed) from the built data per size.
+_DEFAULT_QUERIES = 256
+
+
+# -- slope fitting ----------------------------------------------------------
+def fit_loglog_slope(ns: Sequence[int], work: Sequence[float]) -> float:
+    """Least-squares slope of ``log(work)`` against ``log(n)``.
+
+    Zero/near-zero counter sums are floored at 1e-3 so an index that
+    counts nothing (a pure hash probe) fits a flat line instead of
+    feeding ``-inf`` into the regression.
+    """
+    xs = np.log(np.asarray(ns, dtype=np.float64))
+    ys = np.log(np.maximum(np.asarray(work, dtype=np.float64), 1e-3))
+    if xs.size < 2:
+        raise ValueError("slope fit needs at least two sweep points")
+    return float(np.polyfit(xs, ys, 1)[0])
+
+
+def classify_slope(slope: float) -> ComplexityClass:
+    """Map a fitted log-log slope onto the contract lattice."""
+    if slope < CONSTANT_SLOPE_MAX:
+        return ComplexityClass.CONSTANT
+    if slope > LINEAR_SLOPE_MIN:
+        return ComplexityClass.LINEAR
+    return ComplexityClass.LOGARITHMIC
+
+
+def is_consistent(declared: ComplexityClass, fitted: ComplexityClass) -> bool:
+    """Whether a fitted class honours the declared contract.
+
+    Fitted at-or-below the declaration passes; a ``LINEAR`` declaration
+    (the scan controls) must measure exactly ``LINEAR`` — see the module
+    docstring for why the check is asymmetric.
+    """
+    if declared is ComplexityClass.LINEAR:
+        return fitted is ComplexityClass.LINEAR
+    return fitted.order <= declared.order
+
+
+# -- measurement ------------------------------------------------------------
+def _work_per_op(index: object, run_queries: Callable[[], int]) -> float:
+    """Counter sum per operation over one measured query batch."""
+    stats = index.stats  # type: ignore[attr-defined]
+    stats.reset_counters()
+    count = run_queries()
+    total = sum(getattr(stats, field) for field in _WORK_COUNTERS)
+    stats.reset_counters()
+    return total / max(count, 1)
+
+
+def _measure_factory(space: str, name: str, factory: Callable[[], object],
+                     sizes: Sequence[int], dataset: str, dims: int,
+                     queries: int, seed: int) -> dict:
+    """Sweep one factory and fit its lookup-path scaling."""
+    index_probe = factory()
+    cls = type(index_probe)
+    qualname = f"{cls.__module__}.{cls.__qualname__}"
+    contract = contract_for(qualname)
+    if contract is None:
+        raise KeyError(f"{qualname} has no entry in repro.core.complexity.CONTRACTS")
+    declared = contract.lookup
+    rng = np.random.default_rng(seed + 1)
+
+    work: list[float] = []
+    for n in sizes:
+        index = factory()
+        if space == "md" or (space == "filter" and name in _POINT_FILTERS):
+            data = load_nd(dataset, n, dims=dims, seed=seed)
+            sample = data[rng.integers(0, n, size=min(queries, n))]
+        else:
+            data = load_1d(dataset, n, seed=seed)
+            sample = data[rng.integers(0, n, size=min(queries, n))]
+        index.build(data)  # type: ignore[attr-defined]
+
+        if space == "1d":
+            def run() -> int:
+                for key in sample:
+                    index.lookup(float(key))  # type: ignore[attr-defined]
+                return len(sample)
+        elif space == "md":
+            def run() -> int:
+                for row in sample:
+                    index.point_query(row)  # type: ignore[attr-defined]
+                return len(sample)
+        else:
+            def run() -> int:
+                for item in sample:
+                    if name in _POINT_FILTERS:
+                        index.might_contain(item)  # type: ignore[attr-defined]
+                    else:
+                        index.might_contain(float(item))  # type: ignore[attr-defined]
+                return len(sample)
+
+        work.append(_work_per_op(index, run))
+
+    slope = fit_loglog_slope(sizes, work)
+    fitted = classify_slope(slope)
+    return {
+        "space": space,
+        "index": name,
+        "qualname": qualname,
+        "declared": declared.name,
+        "fitted": fitted.name,
+        "slope": slope,
+        "sublinearity": max(0.0, 1.0 - slope),
+        "consistent": is_consistent(declared, fitted),
+        "ns": [int(n) for n in sizes],
+        "work_per_op": [float(w) for w in work],
+    }
+
+
+def run_e22(sizes: Sequence[int] | str | None = None, dataset: str = "uniform",
+            dims: int = 2, queries: int = _DEFAULT_QUERIES, seed: int = 7,
+            out: str | None = "BENCH_scaling.json", smoke: bool = False,
+            only: Sequence[str] | str | None = None) -> list[dict]:
+    """E22: empirical scaling of counted work per lookup vs. n.
+
+    Args:
+        sizes: geometric n-sweep (sequence or comma string); defaults
+            to :data:`SMOKE_SIZES` when ``smoke`` else
+            :data:`DEFAULT_SIZES`.
+        dataset: dataset name for both spaces.
+        dims: dimensionality of the multi-d sweep.
+        queries: lookups sampled from the built data per size.
+        seed: RNG seed for datasets and query sampling.
+        out: JSON artifact path, or ``None``/"" to skip writing.
+        smoke: shrink the sweep to the seconds-scale CI configuration
+            (every factory still runs — coverage is the point).
+        only: factory names to restrict the sweep to (sequence or comma
+            string); ``None`` runs the full registry.
+
+    Returns:
+        One row per registered factory with the fitted slope, the
+        declared and fitted :class:`ComplexityClass`, and the
+        per-size work series.
+    """
+    if sizes is None:
+        sizes = SMOKE_SIZES if smoke else DEFAULT_SIZES
+    if isinstance(sizes, str):
+        sizes = [int(s) for s in sizes.split(",") if s]
+    sizes = [int(s) for s in sizes]
+    if len(sizes) < 2:
+        raise ValueError("the scaling sweep needs at least two sizes")
+    if isinstance(only, str):
+        only = [s for s in only.split(",") if s]
+    wanted = set(only) if only is not None else None
+
+    rows: list[dict] = []
+    for space, factories in (("1d", ONE_DIM_FACTORIES),
+                             ("md", MULTI_DIM_FACTORIES),
+                             ("filter", FILTER_FACTORIES)):
+        for name, factory in factories.items():
+            if wanted is not None and name not in wanted:
+                continue
+            rows.append(_measure_factory(space, name, factory, sizes,
+                                         dataset, dims, queries, seed))
+    if wanted is not None:
+        missing = wanted - {row["index"] for row in rows}
+        if missing:
+            raise KeyError(f"unknown factory name(s): {sorted(missing)}")
+
+    if out:
+        payload = {
+            "experiment": "E22",
+            "dataset": dataset,
+            "sizes": sizes,
+            "dims": dims,
+            "queries": queries,
+            "seed": seed,
+            "cpu_count": os.cpu_count(),
+            "environment": _environment_metadata(),
+            "results": {
+                f"{row['space']}/{row['index']}": {
+                    key: row[key]
+                    for key in ("qualname", "declared", "fitted", "slope",
+                                "sublinearity", "consistent", "ns",
+                                "work_per_op")
+                }
+                for row in rows
+            },
+        }
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: run the witness; exit 1 when a contract is contradicted."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.scaling",
+        description="E22 empirical scaling witness for complexity contracts")
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated n-sweep (default: full sweep, "
+                             "or the smoke sweep with --smoke)")
+    parser.add_argument("--dataset", default="uniform")
+    parser.add_argument("--dims", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=_DEFAULT_QUERIES)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_scaling.json",
+                        help='artifact path ("" to skip writing)')
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale CI sweep (every factory, small n)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated factory names to restrict to")
+    args = parser.parse_args(argv)
+
+    rows = run_e22(sizes=args.sizes, dataset=args.dataset, dims=args.dims,
+                   queries=args.queries, seed=args.seed, out=args.out or None,
+                   smoke=args.smoke, only=args.only)
+    bad = [row for row in rows if not row["consistent"]]
+    for row in rows:
+        marker = "ok " if row["consistent"] else "FAIL"
+        print(f"[{marker}] {row['space']:>6}/{row['index']:<16} "
+              f"slope={row['slope']:+.3f} fitted={row['fitted']:<11} "
+              f"declared={row['declared']}")
+    print(f"{len(rows)} factories, {len(bad)} contract violation(s)")
+    if bad:
+        for row in bad:
+            print(f"  {row['qualname']}: declared {row['declared']}, "
+                  f"measured slope {row['slope']:+.3f} ({row['fitted']})",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Per-method complexity contracts for every registered index class.
+
+The survey's asymptotic claim — learned indexes answer point queries
+with O(1) model evaluation plus an error-bounded last-mile search,
+while scan baselines pay O(n) — is only a claim until something
+enforces it.  This module is the single authoritative table mapping
+each concrete index class (by qualname) to the
+:class:`~repro.core.taxonomy.ComplexityClass` its hot paths are
+*allowed* to cost per operation:
+
+* ``lookup`` — the 1-d point-lookup path (``point_query`` for
+  multi-dimensional indexes, ``contains`` for membership filters);
+* ``insert`` — the mutable write path, amortized per operation
+  (gapped-array expansions, LSM compactions and segment splits are
+  amortized over the inserts that triggered them).
+
+Two independent checkers consume the table.  The static analyzer
+(RPR301 in :mod:`repro.analysis.complexity`) derives a conservative
+complexity class from the AST of each hot path and flags methods whose
+derived class *exceeds* the contract.  The runtime witness
+(:mod:`repro.bench.scaling`) builds every registered factory across a
+geometric n-sweep and fits the scaling of counted work per operation
+against the declaration.  Baselines may honestly declare ``LINEAR``
+(the sorted-array insert shifts half the array; the linear-scan control
+scans everything); learned indexes must stay sublinear — that is the
+paper's thesis, stated as a checkable contract.
+
+Classes are amortized and polylog-collapsed: O(log² n) descent and
+bounded-run LSM probes count as ``LOGARITHMIC``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.taxonomy import ComplexityClass
+
+__all__ = [
+    "ComplexityContract",
+    "CONTRACTS",
+    "contract_for",
+    "hot_method_for_family",
+    "HOT_METHODS",
+]
+
+_O1 = ComplexityClass.CONSTANT
+_OLOG = ComplexityClass.LOGARITHMIC
+_ON = ComplexityClass.LINEAR
+
+
+@dataclass(frozen=True)
+class ComplexityContract:
+    """Declared per-operation cost bounds for one index class."""
+
+    #: Point-lookup hot path: ``lookup`` / ``point_query`` / ``contains``.
+    lookup: ComplexityClass
+    #: Amortized insert hot path; ``None`` for immutable classes.
+    insert: ComplexityClass | None = None
+    #: True for classes the paper's thesis does NOT bound (traditional
+    #: baselines and deliberate scan controls); learned indexes must
+    #: keep this False so a ``LINEAR`` lookup contract on them is
+    #: rejected by the completeness test.
+    baseline: bool = False
+
+
+#: The hot method name the contract's ``lookup`` bound refers to,
+#: per ``core.interfaces`` family.
+HOT_METHODS: dict[str, str] = {
+    "OneDimIndex": "lookup",
+    "MultiDimIndex": "point_query",
+    "MembershipFilter": "might_contain",
+}
+
+
+def hot_method_for_family(family: str) -> str:
+    """Lookup-side hot-path method name for an interface family."""
+    return HOT_METHODS[family]
+
+
+#: qualname -> contract, for every concrete class reachable from the
+#: bench factory dicts (plus the two registry-implemented adapters that
+#: live outside the interface hierarchy).  The registry-completeness
+#: test asserts this table covers the live registry view exactly, so a
+#: new factory cannot land without declaring its class here.
+CONTRACTS: dict[str, ComplexityContract] = {
+    # -- 1-d learned -----------------------------------------------------
+    "repro.onedim.rmi.RMIIndex": ComplexityContract(_OLOG),
+    "repro.onedim.hybrid_rmi.HybridRMIIndex": ComplexityContract(_OLOG),
+    "repro.onedim.radix_spline.RadixSplineIndex": ComplexityContract(_OLOG),
+    "repro.onedim.hist_tree.HistTreeIndex": ComplexityContract(_OLOG),
+    "repro.onedim.pgm.PGMIndex": ComplexityContract(_OLOG),
+    "repro.onedim.pgm.DynamicPGMIndex": ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.fiting_tree.FITingTreeIndex": ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.alex.ALEXIndex": ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.lipp.LIPPIndex": ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.xindex.XIndexStyleIndex": ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.nfl.NFLIndex": ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.interpolation_btree.InterpolationBTreeIndex":
+        ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.bourbon.BourbonLSM": ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.learned_skiplist.LearnedSkipList": ComplexityContract(_OLOG, _OLOG),
+    "repro.onedim.learned_hash.LearnedHashIndex": ComplexityContract(_O1, _O1),
+    "repro.onedim.string_adapter.StringIndexAdapter": ComplexityContract(_OLOG),
+    "repro.onedim.polyfit.PolyFitAggregator": ComplexityContract(_OLOG),
+    # -- 1-d membership filters -----------------------------------------
+    "repro.onedim.learned_bloom.LearnedBloomFilter": ComplexityContract(_O1),
+    "repro.onedim.learned_bloom.SandwichedLearnedBloomFilter": ComplexityContract(_O1),
+    "repro.onedim.learned_bloom.PartitionedLearnedBloomFilter": ComplexityContract(_O1),
+    "repro.onedim.snarf.SNARFFilter": ComplexityContract(_O1),
+    "repro.multidim.spatial_lbf.SpatialLearnedBloomFilter": ComplexityContract(_O1),
+    # -- multi-d learned -------------------------------------------------
+    "repro.multidim.zm_index.ZMIndex": ComplexityContract(_OLOG),
+    "repro.multidim.ml_index.MLIndex": ComplexityContract(_OLOG),
+    "repro.multidim.qdtree.QdTreeIndex": ComplexityContract(_OLOG),
+    "repro.multidim.flood.FloodIndex": ComplexityContract(_OLOG),
+    "repro.multidim.tsunami.TsunamiIndex": ComplexityContract(_OLOG),
+    "repro.multidim.sprig.SPRIGIndex": ComplexityContract(_OLOG),
+    "repro.multidim.learned_kd.LearnedKDIndex": ComplexityContract(_OLOG),
+    "repro.multidim.air_tree.AIRTreeIndex": ComplexityContract(_OLOG, _OLOG),
+    "repro.multidim.lisa.LISAIndex": ComplexityContract(_OLOG, _OLOG),
+    "repro.multidim.rsmi.RSMIIndex": ComplexityContract(_OLOG, _OLOG),
+    # -- traditional baselines (honest O(n) where the structure scans) ---
+    "repro.baselines.sorted_array.SortedArrayIndex":
+        ComplexityContract(_OLOG, _ON, baseline=True),
+    "repro.baselines.linear_scan.LinearScanIndex":
+        ComplexityContract(_ON, _ON, baseline=True),
+    "repro.baselines.btree.BPlusTreeIndex":
+        ComplexityContract(_OLOG, _OLOG, baseline=True),
+    "repro.baselines.skiplist.SkipListIndex":
+        ComplexityContract(_OLOG, _OLOG, baseline=True),
+    "repro.baselines.hash_index.HashIndex":
+        ComplexityContract(_O1, _O1, baseline=True),
+    "repro.baselines.lsm.LSMTreeIndex":
+        ComplexityContract(_OLOG, _OLOG, baseline=True),
+    "repro.baselines.bloom.BloomFilter": ComplexityContract(_O1, baseline=True),
+    "repro.baselines.rtree.RTreeIndex":
+        ComplexityContract(_OLOG, _OLOG, baseline=True),
+    "repro.baselines.kdtree.KDTreeIndex":
+        ComplexityContract(_OLOG, _OLOG, baseline=True),
+    "repro.baselines.quadtree.QuadTreeIndex":
+        ComplexityContract(_OLOG, _OLOG, baseline=True),
+    # The grid file keeps a fixed cell count, so per-cell occupancy —
+    # and therefore both point_query and the insert's duplicate scan —
+    # grows linearly with n.  It is the multi-d scan control the
+    # witness must report as O(n).
+    "repro.baselines.gridfile.GridIndex":
+        ComplexityContract(_ON, _ON, baseline=True),
+}
+
+
+def contract_for(qualname: str) -> ComplexityContract | None:
+    """Contract declared for a class qualname, if any."""
+    return CONTRACTS.get(qualname)

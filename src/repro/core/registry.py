@@ -25,6 +25,7 @@ from typing import Any
 import networkx as nx
 
 from repro.core.taxonomy import (
+    ComplexityClass,
     Dimensionality,
     HybridComponent,
     InsertStrategy,
@@ -59,6 +60,11 @@ class IndexInfo:
     assigned_name: bool = False
     influences: tuple[str, ...] = ()
     implemented: str | None = None
+    #: Declared per-lookup complexity class of the implementation's hot
+    #: path (required whenever ``implemented`` is set; see
+    #: :mod:`repro.core.complexity` for the per-method contract table the
+    #: RPR301 analyzer and the scaling witness enforce).
+    complexity: ComplexityClass | None = None
     notes: str = ""
 
 
@@ -180,16 +186,19 @@ _M = QueryType.MEMBERSHIP
 _A = QueryType.AGGREGATE
 _ST = QueryType.SPATIAL_TEXTUAL
 
+_O1 = ComplexityClass.CONSTANT
+_OLOG = ComplexityClass.LOGARITHMIC
+
 #: All surveyed indexes, in rough chronological order.
 REGISTRY: tuple[IndexInfo, ...] = (
     # ------------------------------------------------------------------
     # One-dimensional, immutable (paper §4.1: 18 indexes).
     # ------------------------------------------------------------------
     _i1("RMI", 2018, (59,), (_L, _NN), influences=(),
-        implemented="repro.onedim.rmi.RMIIndex",
+        implemented="repro.onedim.rmi.RMIIndex", complexity=_OLOG,
         notes="Recursive Model Index; first learned index; learns the CDF."),
     _h1("Hybrid-RMI", 2018, (59,), HybridComponent.BTREE, (_L, _NN),
-        influences=("RMI",), implemented="repro.onedim.hybrid_rmi.HybridRMIIndex",
+        influences=("RMI",), implemented="repro.onedim.hybrid_rmi.HybridRMIIndex", complexity=_OLOG,
         notes="RMI with B-tree leaves replacing poorly fit models."),
     _i1("Pavo", 2018, (132,), (_NN,), queries=(_P,), influences=("RMI",),
         notes="RNN-based learned inverted index."),
@@ -198,12 +207,12 @@ REGISTRY: tuple[IndexInfo, ...] = (
     _i1("CDFShop", 2020, (85,), (_L, _NN), influences=("RMI",),
         notes="RMI optimizer / explorer."),
     _i1("RadixSpline", 2020, (56,), (_SP,), influences=("RMI",),
-        implemented="repro.onedim.radix_spline.RadixSplineIndex",
+        implemented="repro.onedim.radix_spline.RadixSplineIndex", complexity=_OLOG,
         notes="Single-pass radix table over an error-bounded spline."),
     _i1("Google-LI", 2020, (1,), (_PL,), influences=("RMI",), assigned_name=True,
         notes="Learned index integrated in Bigtable-like disk store."),
     _i1("Hist-Tree", 2021, (19,), (_H,), influences=("RMI",),
-        implemented="repro.onedim.hist_tree.HistTreeIndex",
+        implemented="repro.onedim.hist_tree.HistTreeIndex", complexity=_OLOG,
         notes="Hierarchical histogram bins instead of trained models."),
     _i1("Shift-Table", 2021, (47,), (_INT,), influences=("RMI",),
         notes="Model correction layer over interpolation."),
@@ -231,7 +240,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
     # One-dimensional, mutable (paper §4.1: 48 indexes).
     # ------------------------------------------------------------------
     _m1("FITing-Tree", 2019, (36,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_PL,),
-        influences=("RMI",), implemented="repro.onedim.fiting_tree.FITingTreeIndex",
+        influences=("RMI",), implemented="repro.onedim.fiting_tree.FITingTreeIndex", complexity=_OLOG,
         notes="Greedy error-bounded segments with per-segment buffers."),
     _m1("ASLM", 2019, (68,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_NN,),
         influences=("RMI",), notes="Adaptive single-layer model."),
@@ -243,29 +252,29 @@ REGISTRY: tuple[IndexInfo, ...] = (
         notes="Scalable learned index with independent linear models."),
     _m1("PGM-index", 2020, (35,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_PL,),
         influences=("FITing-Tree", "RMI"),
-        implemented="repro.onedim.pgm.PGMIndex",
+        implemented="repro.onedim.pgm.PGMIndex", complexity=_OLOG,
         notes="Optimal PLA segments; dynamic variant uses LSM of static PGMs."),
     _m1("ALEX", 2020, (27,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
-        influences=("RMI",), implemented="repro.onedim.alex.ALEXIndex",
+        influences=("RMI",), implemented="repro.onedim.alex.ALEXIndex", complexity=_OLOG,
         notes="Gapped arrays, model-based inserts, adaptive splitting."),
     _m1("XIndex", 2020, (116,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
         concurrent=True, influences=("RMI", "ALEX"),
-        implemented="repro.onedim.xindex.XIndexStyleIndex",
+        implemented="repro.onedim.xindex.XIndexStyleIndex", complexity=_OLOG,
         notes="Two-layer concurrent learned index with per-group deltas."),
     _m1("SIndex", 2020, (125,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
         concurrent=True, influences=("XIndex",),
-        implemented="repro.onedim.string_adapter.StringIndexAdapter",
+        implemented="repro.onedim.string_adapter.StringIndexAdapter", complexity=_OLOG,
         notes="Scalable learned index for string keys."),
     _m1("NFL", 2022, (130,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_NN, _PL),
         influences=("PGM-index",),
-        implemented="repro.onedim.nfl.NFLIndex",
+        implemented="repro.onedim.nfl.NFLIndex", complexity=_OLOG,
         notes="Distribution transformation (normalizing flow) before learning."),
     _m1("LearnedHash", 2022, (102, 103), Layout.FIXED, InsertStrategy.IN_PLACE,
         (_L,), queries=(_P,), assigned_name=True, influences=("RMI",),
-        implemented="repro.onedim.learned_hash.LearnedHashIndex",
+        implemented="repro.onedim.learned_hash.LearnedHashIndex", complexity=_O1,
         notes="CDF models replacing hash functions (Sabek et al.)."),
     _m1("LIPP", 2021, (129,), Layout.DYNAMIC, InsertStrategy.IN_PLACE, (_L,),
-        influences=("ALEX",), implemented="repro.onedim.lipp.LIPPIndex",
+        influences=("ALEX",), implemented="repro.onedim.lipp.LIPPIndex", complexity=_OLOG,
         notes="Precise positions via kernelized tree; no last-mile search."),
     _m1("FINEdex", 2021, (64,), Layout.FIXED, InsertStrategy.DELTA_BUFFER, (_L,),
         concurrent=True, influences=("XIndex",),
@@ -312,7 +321,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
     _h1("IFB-tree", 2019, (45,), HybridComponent.BTREE, (_INT,),
         mutability=Mutability.MUTABLE, layout=Layout.FIXED,
         influences=("RMI",),
-        implemented="repro.onedim.interpolation_btree.InterpolationBTreeIndex",
+        implemented="repro.onedim.interpolation_btree.InterpolationBTreeIndex", complexity=_OLOG,
         notes="Interpolation-friendly B-tree: per-node interpolation search."),
     _h1("BtreeML", 2019, (76,), HybridComponent.BTREE, (_L,),
         mutability=Mutability.MUTABLE, layout=Layout.FIXED, assigned_name=True,
@@ -328,7 +337,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
         influences=("IFB-tree",), notes="Learning-augmented algorithmic index."),
     _h1("BOURBON", 2020, (21,), HybridComponent.LSM_TREE, (_PL,),
         mutability=Mutability.MUTABLE, layout=Layout.FIXED,
-        influences=("RMI",), implemented="repro.onedim.bourbon.BourbonLSM",
+        influences=("RMI",), implemented="repro.onedim.bourbon.BourbonLSM", complexity=_OLOG,
         notes="Learned models over LSM sstables (WiscKey lineage)."),
     _h1("TridentKV", 2021, (78,), HybridComponent.LSM_TREE, (_PL,),
         mutability=Mutability.MUTABLE, layout=Layout.FIXED,
@@ -341,14 +350,14 @@ REGISTRY: tuple[IndexInfo, ...] = (
         influences=("BOURBON",), notes="Learned data-skipping index for analytics."),
     _h1("S3", 2019, (143,), HybridComponent.SKIP_LIST, (_NN,),
         mutability=Mutability.MUTABLE, layout=Layout.FIXED, concurrent=True,
-        influences=("RMI",), implemented="repro.onedim.learned_skiplist.LearnedSkipList",
+        influences=("RMI",), implemented="repro.onedim.learned_skiplist.LearnedSkipList", complexity=_OLOG,
         notes="Scalable in-memory skip list guided by learned models."),
     _h1("LBF", 2018, (59,), HybridComponent.BLOOM_FILTER, (_NN, _CLS), queries=(_M,),
-        influences=("RMI",), implemented="repro.onedim.learned_bloom.LearnedBloomFilter",
+        influences=("RMI",), implemented="repro.onedim.learned_bloom.LearnedBloomFilter", complexity=_O1,
         notes="Learned Bloom filter from the original RMI paper."),
     _h1("Sandwiched-LBF", 2018, (87,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
         influences=("LBF",),
-        implemented="repro.onedim.learned_bloom.SandwichedLearnedBloomFilter",
+        implemented="repro.onedim.learned_bloom.SandwichedLearnedBloomFilter", complexity=_O1,
         notes="Bloom filters before and after the learned model."),
     _h1("Ada-BF", 2019, (22,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
         influences=("LBF",), notes="Score-adaptive learned Bloom filter."),
@@ -360,7 +369,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
         influences=("LBF",), notes="Stable learned Bloom filter for data streams."),
     _h1("PLBF", 2020, (120,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
         influences=("LBF", "Sandwiched-LBF"),
-        implemented="repro.onedim.learned_bloom.PartitionedLearnedBloomFilter",
+        implemented="repro.onedim.learned_bloom.PartitionedLearnedBloomFilter", complexity=_O1,
         notes="Score-partitioned learned Bloom filter."),
     _h1("FastPLBF", 2023, (106,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M,),
         influences=("PLBF",), notes="Faster construction for partitioned LBF."),
@@ -369,7 +378,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
         influences=("PLBF",), notes="Two-layer partitioned deletable deep Bloom filter."),
     _h1("SNARF", 2022, (119,), HybridComponent.BLOOM_FILTER, (_CLS,), queries=(_M, _R),
         influences=("PLBF",),
-        implemented="repro.onedim.snarf.SNARFFilter",
+        implemented="repro.onedim.snarf.SNARFFilter", complexity=_O1,
         notes="Learning-enhanced range filter."),
     _h1("Hermit", 2019, (131,), HybridComponent.BTREE, (_L,),
         mutability=Mutability.MUTABLE, layout=Layout.FIXED,
@@ -379,11 +388,11 @@ REGISTRY: tuple[IndexInfo, ...] = (
     # Multi-dimensional, immutable pure (paper §5.2).
     # ------------------------------------------------------------------
     _pm("ZM-index", 2019, (122,), SpaceHandling.PROJECTED, (_NN, _L), (_P, _R, _K),
-        influences=("RMI",), implemented="repro.multidim.zm_index.ZMIndex",
+        influences=("RMI",), implemented="repro.multidim.zm_index.ZMIndex", complexity=_OLOG,
         notes="Z-order projection + learned 1-d model over Morton codes."),
     _pm("ML-index", 2020, (24,), SpaceHandling.PROJECTED, (_L, _CLU), (_P, _R, _K),
         influences=("RMI", "ZM-index"),
-        implemented="repro.multidim.ml_index.MLIndex",
+        implemented="repro.multidim.ml_index.MLIndex", complexity=_OLOG,
         notes="iDistance-style pivot projection + learned 1-d index."),
     _pm("SageDB-MDI", 2019, (58,), SpaceHandling.PROJECTED, (_L,), (_P, _R),
         assigned_name=True, influences=("RMI",),
@@ -392,7 +401,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
         assigned_name=True, influences=("LBF",),
         notes="Learned existence index for multidimensional data."),
     _pm("Qd-tree", 2020, (135,), SpaceHandling.NATIVE, (_RL, _H), (_P, _R),
-        influences=("RMI",), implemented="repro.multidim.qdtree.QdTreeIndex",
+        influences=("RMI",), implemented="repro.multidim.qdtree.QdTreeIndex", complexity=_OLOG,
         notes="Workload-driven data-layout partitioning tree."),
     _pm("IO-Z-index", 2022, (92,), SpaceHandling.PROJECTED, (_PL,), (_P, _R),
         assigned_name=True, influences=("ZM-index",),
@@ -415,21 +424,21 @@ REGISTRY: tuple[IndexInfo, ...] = (
     # ------------------------------------------------------------------
     _hm("Flood", 2020, (90,), HybridComponent.GRID, (_L, _H), (_P, _R),
         influences=("RMI", "SageDB-MDI"),
-        implemented="repro.multidim.flood.FloodIndex",
+        implemented="repro.multidim.flood.FloodIndex", complexity=_OLOG,
         notes="Learned grid layout tuned to the query workload."),
     _hm("Tsunami", 2020, (28,), HybridComponent.GRID, (_L, _H), (_P, _R),
-        influences=("Flood",), implemented="repro.multidim.tsunami.TsunamiIndex",
+        influences=("Flood",), implemented="repro.multidim.tsunami.TsunamiIndex", complexity=_OLOG,
         notes="Skew- and correlation-aware regions over Flood grids."),
     _hm("SPRIG", 2021, (144,), HybridComponent.GRID, (_INT,), (_P, _R, _K),
         influences=("Flood", "ZM-index"),
-        implemented="repro.multidim.sprig.SPRIGIndex",
+        implemented="repro.multidim.sprig.SPRIGIndex", complexity=_OLOG,
         notes="Spatial interpolation function over a grid sample."),
     _hm("SPRIG-plus", 2022, (145,), HybridComponent.GRID, (_INT,), (_P, _R, _K),
         assigned_name=True, influences=("SPRIG",),
         notes="Interpolation-function learned spatial index refinement."),
     _hm("PolyFit", 2021, (69,), HybridComponent.BTREE, (_POLY,), (_R, _A),
         influences=("RMI",),
-        implemented="repro.onedim.polyfit.PolyFitAggregator",
+        implemented="repro.onedim.polyfit.PolyFitAggregator", complexity=_OLOG,
         notes="Polynomial models for range-aggregate queries."),
     _hm("LMI-metric", 2021, (6,), HybridComponent.METRIC_INDEX, (_NN, _CLU), (_P, _K),
         influences=("RMI",), notes="Learned metric index for unstructured data."),
@@ -439,7 +448,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
         assigned_name=True, influences=("RMI",),
         notes="Case for ML-enhanced high-dimensional indexes."),
     _hm("LearnedKD", 2020, (136,), HybridComponent.KDTREE, (_L,), (_P, _R),
-        influences=("RMI",), implemented="repro.multidim.learned_kd.LearnedKDIndex",
+        influences=("RMI",), implemented="repro.multidim.learned_kd.LearnedKDIndex", complexity=_OLOG,
         notes="KD-tree construction guided by learned 1-d indexes."),
     _hm("CaseLSI", 2020, (93,), HybridComponent.RTREE, (_PL,), (_P, _R),
         assigned_name=True, influences=("RMI", "ZM-index"),
@@ -452,7 +461,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
         notes="Distance-bounded spatial approximations."),
     _hm("AI+R-tree", 2022, (2,), HybridComponent.RTREE, (_CLS,), (_P, _R),
         mutability=Mutability.MUTABLE, layout=Layout.FIXED,
-        influences=("RMI",), implemented="repro.multidim.air_tree.AIRTreeIndex",
+        influences=("RMI",), implemented="repro.multidim.air_tree.AIRTreeIndex", complexity=_OLOG,
         notes="Classifier routes queries to R-tree leaf candidates."),
 
     # ------------------------------------------------------------------
@@ -487,13 +496,13 @@ REGISTRY: tuple[IndexInfo, ...] = (
         mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
         strategy=InsertStrategy.DELTA_BUFFER,
         influences=("ZM-index", "RMI"),
-        implemented="repro.multidim.lisa.LISAIndex",
+        implemented="repro.multidim.lisa.LISAIndex", complexity=_OLOG,
         notes="Learned mapping function + shard prediction for spatial data."),
     _pm("RSMI", 2020, (96,), SpaceHandling.PROJECTED, (_NN,), (_P, _R, _K),
         mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
         strategy=InsertStrategy.IN_PLACE,
         influences=("ZM-index",),
-        implemented="repro.multidim.rsmi.RSMIIndex",
+        implemented="repro.multidim.rsmi.RSMIIndex", complexity=_OLOG,
         notes="Recursive spatial model index over rank-space projection."),
     _pm("Waffle", 2022, (16,), SpaceHandling.NATIVE, (_RL,), (_P, _R, _K),
         mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
@@ -543,7 +552,7 @@ REGISTRY: tuple[IndexInfo, ...] = (
     _hm("PA-LBF", 2023, (140,), HybridComponent.BLOOM_FILTER, (_NN,), (_M,),
         mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,
         space=SpaceHandling.PROJECTED, influences=("LPBF",),
-        implemented="repro.multidim.spatial_lbf.SpatialLearnedBloomFilter",
+        implemented="repro.multidim.spatial_lbf.SpatialLearnedBloomFilter", complexity=_O1,
         notes="Prefix-based adaptive learned Bloom filter for spatial data."),
     _hm("LPBF", 2022, (152,), HybridComponent.BLOOM_FILTER, (_NN,), (_M,),
         mutability=Mutability.MUTABLE, layout=Layout.DYNAMIC,

@@ -38,10 +38,48 @@ __all__ = [
     "SpaceHandling",
     "MLTechnique",
     "QueryType",
+    "ComplexityClass",
     "TaxonomyNode",
     "build_taxonomy",
     "TAXONOMY_AXES",
 ]
+
+
+class ComplexityClass(enum.Enum):
+    """Declared per-operation complexity class of an index hot path.
+
+    The survey's asymptotic argument (§3, §6) is that a learned index
+    answers a point lookup with O(1) model evaluation plus an
+    error-bounded last-mile search — O(log ε), sublinear in n — while a
+    scan baseline pays O(n) per query.  Every registered factory
+    declares the class of its ``lookup``/``point_query`` and ``insert``
+    hot paths here; the static analyzer (RPR301) and the empirical
+    scaling witness (``repro.bench.scaling``) both check implementations
+    against the declaration.  Classes are amortized per-operation:
+    polylogarithmic work (log², B-tree descent with bounded fanout,
+    bounded-run LSM probes) collapses into ``LOGARITHMIC``.
+    """
+
+    CONSTANT = "O(1)"
+    LOGARITHMIC = "O(log n)"
+    LINEAR = "O(n)"
+
+    @property
+    def order(self) -> int:
+        """Total order used for contract comparison: O(1) < O(log n) < O(n)."""
+        return ("O(1)", "O(log n)", "O(n)").index(self.value)
+
+    def exceeds(self, declared: "ComplexityClass") -> bool:
+        """True when self is asymptotically worse than ``declared``."""
+        return self.order > declared.order
+
+    @classmethod
+    def from_label(cls, label: str) -> "ComplexityClass":
+        """Parse the canonical ``O(...)`` label (as stored in artifacts)."""
+        for member in cls:
+            if member.value == label:
+                return member
+        raise ValueError(f"unknown complexity class label: {label!r}")
 
 
 class Mutability(enum.Enum):

@@ -113,6 +113,12 @@ class AIRTreeIndex(MutableMultiDimIndex):
 
     # -- queries --------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Router-predicted leaf probe with R-tree fallback.
+
+        Fanout-bounded: a router bucket holds the few leaves whose MBRs
+        intersect that grid cell, and each leaf holds at most
+        ``max_entries`` points.
+        """
         self._require_built()
         q = np.asarray(point, dtype=np.float64)
         if self._trained:

@@ -176,6 +176,8 @@ class FloodIndex(MultiDimIndex):
 
     # -- queries ----------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Cell lookup, bisection on the sort key, duplicate-bounded run
+        scan over points sharing that sort-key value."""
         self._require_built()
         if not self._cells:
             return None

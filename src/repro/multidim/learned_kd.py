@@ -84,6 +84,8 @@ class LearnedKDIndex(MultiDimIndex):
         return self
 
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Model-guided locate on dim 0, then a duplicate-bounded scan of
+        the equal-coordinate run."""
         self._require_built()
         if self._points.shape[0] == 0:
             return None

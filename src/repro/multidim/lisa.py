@@ -184,6 +184,8 @@ class LISAIndex(MutableMultiDimIndex):
 
     # -- queries -------------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Mapped-value shard routing plus a duplicate-bounded scan of
+        the equal-mapped-value run inside one shard."""
         self._require_built()
         if not self._shards:
             return None
@@ -297,6 +299,8 @@ class LISAIndex(MutableMultiDimIndex):
 
     # -- updates -------------------------------------------------------------------
     def insert(self, point: Sequence[float], value: object | None = None) -> None:
+        """Shard-routed sorted insert; the equal-mapped-value replace scan
+        is duplicate-bounded like :meth:`point_query`."""
         self._require_built()
         p = np.asarray(point, dtype=np.float64)
         if not self._shards:

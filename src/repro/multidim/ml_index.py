@@ -103,12 +103,19 @@ class MLIndex(MultiDimIndex):
         return bounded_binary_search(self._keys, key, predicted, self.epsilon + 1, self.stats)
 
     def _key_of(self, point: np.ndarray) -> float:
+        """Scalarize a point as (nearest pivot, distance) — iDistance.
+
+        Config-bounded: ``self._pivots`` holds ``num_pivots`` rows fixed
+        at construction, so the distance computation is O(1) in n.
+        """
         dists = np.linalg.norm(self._pivots - point, axis=1)
         pivot = int(np.argmin(dists))
         return pivot * self._stripe + float(dists[pivot])
 
     # -- queries ---------------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Learned locate plus a duplicate-bounded scan of the
+        equal-iDistance-key run around the predicted position."""
         self._require_built()
         if self._keys.size == 0:
             return None

@@ -148,6 +148,9 @@ class QdTreeIndex(MultiDimIndex):
 
     # -- queries -----------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Cut-tree descent to a block, then a capacity-bounded scan
+        (blocks are split until they hold at most ``min_block`` points
+        or no cut improves the workload score)."""
         self._require_built()
         if self._root is None:
             return None

@@ -124,7 +124,8 @@ class RSMIIndex(MutableMultiDimIndex):
         return self
 
     def _block_for(self, code: int) -> int:
-        # Learned hint, corrected by the block-start directory.
+        """Learned block hint plus an error-bounded repair scan against
+        the block-start directory (steps counted as corrections)."""
         if self._segments:
             self.stats.model_predictions += 1
             seg_idx = int(np.searchsorted(self._segment_keys, code, side="right")) - 1
@@ -143,6 +144,8 @@ class RSMIIndex(MutableMultiDimIndex):
 
     # -- queries ------------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Learned block route plus a duplicate-bounded scan: the walk
+        covers only blocks overlapped by the equal-code run."""
         self._require_built()
         if not self._blocks:
             return None
@@ -210,6 +213,8 @@ class RSMIIndex(MutableMultiDimIndex):
 
     # -- updates --------------------------------------------------------------------
     def insert(self, point: Sequence[float], value: object | None = None) -> None:
+        """Learned block route, duplicate-bounded replace scan, and a
+        capacity-bounded block insert (blocks split at 2x block_size)."""
         self._require_built()
         p = np.asarray(point, dtype=np.float64)
         if not self._blocks:

@@ -83,7 +83,11 @@ class SPRIGIndex(MultiDimIndex):
 
     # -- interpolation search over the boundary sample --------------------------
     def _cell_coord(self, d: int, x: float) -> int:
-        """Locate x's cell along dimension d by interpolation search."""
+        """Locate x's cell along dimension d by interpolation search.
+
+        Config-bounded repair scan: the correction walk moves within the
+        ``cells_per_dim`` quantile boundaries, never over the data.
+        """
         bounds = self._boundaries[d]
         lo = float(bounds[0])
         hi = float(bounds[-1])
@@ -109,6 +113,8 @@ class SPRIGIndex(MultiDimIndex):
 
     # -- queries ------------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Learned cell probe, then a tie-bounded scan: the walk only
+        crosses the run of points sharing the query's sort key."""
         self._require_built()
         if not self._cells:
             return None

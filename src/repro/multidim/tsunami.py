@@ -114,6 +114,12 @@ class TsunamiIndex(MultiDimIndex):
         sub.reset_counters()
 
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Route to the containing region, then query its Flood grid.
+
+        Config-bounded region list: ``_partition`` recurses at most
+        ``region_depth`` times, so there are at most 2**region_depth
+        regions regardless of n.
+        """
         self._require_built()
         q = np.asarray(point, dtype=np.float64)
         for region in self._regions:

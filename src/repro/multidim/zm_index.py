@@ -116,6 +116,8 @@ class ZMIndex(MultiDimIndex):
 
     # -- queries -------------------------------------------------------------------
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Z-order locate, then a duplicate-bounded scan of the points
+        sharing the query cell's code."""
         self._require_built()
         if self._codes.size == 0:
             return None

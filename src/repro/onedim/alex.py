@@ -160,6 +160,13 @@ class ALEXIndex(MutableOneDimIndex):
         return _InnerNode(model, children)
 
     def _build_data_node(self, arr: np.ndarray, vals: list[object]) -> _DataNode:
+        """Model-based placement of ``arr`` into one gapped data node.
+
+        Capacity-bounded on the hot path: insert-time splits call this
+        with one node's keys (at most ``max_node_size`` of them), so the
+        placement loops are O(1) per operation; only the initial bulk
+        build sees the full array.
+        """
         n = arr.size
         capacity = max(8, int(np.ceil(n / self.density)) + 1)
         node = _DataNode(capacity)
@@ -389,7 +396,12 @@ class ALEXIndex(MutableOneDimIndex):
         return True
 
     def _gapped_insert(self, node: _DataNode, slot: int, key: float, value: object) -> None:
-        """Place ``key`` at ``slot``, shifting toward the nearest gap."""
+        """Place ``key`` at ``slot``, shifting toward the nearest gap.
+
+        Occupancy-bounded: callers enforce the 0.95 density cap before
+        descending here, so gaps stay dense and the walk is short in
+        expectation, capped by one node's capacity.
+        """
         occupied = node.occupied
         cap = node.capacity
         # Nearest gap to the right of (and including) slot.
@@ -430,20 +442,42 @@ class ALEXIndex(MutableOneDimIndex):
             replacement: _InnerNode | _DataNode = self._build_data_node(keys, values)
         else:
             replacement = self._build_subtree_from_overflow(keys, values)
-        self._replace_node(node, replacement)
+        self._replace_node(node, replacement, float(keys[0]) if keys.size else None)
 
     def _build_subtree_from_overflow(self, keys: np.ndarray, values: list[object]):
         """Split an overflowing leaf into a model-routed subtree.
+
+        Capacity-bounded: called with one leaf's keys (exactly
+        ``max_leaf_keys`` of them), so the rebuild is O(1) in n and
+        amortized over the inserts that filled the leaf.
 
         Must produce an inner node even when the key count equals the
         leaf limit, otherwise the leaf would rebuild itself forever.
         """
         return self._build_inner(keys, values)
 
-    def _replace_node(self, old: _DataNode, new) -> None:
+    def _swap_via_route(self, old: _DataNode, new, key: float) -> bool:
+        """Model-guided descent to ``old``'s parent; True on success."""
+        node = self._root
+        while isinstance(node, _InnerNode):
+            idx = node.route(key)
+            child = node.children[idx]
+            if child is old:
+                node.children[idx] = new
+                return True
+            node = child
+        return False
+
+    def _replace_node(self, old: _DataNode, new, route_key: float | None = None) -> None:
+        """Swap ``old`` for ``new`` in the routing tree and leaf chain.
+
+        Level-bounded: with a ``route_key`` the parent is found by the
+        same model-guided descent as :meth:`_find_leaf`; the exhaustive
+        tree scan runs only as a fallback when routing misses.
+        """
         if self._root is old:
             self._root = new
-        else:
+        elif route_key is None or not self._swap_via_route(old, new, route_key):
             stack = [self._root]
             done = False
             while stack and not done:

@@ -77,6 +77,9 @@ class FITingTreeIndex(MutableOneDimIndex):
         return self
 
     def _make_segments(self, arr: np.ndarray, vals: list[object]) -> list[_FSegment]:
+        """Epsilon-bounded segmentation of ``arr``.  Build passes the
+        whole key set once; on the insert path the argument is one
+        capacity-bounded segment plus its buffer, not the full index."""
         segments = []
         for seg in segment_stream(arr, float(self.epsilon)):
             keys = arr[seg.first:seg.last].copy()

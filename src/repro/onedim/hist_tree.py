@@ -100,6 +100,8 @@ class HistTreeIndex(OneDimIndex):
         return min(max(b, 0), self.bins - 1)
 
     def _locate(self, key: float) -> int:
+        """Level-bounded histogram descent to a leaf range, then a
+        bounded binary search inside that bucket's span."""
         node = self._root
         assert node is not None
         if key < node.lo:

@@ -30,7 +30,9 @@ class InterpolationBTreeIndex(BPlusTreeIndex):
         """Lower-bound index of ``key`` in a node's sorted key list.
 
         Interpolate an initial guess, then repair with a linear scan; the
-        scan length is recorded as correction effort.
+        scan length is recorded as correction effort.  Error-bounded in
+        expectation: the repair walk covers the interpolation error of
+        one fanout-bounded node key list, not the data array.
         """
         n = len(keys)
         if n == 0:
@@ -68,7 +70,11 @@ class InterpolationBTreeIndex(BPlusTreeIndex):
         return node
 
     def _interpolate_right(self, keys: list[float], key: float) -> int:
-        """Upper-bound (bisect_right) via interpolation, for routing."""
+        """Upper-bound (bisect_right) via interpolation, for routing.
+
+        Duplicate-bounded: the repair walk crosses only the equal-key
+        run inside one fanout-limited node.
+        """
         idx = self._interpolate(keys, key)
         n = len(keys)
         while idx < n and keys[idx] == key:

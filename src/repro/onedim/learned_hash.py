@@ -104,6 +104,9 @@ class LearnedHashIndex(MutableOneDimIndex):
 
     # -- queries ----------------------------------------------------------------
     def lookup(self, key: float) -> object | None:
+        """Hash to a bucket, then an occupancy-bounded chain scan (the
+        bucket count is sized to the data, so expected occupancy is
+        O(1); the CDF hash keeps it balanced on skew)."""
         self._require_built()
         key = float(key)
         bucket = self._buckets[self._bucket_of(key)] if self._buckets else []
@@ -145,6 +148,9 @@ class LearnedHashIndex(MutableOneDimIndex):
 
     # -- updates -----------------------------------------------------------------
     def insert(self, key: float, value: object | None = None) -> None:
+        """Occupancy-bounded replace scan: the model spreads keys across
+        ``num_buckets`` proportional to n, so one bucket's chain stays a
+        constant expected length."""
         self._require_built()
         key = float(key)
         if not self._buckets:

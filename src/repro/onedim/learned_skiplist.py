@@ -15,7 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines.skiplist import SkipListIndex, _SkipNode
-from repro.models.linear import LinearModel
+from repro.models.pla import Segment, segment_stream
 from repro.onedim._search import bounded_binary_search
 
 __all__ = ["LearnedSkipList"]
@@ -27,24 +27,35 @@ class LearnedSkipList(SkipListIndex):
     Args:
         rebuild_every: number of updates tolerated before the learned
             guide is rebuilt from the current chain.
+        guide_epsilon: error bound of the piecewise-linear guide; the
+            last-mile search window stays this wide at every n (a
+            single global model's error would grow with n).
         seed: tower RNG seed (see :class:`SkipListIndex`).
     """
 
     name = "learned-skiplist"
 
-    def __init__(self, rebuild_every: int = 512, seed: int = 42) -> None:
+    def __init__(self, rebuild_every: int = 512, guide_epsilon: int = 16,
+                 seed: int = 42) -> None:
         super().__init__(seed=seed)
         if rebuild_every < 1:
             raise ValueError("rebuild_every must be >= 1")
+        if guide_epsilon < 1:
+            raise ValueError("guide_epsilon must be >= 1")
         self.rebuild_every = rebuild_every
+        self.guide_epsilon = guide_epsilon
         self._guide_keys = np.empty(0)
         self._guide_nodes: list[_SkipNode] = []
-        self._guide_model = LinearModel()
+        self._guide_segments: list[Segment] = []
+        self._guide_seg_keys = np.empty(0)
         self._guide_error = 0
         self._dirty_ops = 0
 
     # -- guide maintenance ---------------------------------------------------
     def _rebuild_guide(self) -> None:
+        """Compaction-bounded: the full level-0 walk runs once per
+        ``rebuild_every`` mutations, so its cost is amortized O(n / n)
+        per operation across the window that triggered it."""
         keys: list[float] = []
         nodes: list[_SkipNode] = []
         node = self._head.forward[0]
@@ -56,12 +67,17 @@ class LearnedSkipList(SkipListIndex):
         self._guide_nodes = nodes
         n = self._guide_keys.size
         if n:
-            positions = np.arange(n, dtype=np.float64)
-            self._guide_model = LinearModel.fit(self._guide_keys, positions)
-            preds = np.clip(np.rint(self._guide_model.predict_array(self._guide_keys)), 0, n - 1)
-            self._guide_error = int(np.max(np.abs(preds - positions)))
+            # Piecewise-linear guide: per-segment error is capped at
+            # guide_epsilon regardless of n, so the last-mile window —
+            # and the counted correction work — stays constant as the
+            # chain grows (the E22 witness checks exactly this).
+            self._guide_segments = segment_stream(
+                self._guide_keys.astype(np.float64), float(self.guide_epsilon))
+            self._guide_seg_keys = np.array([seg.key for seg in self._guide_segments])
+            self._guide_error = int(self.guide_epsilon)
         else:
-            self._guide_model = LinearModel()
+            self._guide_segments = []
+            self._guide_seg_keys = np.empty(0)
             self._guide_error = 0
         self._dirty_ops = 0
         self.stats.extra["guide_rebuilds"] = self.stats.extra.get("guide_rebuilds", 0) + 1
@@ -73,6 +89,9 @@ class LearnedSkipList(SkipListIndex):
 
     # -- accelerated reads ------------------------------------------------------
     def lookup(self, key: float) -> object | None:
+        """Error-bounded chain walk: the guide predicts a start node and
+        the walk is cut off after ``4 * (dirty_ops + guide_error + 2)``
+        steps, falling back to the O(log n) tower search."""
         self._require_built()
         key = float(key)
         if self._dirty_ops >= self.rebuild_every:
@@ -81,7 +100,10 @@ class LearnedSkipList(SkipListIndex):
         if n == 0:
             return super().lookup(key)
         self.stats.model_predictions += 1
-        predicted = int(np.clip(round(self._guide_model.predict(key)), 0, n - 1))
+        seg_idx = int(np.searchsorted(self._guide_seg_keys, key, side="right")) - 1
+        seg_idx = min(max(seg_idx, 0), len(self._guide_segments) - 1)
+        seg = self._guide_segments[seg_idx]
+        predicted = int(np.clip(round(seg.predict(key)), seg.first, max(seg.first, seg.last - 1)))
         pos = bounded_binary_search(self._guide_keys, key, predicted, self._guide_error + 1, self.stats)
         # Start walking the live chain one guide entry early: inserts since
         # the last rebuild may sit between guide entries.

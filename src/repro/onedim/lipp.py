@@ -81,6 +81,12 @@ class LIPPIndex(MutableOneDimIndex):
         return self
 
     def _build_node(self, arr: np.ndarray, vals: list[object]) -> _LippNode:
+        """Build one gapped LIPP node from ``arr``.
+
+        Capacity-bounded on the hot path: insert-time conflict rebuilds
+        pass one slot's group, so the grouping loop is O(1) per insert;
+        only the initial bulk build sees the full array.
+        """
         n = arr.size
         capacity = max(8, int(np.ceil(n * self.gap_factor)))
         node = _LippNode(capacity)
@@ -166,6 +172,9 @@ class LIPPIndex(MutableOneDimIndex):
 
     # -- reads ------------------------------------------------------------------
     def lookup(self, key: float) -> object | None:
+        """Level-bounded descent: each model hop drops one level of the
+        precise-placement tree, whose depth conflict rebuilds keep
+        logarithmic."""
         self._require_built()
         node = self._root
         key = float(key)
@@ -235,6 +244,8 @@ class LIPPIndex(MutableOneDimIndex):
             self._size += 1
 
     def _insert_into(self, node: _LippNode, key: float, value: object, depth: int) -> bool:
+        """Level-bounded descent to the conflict slot (see :meth:`lookup`);
+        subtree rebuilds along the path are amortized by the ratio test."""
         path: list[_LippNode] = []
         while True:
             path.append(node)

@@ -125,6 +125,8 @@ class NFLIndex(MutableOneDimIndex):
                                      self.epsilon + 1, self.stats)
 
     def lookup(self, key: float) -> object | None:
+        """Duplicate-bounded: after the learned locate, the scan covers
+        only the equal-transform run plus a bisect of the small buffer."""
         self._require_built()
         key = float(key)
         if self._keys.size:
@@ -175,11 +177,16 @@ class NFLIndex(MutableOneDimIndex):
             return
         self._buf_keys.insert(bpos, key)
         self._buf_values.insert(bpos, value)
-        if len(self._buf_keys) > self.buffer_limit:
+        if len(self._buf_keys) > max(self.buffer_limit, self._keys.size // 4):
             self._rebuild()
 
     def _rebuild(self) -> None:
-        """Fold the buffer in and refit transform + back-end index."""
+        """Fold the buffer in and refit transform + back-end index.
+
+        Compaction-bounded: triggered only once the buffer outgrows a
+        constant fraction of the back end (geometric threshold), so the
+        O(n) refit is amortized O(1)-ish per insert that funded it.
+        """
         merged_keys = np.concatenate([self._keys, np.asarray(self._buf_keys)])
         merged_values = list(self._values) + list(self._buf_values)
         order = np.argsort(merged_keys, kind="mergesort")

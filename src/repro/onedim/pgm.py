@@ -94,7 +94,11 @@ class PGMIndex(OneDimIndex):
 
     # -- queries ------------------------------------------------------------
     def _locate(self, key: float) -> int:
-        """Lower-bound position of ``key`` in the data array."""
+        """Lower-bound position of ``key`` in the data array.
+
+        Level-bounded: the loop walks the recursive-model hierarchy
+        (O(log n) levels), doing one epsilon-bounded search per level.
+        """
         # Walk levels from the top (last) down to the leaves (first).
         top = len(self._levels) - 1
         seg_idx = 0
@@ -305,7 +309,11 @@ class DynamicPGMIndex(MutableOneDimIndex):
         return True
 
     def _merge_buffer(self) -> None:
-        """Cascade the buffer into the static levels (LSM merge)."""
+        """Cascade the buffer into the static levels (LSM merge).
+
+        Compaction-bounded: each key is rewritten once per level it
+        cascades through, amortizing the merge to O(log n) per insert.
+        """
         items = dict(self._buffer)
         self._buffer = {}
         level = 0
@@ -343,6 +351,8 @@ class DynamicPGMIndex(MutableOneDimIndex):
 
     # -- reads -------------------------------------------------------------
     def lookup(self, key: float) -> object | None:
+        """Level-bounded probe sequence: ``_static`` holds one run per
+        geometric level, so at most O(log n) sub-index lookups."""
         self._require_built()
         key = float(key)
         if key in self._deleted:

@@ -175,7 +175,11 @@ class XIndexStyleIndex(MutableOneDimIndex):
         self._refresh_size()
 
     def _compact(self, group: _Group) -> None:
-        """Merge the buffer into the run, retrain, split oversized groups."""
+        """Merge the buffer into the run, retrain, split oversized groups.
+
+        Capacity-bounded: one group's run and buffer, and groups split
+        once they exceed ``2 * group_size`` — never the whole key set.
+        """
         all_keys = np.concatenate([group.keys, np.asarray(group.buf_keys)])
         all_values = list(group.values) + list(group.buf_values)
         order = np.argsort(all_keys, kind="mergesort")

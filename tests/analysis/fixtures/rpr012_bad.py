@@ -1,0 +1,12 @@
+"""RPR012 positive fixture: suppression directives that silence nothing."""
+
+__all__ = ["widen", "narrow"]
+
+
+def widen(value, factor=2):  # lint: disable=RPR006 -- stale: no mutable default here
+    return value * factor
+
+
+def narrow(value, factor=2):
+    # lint: disable=RPR999 -- unknown rule id is stale unconditionally
+    return value / factor

@@ -1,0 +1,8 @@
+"""RPR012 negative fixture: a directive that really suppresses a finding."""
+
+__all__ = ["collect"]
+
+
+def collect(item, seen=[]):  # lint: disable=RPR006 -- fixture: live suppression
+    seen.append(item)
+    return seen

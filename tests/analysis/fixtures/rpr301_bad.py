@@ -1,0 +1,29 @@
+"""RPR301 positive fixture: hot paths that degrade to scans."""
+
+__all__ = ["OneDimIndex", "ScanningIndex"]
+
+
+class OneDimIndex:  # stub base so the fixture imports standalone
+    pass
+
+
+class ScanningIndex(OneDimIndex):
+    """Unregistered class: the strict learned-index default applies."""
+
+    def build(self, keys, values=None):
+        self._keys = list(keys)
+        self._values = list(values or [None] * len(self._keys))
+        return self
+
+    def lookup(self, key):
+        for i, stored in enumerate(self._keys):  # O(n) scan
+            if stored == key:
+                return self._values[i]
+        return None
+
+    def insert(self, key, value=None):
+        position = 0
+        while position < len(self._keys) and self._keys[position] < key:
+            position += 1  # O(n) shift-search without descent evidence
+        self._keys.insert(position, key)
+        self._values.insert(position, value)

@@ -1,0 +1,40 @@
+"""RPR301 negative fixture: sublinear hot paths the cost model accepts."""
+
+import bisect
+
+__all__ = ["OneDimIndex", "BoundedIndex"]
+
+
+class OneDimIndex:  # stub base so the fixture imports standalone
+    pass
+
+
+class BoundedIndex(OneDimIndex):
+    """Bisection lookup plus a documented duplicate-bounded repair scan."""
+
+    def __init__(self, capacity=64):
+        self.capacity = capacity
+        self._keys = []
+        self._values = []
+
+    def build(self, keys, values=None):
+        self._keys = sorted(keys)
+        self._values = list(values or [None] * len(self._keys))
+        return self
+
+    def _scan_run(self, pos, key):
+        """Duplicate-bounded: walks only the equal-key run at ``pos``."""
+        while pos < len(self._keys) and self._keys[pos] == key:
+            if self._values[pos] is not None:
+                return self._values[pos]
+            pos += 1
+        return None
+
+    def lookup(self, key):
+        pos = bisect.bisect_left(self._keys, key)
+        return self._scan_run(pos, key)
+
+    def insert(self, key, value=None):
+        pos = bisect.bisect_left(self._keys, key)
+        self._keys.insert(pos, key)
+        self._values.insert(pos, value)

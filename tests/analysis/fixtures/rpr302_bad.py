@@ -1,0 +1,25 @@
+"""RPR302 positive fixture: batch kernels that revert to scalar cost."""
+
+import numpy as np
+
+__all__ = ["OneDimIndex", "ScalarBatchIndex"]
+
+
+class OneDimIndex:  # stub base so the fixture imports standalone
+    pass
+
+
+class ScalarBatchIndex(OneDimIndex):
+    def build(self, keys, values=None):
+        self._keys = np.sort(np.asarray(keys))
+        return self
+
+    def lookup(self, key):
+        return int(np.searchsorted(self._keys, key))
+
+    def lookup_batch(self, keys):
+        queries = np.asarray(keys)
+        out = np.empty(0)
+        for key in queries:  # per-element loop in a vectorized kernel
+            out = np.append(out, self.lookup(float(key)))
+        return out

@@ -1,0 +1,25 @@
+"""RPR302 negative fixture: a batch kernel that stays vectorized."""
+
+import numpy as np
+
+__all__ = ["OneDimIndex", "VectorBatchIndex"]
+
+
+class OneDimIndex:  # stub base so the fixture imports standalone
+    pass
+
+
+class VectorBatchIndex(OneDimIndex):
+    def build(self, keys, values=None):
+        self._keys = np.sort(np.asarray(keys))
+        return self
+
+    def lookup(self, key):
+        return int(np.searchsorted(self._keys, key))
+
+    def lookup_batch(self, keys):
+        queries = np.asarray(keys, dtype=np.float64)
+        positions = np.searchsorted(self._keys, queries)
+        positions = np.clip(positions, 0, self._keys.size - 1)
+        hits = self._keys[positions] == queries
+        return np.where(hits, positions, -1)

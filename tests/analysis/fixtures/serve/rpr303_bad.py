@@ -1,0 +1,19 @@
+"""RPR303 positive fixture: serve-path container that only ever grows."""
+
+__all__ = ["LeakyRequestLog"]
+
+
+class LeakyRequestLog:
+    """Accumulates one entry per request with no eviction anywhere."""
+
+    def __init__(self):
+        self._log = []
+        self._hits = 0
+
+    def record(self, request):
+        self._log.append(request)  # unbounded growth per request
+        self._hits += 1  # scalar counter: allocates nothing, not flagged
+
+    def handle(self, request):
+        self.record(request)
+        return {"status": "ok", "seen": self._hits}

@@ -1,0 +1,23 @@
+"""RPR303 negative fixture: serve-path containers with bound evidence."""
+
+from collections import deque
+
+__all__ = ["BoundedRequestLog"]
+
+
+class BoundedRequestLog:
+    """Grows containers but caps each one: eviction, len check, maxlen."""
+
+    def __init__(self, capacity=128):
+        self.capacity = capacity
+        self._log = []
+        self._recent = deque(maxlen=capacity)
+
+    def record(self, request):
+        self._log.append(request)
+        if len(self._log) > self.capacity:
+            self._log.pop(0)  # eviction keeps the log capacity-bounded
+        self._recent.append(request)
+
+    def reset(self):
+        self._recent = deque(maxlen=self.capacity)

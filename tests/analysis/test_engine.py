@@ -35,8 +35,9 @@ class TestRepoGate:
         # Every syntactic rule fires at least once across the fixture set.
         fired = {f.rule_id for f in result.findings}
         assert {"RPR003", "RPR004", "RPR005", "RPR006", "RPR007", "RPR008",
-                "RPR011", "RPR101", "RPR102", "RPR103", "RPR104",
-                "RPR201", "RPR202", "RPR203", "RPR204", "RPR205"} <= fired
+                "RPR011", "RPR012", "RPR101", "RPR102", "RPR103", "RPR104",
+                "RPR201", "RPR202", "RPR203", "RPR204", "RPR205",
+                "RPR301", "RPR302", "RPR303"} <= fired
 
 
 class TestCLI:
@@ -67,9 +68,10 @@ class TestCLI:
         payload = json.loads(report.read_text())
         assert payload["summary"]["findings"] == 0
         expected = {f"RPR00{i}" for i in range(1, 10)}
-        expected |= {"RPR010", "RPR011"}
+        expected |= {"RPR010", "RPR011", "RPR012"}
         expected |= {f"RPR10{i}" for i in range(1, 5)}
         expected |= {f"RPR20{i}" for i in range(1, 6)}
+        expected |= {f"RPR30{i}" for i in range(1, 4)}
         assert set(payload["rules"]) == expected
 
     def test_rule_selection(self, capsys):
@@ -102,7 +104,7 @@ class TestCLI:
         ])
         out = capsys.readouterr().out
         assert "RPR102" not in out
-        assert "16 rule(s)" in out
+        assert "20 rule(s)" in out
         del code  # exit code depends on other rules; selection is the contract
 
     def test_select_unmatched_pattern_is_usage_error(self, capsys):
@@ -120,8 +122,11 @@ class TestCLI:
             assert f"RPR00{i}" in out
         assert "RPR010" in out
         assert "RPR011" in out
+        assert "RPR012" in out
         for i in range(1, 5):
             assert f"RPR10{i}" in out
+        for i in range(1, 4):
+            assert f"RPR30{i}" in out
 
 
 class TestSuppressionParsing:

@@ -30,11 +30,12 @@ def findings_for(rule_id: str, *fixture_names: str):
 
 
 class TestRuleRegistry:
-    def test_all_twenty_rules_registered(self):
+    def test_all_twenty_four_rules_registered(self):
         expected = [f"RPR00{i}" for i in range(1, 10)]
-        expected += ["RPR010", "RPR011"]
+        expected += ["RPR010", "RPR011", "RPR012"]
         expected += [f"RPR10{i}" for i in range(1, 5)]
         expected += [f"RPR20{i}" for i in range(1, 6)]
+        expected += [f"RPR30{i}" for i in range(1, 4)]
         assert sorted(RULES) == expected
         assert sorted(RULE_METADATA) == sorted(RULES)
 
@@ -339,6 +340,91 @@ class TestRPR104SignRoundTrip:
 
     def test_quiet_on_headroom_and_clamped_values(self):
         assert findings_for("RPR104", "rpr104_good.py") == []
+
+
+class TestRPR301ComplexityContract:
+    def test_fires_on_linear_hot_paths(self):
+        findings = findings_for("RPR301", "rpr301_bad.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "ScanningIndex.lookup" in messages
+        assert "ScanningIndex.insert" in messages
+        assert "O(n)" in messages
+
+    def test_quiet_on_bisection_with_documented_bounded_scan(self):
+        # BoundedIndex.lookup bisects and then calls a helper whose
+        # docstring declares the scan duplicate-bounded: the cost model
+        # must follow the call and honour the escape.
+        assert findings_for("RPR301", "rpr301_good.py") == []
+
+
+class TestRPR302BatchKernelDiscipline:
+    def test_fires_on_scalar_loop_and_append_accumulation(self):
+        findings = findings_for("RPR302", "rpr302_bad.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "iterates the query batch" in messages
+        assert "append" in messages
+
+    def test_quiet_on_vectorized_kernel(self):
+        assert findings_for("RPR302", "rpr302_good.py") == []
+
+
+class TestRPR303ServeAllocation:
+    def test_fires_on_unbounded_container_growth(self):
+        findings = findings_for("RPR303", "serve/rpr303_bad.py")
+        assert len(findings) == 1
+        assert "LeakyRequestLog grows self._log" in findings[0].message
+
+    def test_scalar_counters_are_not_growth(self):
+        # self._hits += 1 in the bad fixture allocates nothing.
+        findings = findings_for("RPR303", "serve/rpr303_bad.py")
+        assert not any("_hits" in f.message for f in findings)
+
+    def test_quiet_on_eviction_len_check_and_maxlen(self):
+        assert findings_for("RPR303", "serve/rpr303_good.py") == []
+
+    def test_scoped_to_serve_paths(self):
+        # The same unbounded growth outside a serve/ directory is ignored:
+        # the rule encodes a serving-layer contract, not a repo-wide one.
+        import shutil
+
+        src = FIXTURES / "serve" / "rpr303_bad.py"
+        outside = FIXTURES / "rpr303_outside_scope.py"
+        shutil.copyfile(src, outside)
+        try:
+            assert findings_for("RPR303", "rpr303_outside_scope.py") == []
+        finally:
+            outside.unlink()
+
+
+class TestRPR012StaleSuppression:
+    def _run(self, fixture, rule_ids=None):
+        ctx = build_context(
+            FIXTURES, paths=[FIXTURES / fixture], use_registry=False
+        )
+        return run_analysis(ctx, rule_ids)
+
+    def test_fires_on_stale_and_unknown_directives(self):
+        result = self._run("rpr012_bad.py")  # full run: rules are auditable
+        stale = [f for f in result.findings if f.rule_id == "RPR012"]
+        assert len(stale) == 2
+        messages = " ".join(f.message for f in stale)
+        assert "RPR006" in messages
+        assert "RPR999" in messages
+
+    def test_quiet_on_live_suppression(self):
+        result = self._run("rpr012_good.py")
+        assert [f for f in result.findings if f.rule_id == "RPR012"] == []
+        assert {f.rule_id for f in result.suppressed} == {"RPR006"}
+
+    def test_unaudited_rule_is_not_judged_stale(self):
+        # With only RPR012 selected, RPR006 never ran, so its directive
+        # cannot be judged; the unknown rule id is stale unconditionally.
+        result = self._run("rpr012_bad.py", ["RPR012"])
+        stale = [f for f in result.findings if f.rule_id == "RPR012"]
+        assert len(stale) == 1
+        assert "RPR999" in stale[0].message
 
 
 class TestSuppression:

@@ -1,0 +1,166 @@
+"""Tests for E22 (empirical scaling witness) and its slope machinery."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.history import HEADLINE_KEYS, extract_headlines
+from repro.bench.scaling import (
+    CONSTANT_SLOPE_MAX,
+    LINEAR_SLOPE_MIN,
+    SMOKE_SIZES,
+    classify_slope,
+    fit_loglog_slope,
+    is_consistent,
+    main,
+    run_e22,
+)
+from repro.core.taxonomy import ComplexityClass
+
+NS = (1_000, 10_000, 100_000, 1_000_000)
+
+
+class TestFitLogLogSlope:
+    def test_constant_series_fits_flat(self):
+        slope = fit_loglog_slope(NS, [3.0, 3.0, 3.0, 3.0])
+        assert slope == pytest.approx(0.0, abs=1e-9)
+
+    def test_logarithmic_series_fits_shallow(self):
+        slope = fit_loglog_slope(NS, [np.log2(n) for n in NS])
+        assert 0.0 < slope < LINEAR_SLOPE_MIN
+        assert classify_slope(slope) is ComplexityClass.LOGARITHMIC
+
+    def test_linear_series_fits_unit_slope(self):
+        slope = fit_loglog_slope(NS, [float(n) for n in NS])
+        assert slope == pytest.approx(1.0, abs=1e-9)
+
+    def test_sqrt_series_classifies_linear(self):
+        # A sqrt(n) hot path is not sublinear in the contract's sense.
+        slope = fit_loglog_slope(NS, [float(n) ** 0.5 for n in NS])
+        assert slope == pytest.approx(0.5, abs=1e-9)
+        assert classify_slope(slope) is ComplexityClass.LOGARITHMIC
+        slope = fit_loglog_slope(NS, [float(n) ** 0.7 for n in NS])
+        assert classify_slope(slope) is ComplexityClass.LINEAR
+
+    def test_zero_work_is_floored_not_infinite(self):
+        slope = fit_loglog_slope(NS, [0.0, 0.0, 0.0, 0.0])
+        assert np.isfinite(slope)
+        assert classify_slope(slope) is ComplexityClass.CONSTANT
+
+    def test_single_point_is_an_error(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1_000], [1.0])
+
+
+class TestClassifySlope:
+    def test_thresholds(self):
+        assert classify_slope(CONSTANT_SLOPE_MAX - 1e-6) is ComplexityClass.CONSTANT
+        assert classify_slope(CONSTANT_SLOPE_MAX) is ComplexityClass.LOGARITHMIC
+        assert classify_slope(LINEAR_SLOPE_MIN) is ComplexityClass.LOGARITHMIC
+        assert classify_slope(LINEAR_SLOPE_MIN + 1e-6) is ComplexityClass.LINEAR
+
+    def test_negative_slope_is_constant(self):
+        assert classify_slope(-0.2) is ComplexityClass.CONSTANT
+
+
+class TestIsConsistent:
+    O1 = ComplexityClass.CONSTANT
+    OLOG = ComplexityClass.LOGARITHMIC
+    ON = ComplexityClass.LINEAR
+
+    def test_fitted_at_or_below_declared_passes(self):
+        assert is_consistent(self.OLOG, self.O1)
+        assert is_consistent(self.OLOG, self.OLOG)
+        assert is_consistent(self.O1, self.O1)
+
+    def test_fitted_above_declared_fails(self):
+        assert not is_consistent(self.O1, self.OLOG)
+        assert not is_consistent(self.OLOG, self.ON)
+        assert not is_consistent(self.O1, self.ON)
+
+    def test_linear_declaration_must_measure_linear(self):
+        # The scan controls are honest denominators: a "linear" control
+        # that measures flat would silently flatter every speedup.
+        assert is_consistent(self.ON, self.ON)
+        assert not is_consistent(self.ON, self.OLOG)
+        assert not is_consistent(self.ON, self.O1)
+
+
+SUBSET = ("linear-scan", "binary-search", "hash")
+
+
+class TestRunE22:
+    def test_subset_sweep_matches_declarations(self, tmp_path):
+        out = tmp_path / "BENCH_scaling.json"
+        rows = run_e22(sizes=(500, 2_000, 8_000), only=SUBSET, out=str(out))
+        assert {row["index"] for row in rows} == set(SUBSET)
+        by_name = {row["index"]: row for row in rows}
+        assert by_name["linear-scan"]["fitted"] == "LINEAR"
+        assert by_name["linear-scan"]["slope"] == pytest.approx(1.0, abs=0.1)
+        assert by_name["hash"]["fitted"] == "CONSTANT"
+        for row in rows:
+            assert row["consistent"], row
+            assert row["sublinearity"] == pytest.approx(
+                max(0.0, 1.0 - row["slope"])
+            )
+            assert len(row["work_per_op"]) == len(row["ns"]) == 3
+
+    def test_artifact_schema_and_headlines(self, tmp_path):
+        out = tmp_path / "scaling.json"
+        run_e22(sizes=(500, 2_000), only=SUBSET, out=str(out))
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "E22"
+        assert payload["sizes"] == [500, 2_000]
+        assert "python" in payload["environment"]
+        assert "1d/linear-scan" in payload["results"]
+        for entry in payload["results"].values():
+            assert set(entry) == {"qualname", "declared", "fitted", "slope",
+                                  "sublinearity", "consistent", "ns",
+                                  "work_per_op"}
+        headlines = extract_headlines(payload)
+        assert set(headlines) == set(payload["results"])
+        assert HEADLINE_KEYS["E22"] == "sublinearity"
+
+    def test_sizes_accepts_comma_string(self):
+        rows = run_e22(sizes="500,2000", only="hash", out=None)
+        assert len(rows) == 1
+        assert rows[0]["ns"] == [500, 2000]
+
+    def test_unknown_factory_name_is_a_key_error(self):
+        with pytest.raises(KeyError, match="no-such-index"):
+            run_e22(sizes=(500, 2_000), only=("no-such-index",), out=None)
+
+    def test_single_size_sweep_is_an_error(self):
+        with pytest.raises(ValueError):
+            run_e22(sizes=(1_000,), only=SUBSET, out=None)
+
+    def test_smoke_defaults_to_smoke_sizes(self, tmp_path):
+        out = tmp_path / "scaling.json"
+        rows = run_e22(smoke=True, only="hash", out=str(out))
+        assert rows[0]["ns"] == list(SMOKE_SIZES)
+
+    def test_registered_as_experiment(self):
+        assert "E22" in EXPERIMENTS
+        assert EXPERIMENTS["E22"].runner is run_e22
+
+
+class TestCLI:
+    def test_exit_zero_and_report(self, tmp_path, capsys):
+        out = tmp_path / "scaling.json"
+        code = main(["--sizes", "500,2000", "--only", "hash,linear-scan",
+                     "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "2 factories, 0 contract violation(s)" in stdout
+        assert out.is_file()
+
+    def test_empty_out_skips_artifact(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["--sizes", "500,2000", "--only", "hash", "--out", ""])
+        capsys.readouterr()
+        assert code == 0
+        assert not (tmp_path / "BENCH_scaling.json").exists()

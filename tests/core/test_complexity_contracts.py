@@ -1,0 +1,158 @@
+"""Completeness of the per-method complexity contract table.
+
+``repro.core.complexity.CONTRACTS`` is the single authority both
+checkers consume — the RPR301 static cost model and the E22 scaling
+witness.  These tests pin the table to the live code: every factory
+class is declared, every declared qualname resolves, the declarations
+agree with the survey registry's ``complexity=`` annotations, and the
+paper's thesis (learned indexes stay sublinear) holds for every
+non-baseline contract.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.bench import runner
+from repro.core import interfaces, registry
+from repro.core.complexity import (
+    CONTRACTS,
+    HOT_METHODS,
+    ComplexityContract,
+    contract_for,
+    hot_method_for_family,
+)
+from repro.core.taxonomy import ComplexityClass
+
+ALL_FACTORY_DICTS = {
+    "ONE_DIM_FACTORIES": runner.ONE_DIM_FACTORIES,
+    "MUTABLE_ONE_DIM_FACTORIES": runner.MUTABLE_ONE_DIM_FACTORIES,
+    "MULTI_DIM_FACTORIES": runner.MULTI_DIM_FACTORIES,
+    "MUTABLE_MULTI_DIM_FACTORIES": runner.MUTABLE_MULTI_DIM_FACTORIES,
+    "FILTER_FACTORIES": runner.FILTER_FACTORIES,
+}
+
+
+def _qualname(obj: object) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _factory_qualnames() -> dict[str, set[str]]:
+    """dict-name -> set of class qualnames its factories construct."""
+    out: dict[str, set[str]] = {}
+    for dict_name, factories in ALL_FACTORY_DICTS.items():
+        out[dict_name] = {_qualname(factory()) for factory in factories.values()}
+    return out
+
+
+def test_every_factory_class_declares_a_contract():
+    missing = {
+        f"{dict_name}: {qualname}"
+        for dict_name, qualnames in _factory_qualnames().items()
+        for qualname in qualnames
+        if contract_for(qualname) is None
+    }
+    assert missing == set(), (
+        f"factory classes without a CONTRACTS entry: {sorted(missing)}"
+    )
+
+
+def test_every_contract_qualname_resolves():
+    for qualname in CONTRACTS:
+        module_name, _, cls_name = qualname.rpartition(".")
+        module = importlib.import_module(module_name)
+        assert hasattr(module, cls_name), qualname
+
+
+def test_contract_table_covers_exactly_the_live_surface():
+    """CONTRACTS == factory classes ∪ registry ``implemented=`` classes.
+
+    Exact equality both ways: a new factory cannot land without a
+    declaration, and a declaration cannot outlive the class it bounds.
+    """
+    live: set[str] = set()
+    for qualnames in _factory_qualnames().values():
+        live |= qualnames
+    for info in registry.REGISTRY:
+        if info.implemented is not None:
+            live.add(info.implemented)
+    assert set(CONTRACTS) == live, (
+        f"only in CONTRACTS: {sorted(set(CONTRACTS) - live)}; "
+        f"only live: {sorted(live - set(CONTRACTS))}"
+    )
+
+
+def test_mutable_factories_declare_an_insert_bound():
+    mutable = (
+        _factory_qualnames()["MUTABLE_ONE_DIM_FACTORIES"]
+        | _factory_qualnames()["MUTABLE_MULTI_DIM_FACTORIES"]
+    )
+    unbounded = {q for q in mutable if CONTRACTS[q].insert is None}
+    assert unbounded == set(), (
+        f"mutable classes without a declared insert bound: {sorted(unbounded)}"
+    )
+
+
+def test_learned_indexes_declare_sublinear_lookup():
+    """The paper's thesis as a table invariant: only ``baseline=True``
+    entries (traditional structures and deliberate scan controls) may
+    declare an O(n) lookup."""
+    linear_learned = {
+        qualname
+        for qualname, contract in CONTRACTS.items()
+        if not contract.baseline and contract.lookup is ComplexityClass.LINEAR
+    }
+    assert linear_learned == set()
+
+
+def test_registry_complexity_matches_contract_lookup():
+    """``complexity=`` on every implemented survey entry equals the
+    contract's lookup bound — one declaration, two views, no drift."""
+    for info in registry.REGISTRY:
+        if info.implemented is None:
+            continue
+        contract = contract_for(info.implemented)
+        assert contract is not None, info.implemented
+        assert info.complexity is contract.lookup, (
+            f"{info.name}: registry says {info.complexity}, "
+            f"contract says {contract.lookup}"
+        )
+
+
+def test_every_implemented_registry_entry_declares_complexity():
+    undeclared = [
+        info.name
+        for info in registry.REGISTRY
+        if info.implemented is not None and info.complexity is None
+    ]
+    assert undeclared == []
+
+
+def test_hot_methods_exist_on_their_interfaces():
+    families = {
+        "OneDimIndex": interfaces.OneDimIndex,
+        "MultiDimIndex": interfaces.MultiDimIndex,
+        "MembershipFilter": interfaces.MembershipFilter,
+    }
+    assert set(HOT_METHODS) == set(families)
+    for family, iface in families.items():
+        assert hasattr(iface, hot_method_for_family(family))
+
+
+def test_unknown_family_is_a_key_error():
+    with pytest.raises(KeyError):
+        hot_method_for_family("NoSuchFamily")
+
+
+def test_contract_for_unknown_qualname_is_none():
+    assert contract_for("repro.nowhere.Ghost") is None
+
+
+def test_contracts_are_frozen():
+    contract = next(iter(CONTRACTS.values()))
+    assert isinstance(contract, ComplexityContract)
+    with pytest.raises(AttributeError):
+        contract.lookup = ComplexityClass.LINEAR

@@ -34,11 +34,26 @@ class TestNFL:
         assert nfl.stats.extra["segments"] < raw.num_segments
 
     def test_buffer_rebuild_threshold(self):
+        # The rebuild trigger is geometric: the buffer must outgrow
+        # max(buffer_limit, n // 4) before the back end is refit.
         index = NFLIndex(buffer_limit=8).build(load_1d("uniform", 200, seed=3))
-        for i in range(20):
+        for i in range(60):
             index.insert(1e12 + i, i)
         assert index.stats.extra.get("rebuilds", 0) >= 1
         assert index.lookup(1e12 + 5) == 5
+
+    def test_rebuild_count_grows_logarithmically(self):
+        # Regression for the RPR301 finding on NFL.insert: a fixed-size
+        # buffer threshold meant one O(n) rebuild every `buffer_limit`
+        # inserts — amortized O(n) per insert.  The geometric threshold
+        # amortizes the refit: ~log_{1.25}(growth) rebuilds, not
+        # inserts / buffer_limit of them.
+        index = NFLIndex(buffer_limit=16).build(load_1d("uniform", 256, seed=3))
+        for i in range(2000):
+            index.insert(2e12 + i, i)
+        rebuilds = index.stats.extra.get("rebuilds", 0)
+        assert 1 <= rebuilds <= 15, rebuilds  # fixed threshold would give ~125
+        assert index.lookup(2e12 + 1999) == 1999
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
