@@ -19,6 +19,10 @@ with repo-specific rules, each with a stable ID, severity,
   unguarded shared state, predicate-loop waits, generation-counter
   atomicity, segment lifecycle ownership), cross-validated at runtime
   by :mod:`repro.core.lockorder` under ``REPRO_SANITIZE=1``;
+* RPR206 — self-tuning actuation discipline
+  (:mod:`repro.analysis.tuning_rules`): control-plane code may reshape
+  live shards only through the store's locked, generation-bumping
+  re-partition methods, and those methods must bump;
 * RPR301-RPR303 — complexity contracts backed by the static cost model
   of :mod:`repro.analysis.complexity` (hot paths bounded by their
   declared :mod:`repro.core.complexity` class, vectorization discipline
@@ -35,6 +39,7 @@ Run ``python -m repro.analysis`` from the repository root; see the
 from repro.analysis import complexity  # noqa: F401  (registers RPR301-303)
 from repro.analysis import concurrency  # noqa: F401  (registers RPR201-205)
 from repro.analysis import numeric_rules  # noqa: F401  (registers RPR101-104)
+from repro.analysis import tuning_rules  # noqa: F401  (registers RPR206)
 from repro.analysis.concurrency import build_model, static_lock_graph
 from repro.analysis.dataflow import (
     AbstractValue,

@@ -414,6 +414,7 @@ def _register_extensions() -> None:
     from repro.bench.scaling import run_e22
     from repro.bench.serving import run_e19
     from repro.bench.serving_mp import run_e20
+    from repro.bench.tuning import run_e23
 
     EXPERIMENTS["E13"] = Experiment(
         "E13", "poisoning attacks: RMI vs PGM worst-case guarantee (§6.7)", run_e13)
@@ -435,6 +436,8 @@ def _register_extensions() -> None:
         "E21", "cold start: artifact load vs rebuild, time-to-first-query", run_e21)
     EXPERIMENTS["E22"] = Experiment(
         "E22", "scaling witness: counted work per lookup vs n, per contract", run_e22)
+    EXPERIMENTS["E23"] = Experiment(
+        "E23", "self-tuning vs static serving under drifting/skewed workloads", run_e23)
 
 
 _register_extensions()

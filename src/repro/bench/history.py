@@ -49,6 +49,7 @@ HEADLINE_KEYS = {
     "E20": "mp_vs_thread",
     "E21": "load_vs_rebuild",
     "E22": "sublinearity",
+    "E23": "tuned_vs_static",
 }
 
 #: Top-level artifact fields that describe the machine or the output,

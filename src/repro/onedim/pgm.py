@@ -349,6 +349,34 @@ class DynamicPGMIndex(MutableOneDimIndex):
             self._static[target] = PGMIndex(epsilon=self.epsilon).build(keys, values)
         self._refresh_size()
 
+    def compact(self) -> None:
+        """Delta-merge every level (and the buffer) into one static run.
+
+        The self-tuning rebuild fast path: equivalent to a fresh
+        ``build`` over the live items — afterwards every lookup probes
+        exactly one static level again — but done from the level arrays
+        directly, without materializing the ``range_query`` tuple list
+        an external rebuild would pay for.  Newest data wins duplicate
+        keys (buffer first, then smaller levels), tombstones drop.
+        """
+        self._require_built()
+        items: dict[float, object] = dict(self._buffer)
+        for index in self._static:
+            if index is None:
+                continue
+            for k, v in zip(index._keys, index._values):
+                items.setdefault(float(k), v)
+        self._buffer = {}
+        live = {k: v for k, v in items.items() if k not in self._deleted}
+        self._deleted = set()
+        self._static = []
+        if live:
+            keys = np.array(sorted(live))
+            values = [live[float(k)] for k in keys]
+            index = PGMIndex(epsilon=self.epsilon).build(keys, values)
+            self._static = [None] * self._level_for(keys.size) + [index]
+        self._refresh_size()
+
     # -- reads -------------------------------------------------------------
     def lookup(self, key: float) -> object | None:
         """Level-bounded probe sequence: ``_static`` holds one run per

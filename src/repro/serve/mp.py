@@ -360,26 +360,56 @@ class ProcessShardExecutor:
         worker) if the process dies or stops replying; request-level
         exceptions raised inside the worker re-raise here unchanged, so
         the process backend fails identically to the thread backend.
+
+        Queued runs were routed at enqueue time, so a tuner rebalance
+        may have moved some keys off this shard while the run waited:
+        routing is re-checked against the store's bounds, stray rows
+        fall back to parent-side scalar execution (which re-routes
+        safely), and the whole dispatch restarts if the bounds version
+        moves between the re-check and the post-sync validation under
+        the pipe lock — a version match *after* :meth:`_sync_shard`
+        proves the worker's snapshot and the routing snapshot describe
+        the same partition.
         """
         if op is Op.POINT_QUERY:
-            payload: object = [r.point for r in requests]
+            payload: list[object] = [r.point for r in requests]
         else:
             payload = [float(r.key) for r in requests]  # type: ignore[arg-type]
-        with self._pipe_locks[shard]:
-            self._guard_alive(shard)
-            self._sync_shard(shard)
-            conn = self._conns[shard]
-            assert conn is not None
-            try:
-                conn.send(("batch", op, payload))
-            except (BrokenPipeError, OSError) as exc:
-                self._restart(shard)
-                raise WorkerDied(shard, f"pipe broke on send: {exc}") from None
-            kind, value = self._recv_reply(shard, timeout=self.reply_timeout)
+        while True:
+            version = self.store.bounds_version
+            stray = self.store.stray_rows(shard, op, requests)
+            if stray.size:
+                stray_set = {int(i) for i in stray}
+                shipped = [p for i, p in enumerate(payload) if i not in stray_set]
+            else:
+                shipped = payload
+            with self._pipe_locks[shard]:
+                self._guard_alive(shard)
+                self._sync_shard(shard)
+                if self.store.bounds_version != version:
+                    continue  # rebalance mid-dispatch: re-route, re-sync
+                conn = self._conns[shard]
+                assert conn is not None
+                try:
+                    conn.send(("batch", op, shipped))
+                except (BrokenPipeError, OSError) as exc:
+                    self._restart(shard)
+                    raise WorkerDied(shard, f"pipe broke on send: {exc}") from None
+                kind, value = self._recv_reply(shard, timeout=self.reply_timeout)
+            break
         if kind == "err":
             assert isinstance(value, BaseException)
             raise value
-        return value  # type: ignore[return-value]
+        if not stray.size:
+            return value  # type: ignore[return-value]
+        out: list[object] = [None] * len(requests)
+        worker_values = iter(value)  # type: ignore[arg-type]
+        for i in range(len(requests)):
+            if i in stray_set:
+                out[i] = self.store.execute(requests[i])
+            else:
+                out[i] = next(worker_values)
+        return out
 
     def _guard_alive(self, shard: int) -> None:
         """Restart a worker found dead before any bytes are committed."""

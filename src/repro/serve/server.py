@@ -74,6 +74,13 @@ class IndexServer:
             self._store, self._stats,
             max_batch=max_batch, max_delay=max_delay, capacity=capacity,
         )
+        # Workload observer hook (repro.tune): called once per submitted
+        # request on the client thread, with no server lock held.  None
+        # (the default) keeps the serving hot path completely untouched.
+        self._observer: Callable[[Request], None] | None = None
+        self._observer_many: Callable[[Sequence[Request]], None] | None = None
+        # Attached control plane (duck-typed: anything with close()).
+        self._tuner: object | None = None
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -92,17 +99,54 @@ class IndexServer:
     def close(self) -> None:
         """Drain outstanding requests, stop shard workers, release segments.
 
-        Idempotent end to end: the coalescer closes first (workers drain
-        their queues and any leftovers are served synchronously — see
-        :meth:`Coalescer.close`), and only then does the process
-        executor shut down, so every queued request still had a live
-        backend when it executed.
+        Idempotent end to end: an attached tuner stops first (no more
+        actuations land on a draining store), then the coalescer closes
+        (workers drain their queues and any leftovers are served
+        synchronously — see :meth:`Coalescer.close`), and only then does
+        the process executor shut down, so every queued request still
+        had a live backend when it executed.
         """
         if not self._closed:
+            tuner = self._tuner
+            if tuner is not None:
+                tuner.close()  # type: ignore[attr-defined]
             self._coalescer.close()
             if self._executor is not None:
                 self._executor.close()
             self._closed = True
+
+    # -- control-plane hooks (repro.tune) -----------------------------------
+    def attach_observer(self, observer: Callable[[Request], None] | None,
+                        tuner: object | None = None) -> None:
+        """Install (or clear) the per-request workload observer hook.
+
+        ``observer`` is invoked on the submitting client thread for
+        every admitted request, before routing; it must be cheap and
+        thread-safe (the tuner's observer appends to bounded
+        lock-protected rings).  When the observer also exposes an
+        ``observe_many(requests)`` method, the windowed submission paths
+        use it — one observer-lock acquisition per window instead of per
+        request, which matters with many client threads.  ``tuner``,
+        when given, is retained so :meth:`close` can stop the attached
+        control plane (duck-typed: any object with a ``close()``
+        method).
+        """
+        self._observer = observer
+        self._observer_many: Callable[[Sequence[Request]], None] | None = (
+            getattr(observer, "observe_many", None)
+        )
+        self._tuner = tuner
+
+    def _observe_many(self, requests: Sequence[Request]) -> None:
+        """Feed a window of requests to the attached observer, if any."""
+        observe_many = self._observer_many
+        if observe_many is not None:
+            observe_many(requests)
+            return
+        observer = self._observer
+        if observer is not None:
+            for request in requests:
+                observer(request)
 
     def _start_serving(self) -> None:
         """Start the executor (process backend) and the coalescer threads."""
@@ -179,6 +223,9 @@ class IndexServer:
         first, making the filled entry unreachable, or commits after,
         making the cached value stale-free).
         """
+        observer = self._observer
+        if observer is not None:
+            observer(request)
         if request.op in READ_OPS and self._cache.capacity > 0:
             shards = self._store.route(request)
             gens = tuple(self._store.generations[s] for s in shards)
@@ -206,6 +253,7 @@ class IndexServer:
         """
         if self._cache.capacity > 0:
             return [self.submit(request) for request in requests]
+        self._observe_many(requests)
         return self._coalescer.submit_many(list(requests))
 
     def serve_window(self, requests: Sequence[Request]) -> list[object]:
@@ -223,6 +271,7 @@ class IndexServer:
                 response = fut.result()
                 out.append(response if isinstance(response, Overloaded) else response.value)
             return out
+        self._observe_many(requests)
         return self._coalescer.submit_window(list(requests)).wait()
 
     # -- synchronous convenience surface -----------------------------------
@@ -296,6 +345,11 @@ class IndexServer:
     @property
     def multi_dim(self) -> bool:
         return self._store.multi_dim
+
+    @property
+    def server_stats(self) -> ServerStats:
+        """The live counter recorder (the ``repro.tune`` signal source)."""
+        return self._stats
 
     def __len__(self) -> int:
         return len(self._store)

@@ -26,11 +26,22 @@ shard locks one at a time (never nested), so workers draining different
 shards cannot deadlock.  Writes bump the shard's generation counter
 under the same lock, which is what the result cache keys invalidation
 on.
+
+Re-partitioning (the ``repro.tune`` actuator surface): ``rebalance``
+swaps the shard boundaries while holding *every* shard lock in
+increasing rank order, bumping *all* generations atomically, so no
+cached result and no in-flight routed request can straddle two
+partitions.  Because routing reads the bounds without a lock, every
+query path re-validates its routing decision after taking the shard
+lock — either by re-routing the key or by checking that
+``bounds_version`` has not moved — and restarts when a rebalance won
+the race.
 """
 
 from __future__ import annotations
 
 import json
+from contextlib import ExitStack
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -90,6 +101,7 @@ class ShardedStore:
         self._locks = [make_rlock("ShardedStore._locks", rank=s)
                        for s in range(num_shards)]
         self._bounds = np.empty(0)          # shard split keys / codes
+        self._bounds_version = 0            # bumped by every rebalance
         self.multi_dim = False
         self.dims = 0
         self._lo = np.empty(0)
@@ -277,33 +289,57 @@ class ShardedStore:
 
     # -- scalar queries ----------------------------------------------------
     def lookup(self, key: float) -> object | None:
+        """Routed lookup; re-routes under the shard lock when a concurrent
+        rebalance moved the key between routing and locking."""
         self._require_built()
-        s = self.route_key(key)
-        with self._locks[s]:
-            return self.shards[s].lookup(key)  # type: ignore[attr-defined]
+        while True:
+            s = self.route_key(key)
+            with self._locks[s]:
+                if self.route_key(key) == s:
+                    return self.shards[s].lookup(key)  # type: ignore[attr-defined]
 
     def contains(self, key: float) -> bool:
+        """Routed membership test; re-routes under the shard lock when a
+        concurrent rebalance moved the key."""
         self._require_built()
-        s = self.route_key(key)
-        with self._locks[s]:
-            return bool(self.shards[s].contains(key))  # type: ignore[attr-defined]
+        while True:
+            s = self.route_key(key)
+            with self._locks[s]:
+                if self.route_key(key) == s:
+                    return bool(self.shards[s].contains(key))  # type: ignore[attr-defined]
 
     def point_query(self, point: Sequence[float]) -> object | None:
+        """Routed exact-point query; re-routes under the shard lock when a
+        concurrent rebalance moved the point's Morton code."""
         self._require_built()
-        s = self.route_point(point)
-        with self._locks[s]:
-            return self.shards[s].point_query(point)  # type: ignore[attr-defined]
+        while True:
+            s = self.route_point(point)
+            with self._locks[s]:
+                if self.route_point(point) == s:
+                    return self.shards[s].point_query(point)  # type: ignore[attr-defined]
 
     def range_query_1d(self, low: float, high: float) -> list[tuple[float, object]]:
-        """Concatenated shard scans: globally key-sorted, like one index."""
+        """Concatenated shard scans: globally key-sorted, like one index.
+
+        The fan-out restarts from routing if a rebalance changes the
+        bounds mid-scan (validated under each shard lock), so one call
+        never mixes results from two different partitions.
+        """
         self._require_built()
-        out: list[tuple[float, object]] = []
-        lo_s = self.route_key(low)
-        hi_s = self.route_key(high)
-        for s in range(lo_s, hi_s + 1):
-            with self._locks[s]:
-                out.extend(self.shards[s].range_query(low, high))  # type: ignore[attr-defined]
-        return out
+        while True:
+            version = self._bounds_version
+            lo_s = self.route_key(low)
+            hi_s = self.route_key(high)
+            out: list[tuple[float, object]] = []
+            stale = False
+            for s in range(lo_s, hi_s + 1):
+                with self._locks[s]:
+                    if self._bounds_version != version:
+                        stale = True
+                        break
+                    out.extend(self.shards[s].range_query(low, high))  # type: ignore[attr-defined]
+            if not stale:
+                return out
 
     def range_query(self, low: Sequence[float], high: Sequence[float]) -> list:
         """Multi-d box query over the Z-interval-pruned shard subset.
@@ -311,14 +347,23 @@ class ShardedStore:
         Returns the same result *multiset* as one unsharded index (the
         repo's range contract — each index class already has its own
         internal result order); here results come back in shard order,
-        each shard's slice in that index's native order.
+        each shard's slice in that index's native order.  Restarts if a
+        rebalance changes the bounds mid-fan-out (checked under each
+        shard lock).
         """
         self._require_built()
-        out: list = []
-        for s in self._range_shards(low, high):
-            with self._locks[s]:
-                out.extend(self.shards[s].range_query(low, high))  # type: ignore[attr-defined]
-        return out
+        while True:
+            version = self._bounds_version
+            out: list = []
+            stale = False
+            for s in self._range_shards(low, high):
+                with self._locks[s]:
+                    if self._bounds_version != version:
+                        stale = True
+                        break
+                    out.extend(self.shards[s].range_query(low, high))  # type: ignore[attr-defined]
+            if not stale:
+                return out
 
     def knn_query(self, point: Sequence[float], k: int) -> list:
         """Merge per-shard kNN candidate sets into the global top-k.
@@ -326,16 +371,26 @@ class ShardedStore:
         Each shard returns *its* ``k`` nearest, so the union provably
         contains the global ``k`` nearest; re-sorting with the same
         ``(distance, point, value)`` tie-break the scalar path uses
-        reproduces the unsharded answer.
+        reproduces the unsharded answer.  Restarts if a rebalance lands
+        mid-fan-out (checked under each shard lock), so a point that
+        moved between shards is never seen zero or two times.
         """
         self._require_built()
         if k <= 0:
             return []
         q = np.asarray(point, dtype=np.float64)
-        candidates: list = []
-        for s in range(self.num_shards):
-            with self._locks[s]:
-                candidates.extend(self.shards[s].knn_query(point, k))  # type: ignore[attr-defined]
+        while True:
+            version = self._bounds_version
+            candidates: list = []
+            stale = False
+            for s in range(self.num_shards):
+                with self._locks[s]:
+                    if self._bounds_version != version:
+                        stale = True
+                        break
+                    candidates.extend(self.shards[s].knn_query(point, k))  # type: ignore[attr-defined]
+            if not stale:
+                break
         ranked = sorted(
             (float(np.linalg.norm(np.asarray(p) - q)), p, v) for p, v in candidates
         )
@@ -343,39 +398,69 @@ class ShardedStore:
 
     # -- batched queries (the coalescer fast path) -------------------------
     def lookup_batch(self, keys: Sequence[float]) -> np.ndarray:
-        """Routed scatter/gather over the per-shard ``lookup_batch`` kernels."""
+        """Routed scatter/gather over the per-shard ``lookup_batch`` kernels.
+
+        Restarts from routing if a rebalance changes the shard bounds
+        mid-flight (the version check runs under each shard lock, where
+        the bounds cannot move).
+        """
         self._require_built()
         arr = np.asarray(keys, dtype=np.float64)
-        sids = np.searchsorted(self._bounds, arr, side="right")
         out = np.empty(arr.size, dtype=object)
-        for s in np.unique(sids):
-            rows = np.flatnonzero(sids == s)
-            with self._locks[s]:
-                out[rows] = self.shards[s].lookup_batch(arr[rows])  # type: ignore[attr-defined]
-        return out
+        while True:
+            version = self._bounds_version
+            sids = np.searchsorted(self._bounds, arr, side="right")
+            stale = False
+            for s in np.unique(sids):
+                rows = np.flatnonzero(sids == s)
+                with self._locks[s]:
+                    if self._bounds_version != version:
+                        stale = True
+                        break
+                    out[rows] = self.shards[s].lookup_batch(arr[rows])  # type: ignore[attr-defined]
+            if not stale:
+                return out
 
     def contains_batch(self, keys: Sequence[float]) -> np.ndarray:
+        """Routed batch membership; restarts on a mid-flight rebalance
+        (bounds-version check under each shard lock)."""
         self._require_built()
         arr = np.asarray(keys, dtype=np.float64)
-        sids = np.searchsorted(self._bounds, arr, side="right")
         out = np.empty(arr.size, dtype=bool)
-        for s in np.unique(sids):
-            rows = np.flatnonzero(sids == s)
-            with self._locks[s]:
-                out[rows] = self.shards[s].contains_batch(arr[rows])  # type: ignore[attr-defined]
-        return out
+        while True:
+            version = self._bounds_version
+            sids = np.searchsorted(self._bounds, arr, side="right")
+            stale = False
+            for s in np.unique(sids):
+                rows = np.flatnonzero(sids == s)
+                with self._locks[s]:
+                    if self._bounds_version != version:
+                        stale = True
+                        break
+                    out[rows] = self.shards[s].contains_batch(arr[rows])  # type: ignore[attr-defined]
+            if not stale:
+                return out
 
     def point_query_batch(self, points: np.ndarray) -> np.ndarray:
+        """Routed batch point query; restarts on a mid-flight rebalance
+        (bounds-version check under each shard lock)."""
         self._require_built()
         pts = np.asarray(points, dtype=np.float64)
         codes = self._encode(pts)
-        sids = np.searchsorted(self._bounds, codes, side="right")
         out = np.empty(pts.shape[0], dtype=object)
-        for s in np.unique(sids):
-            rows = np.flatnonzero(sids == s)
-            with self._locks[s]:
-                out[rows] = self.shards[s].point_query_batch(pts[rows])  # type: ignore[attr-defined]
-        return out
+        while True:
+            version = self._bounds_version
+            sids = np.searchsorted(self._bounds, codes, side="right")
+            stale = False
+            for s in np.unique(sids):
+                rows = np.flatnonzero(sids == s)
+                with self._locks[s]:
+                    if self._bounds_version != version:
+                        stale = True
+                        break
+                    out[rows] = self.shards[s].point_query_batch(pts[rows])  # type: ignore[attr-defined]
+            if not stale:
+                return out
 
     # -- mutation ----------------------------------------------------------
     def _require_mutable(self, method: str) -> None:
@@ -392,34 +477,56 @@ class ShardedStore:
             )
 
     def insert(self, key_or_point: object, value: object = None) -> None:
-        """Routed insert; bumps the shard generation under the shard lock."""
+        """Routed insert; bumps the shard generation under the shard lock.
+
+        Re-routes under the lock when a concurrent rebalance moved the
+        key's owning shard, so a write never lands on a shard that no
+        longer owns it.
+        """
         self._require_built()
         self._require_mutable("insert")
         if self.multi_dim:
-            s = self.route_point(key_or_point)  # type: ignore[arg-type]
-            with self._locks[s]:
-                self.shards[s].insert(key_or_point, value)  # type: ignore[attr-defined]
-                self.generations[s] += 1
+            while True:
+                s = self.route_point(key_or_point)  # type: ignore[arg-type]
+                with self._locks[s]:
+                    if self.route_point(key_or_point) == s:  # type: ignore[arg-type]
+                        self.shards[s].insert(key_or_point, value)  # type: ignore[attr-defined]
+                        self.generations[s] += 1
+                        return
         else:
-            s = self.route_key(float(key_or_point))  # type: ignore[arg-type]
-            with self._locks[s]:
-                self.shards[s].insert(float(key_or_point), value)  # type: ignore[attr-defined]
-                self.generations[s] += 1
+            key = float(key_or_point)  # type: ignore[arg-type]
+            while True:
+                s = self.route_key(key)
+                with self._locks[s]:
+                    if self.route_key(key) == s:
+                        self.shards[s].insert(key, value)  # type: ignore[attr-defined]
+                        self.generations[s] += 1
+                        return
 
     def delete(self, key_or_point: object) -> bool:
-        """Routed delete; bumps the shard generation under the shard lock."""
+        """Routed delete; bumps the shard generation under the shard lock.
+
+        Re-routes under the lock when a concurrent rebalance moved the
+        key's owning shard.
+        """
         self._require_built()
         self._require_mutable("delete")
         if self.multi_dim:
-            s = self.route_point(key_or_point)  # type: ignore[arg-type]
-        else:
-            s = self.route_key(float(key_or_point))  # type: ignore[arg-type]
-        with self._locks[s]:
-            removed = bool(self.shards[s].delete(  # type: ignore[attr-defined]
-                key_or_point if self.multi_dim else float(key_or_point)
-            ))
-            self.generations[s] += 1
-        return removed
+            while True:
+                s = self.route_point(key_or_point)  # type: ignore[arg-type]
+                with self._locks[s]:
+                    if self.route_point(key_or_point) == s:  # type: ignore[arg-type]
+                        removed = bool(self.shards[s].delete(key_or_point))  # type: ignore[attr-defined]
+                        self.generations[s] += 1
+                        return removed
+        key = float(key_or_point)  # type: ignore[arg-type]
+        while True:
+            s = self.route_key(key)
+            with self._locks[s]:
+                if self.route_key(key) == s:
+                    removed = bool(self.shards[s].delete(key))  # type: ignore[attr-defined]
+                    self.generations[s] += 1
+                    return removed
 
     # -- request execution (used by the coalescer workers) -----------------
     def execute(self, request: Request) -> object:
@@ -446,28 +553,241 @@ class ShardedStore:
             return self.delete(request.point if self.multi_dim else request.key)
         raise ValueError(f"unknown op {op!r}")
 
+    def _routes_for(self, op: Op, requests: Sequence[Request]) -> np.ndarray:
+        """Current home shard per request of one coalescable same-op run.
+
+        Deliberately lock-free: callers either re-check under the shard
+        lock (:meth:`execute_batch`) or pair the result with a
+        bounds-version check (:meth:`stray_rows` users).
+        """
+        if op is Op.POINT_QUERY:
+            pts = np.asarray([r.point for r in requests], dtype=np.float64)
+            return np.searchsorted(self._bounds, self._encode(pts), side="right")
+        keys = np.asarray([r.key for r in requests], dtype=np.float64)
+        return np.searchsorted(self._bounds, keys, side="right")
+
+    def stray_rows(self, shard: int, op: Op, requests: Sequence[Request]) -> np.ndarray:
+        """Rows of a routed run that a rebalance has moved off ``shard``.
+
+        A lock-free routing snapshot: callers must pair it with a
+        :attr:`bounds_version` check (see
+        :meth:`repro.serve.mp.ProcessShardExecutor.execute_batch`) to
+        know the answer was not computed mid-rebalance.
+        """
+        self._require_built()
+        return np.flatnonzero(self._routes_for(op, requests) != shard)
+
     def execute_batch(self, shard: int, op: Op, requests: Sequence[Request]) -> list[object]:
         """Answer a same-shard run of coalescable requests in one kernel call.
 
-        The caller (a coalescer worker) guarantees every request routes
-        to ``shard``; the per-shard batch kernels then answer the whole
-        run with one vectorized call, which is where coalescing earns
-        its throughput.
+        The caller (a coalescer worker) routed every request to
+        ``shard`` at enqueue time; the routing is re-validated under the
+        shard lock, because a rebalance may have moved keys off this
+        shard while the run sat in the queue.  Still-owned rows are
+        answered by one vectorized kernel call (where coalescing earns
+        its throughput); moved rows fall back to :meth:`execute`, which
+        re-routes them safely after the lock is released.
         """
         self._require_built()
         if op is Op.LOOKUP:
             keys = np.asarray([r.key for r in requests], dtype=np.float64)
-            with self._locks[shard]:
-                return list(self.shards[shard].lookup_batch(keys))  # type: ignore[attr-defined]
-        if op is Op.CONTAINS:
+            kernel = "lookup_batch"
+        elif op is Op.CONTAINS:
             keys = np.asarray([r.key for r in requests], dtype=np.float64)
-            with self._locks[shard]:
-                return [bool(b) for b in self.shards[shard].contains_batch(keys)]  # type: ignore[attr-defined]
-        if op is Op.POINT_QUERY:
-            pts = np.asarray([r.point for r in requests], dtype=np.float64)
-            with self._locks[shard]:
-                return list(self.shards[shard].point_query_batch(pts))  # type: ignore[attr-defined]
-        raise ValueError(f"op {op!r} is not coalescable")
+            kernel = "contains_batch"
+        elif op is Op.POINT_QUERY:
+            keys = np.asarray([r.point for r in requests], dtype=np.float64)
+            kernel = "point_query_batch"
+        else:
+            raise ValueError(f"op {op!r} is not coalescable")
+        with self._locks[shard]:
+            if op is Op.POINT_QUERY:
+                sids = np.searchsorted(self._bounds, self._encode(keys), side="right")
+            else:
+                sids = np.searchsorted(self._bounds, keys, side="right")
+            mine = sids == shard
+            batch = getattr(self.shards[shard], kernel)
+            if mine.all():
+                values = batch(keys)
+                if op is Op.CONTAINS:
+                    return [bool(b) for b in values]
+                return list(values)
+            out: list[object] = [None] * len(requests)
+            rows = np.flatnonzero(mine)
+            if rows.size:
+                values = batch(keys[rows])
+                for i, value in zip(rows, values):
+                    out[int(i)] = bool(value) if op is Op.CONTAINS else value
+            moved = np.flatnonzero(~mine)
+        for i in moved:
+            out[int(i)] = self.execute(requests[int(i)])
+        return out
+
+    # -- re-partitioning (the repro.tune actuator surface) -----------------
+    @property
+    def bounds(self) -> np.ndarray:
+        """Copy of the current shard split keys/codes (for inspection)."""
+        return self._bounds.copy()
+
+    @property
+    def bounds_version(self) -> int:
+        """Monotonic partition version; bumped by every :meth:`rebalance`."""
+        return self._bounds_version
+
+    def _shard_items_locked(self, shard: int) -> list:
+        """One shard's full (key/point, value) item list.
+
+        The caller must hold the shard's lock.  1-d shards enumerate via
+        an unbounded range scan; multi-d shards scan the build-time
+        bounding box, which is the whole routable domain (the Morton
+        lattice clamps points to it).
+        """
+        index = self.shards[shard]
+        if self.multi_dim:
+            return list(index.range_query(self._lo, self._hi))  # type: ignore[attr-defined]
+        return list(index.range_query(-np.inf, np.inf))  # type: ignore[attr-defined]
+
+    def rebalance(self, sample: np.ndarray | None = None,
+                  bounds: Sequence[float] | None = None) -> int:
+        """Re-partition every shard atomically; returns the new bounds version.
+
+        New split boundaries come from, in priority order: explicit
+        ``bounds`` (``num_shards - 1`` sorted split keys/codes), the
+        quantiles of ``sample`` (observed keys in 1-d, observed points
+        in multi-d — the hot-shard policy's input), or the quantiles of
+        the store's own current items.
+
+        The whole operation runs while holding **every** shard lock in
+        increasing rank order (the runtime witness's sanctioned
+        same-group protocol), so no query or write can interleave with a
+        half-moved partition: items are extracted from all shards,
+        re-split at the new boundaries, rebuilt through the factory, and
+        swapped in with *all* shard generations bumped in the same
+        critical section.  Atomic all-shard generation bumps are what
+        keep the result cache sound — every cached entry keyed on a
+        pre-rebalance generation tuple becomes unreachable at once,
+        so no stale read can survive a boundary move.  The bounds swap
+        happens before the version bump; readers check the version
+        *first*, so a version match under a shard lock proves their
+        routing snapshot is current.  Artifact provenance is cleared
+        (the shards no longer match any saved snapshot), which also
+        makes the process backend republish every worker snapshot.
+        """
+        self._require_built()
+        with ExitStack() as stack:
+            for s in range(self.num_shards):
+                stack.enter_context(self._locks[s])
+            items: list = []
+            for s in range(self.num_shards):
+                items.extend(self._shard_items_locked(s))
+            if self.multi_dim:
+                data = (np.asarray([p for p, _v in items], dtype=np.float64)
+                        .reshape(len(items), self.dims))
+                route_keys = (self._encode(data) if items
+                              else np.empty(0, dtype=np.int64))
+            else:
+                data = np.asarray([k for k, _v in items], dtype=np.float64)
+                route_keys = data
+            values = [v for _k, v in items]
+            sample_arr = (np.asarray(sample, dtype=np.float64)
+                          if sample is not None else np.empty(0))
+            if bounds is not None:
+                new_bounds = np.asarray(bounds, dtype=route_keys.dtype)
+                if new_bounds.size != self.num_shards - 1:
+                    raise ValueError(
+                        f"rebalance needs {self.num_shards - 1} split "
+                        f"bounds, got {new_bounds.size}"
+                    )
+            elif sample_arr.size:
+                if self.multi_dim:
+                    new_bounds = self._split_bounds(
+                        self._encode(sample_arr.reshape(-1, self.dims))
+                    )
+                else:
+                    new_bounds = self._split_bounds(sample_arr.reshape(-1))
+            else:
+                new_bounds = self._split_bounds(route_keys)
+            if new_bounds.size > 1 and np.any(np.diff(new_bounds) < 0):
+                raise ValueError("rebalance bounds must be non-decreasing")
+            sids = (np.searchsorted(new_bounds, route_keys, side="right")
+                    if route_keys.size else np.empty(0, dtype=np.int64))
+            for s in range(self.num_shards):
+                rows = np.flatnonzero(sids == s)
+                part = data[rows] if route_keys.size else (
+                    np.empty((0, self.dims)) if self.multi_dim else np.empty(0)
+                )
+                part_values = [values[int(i)] for i in rows]
+                fresh = self._factory()
+                fresh.build(part, part_values)  # type: ignore[attr-defined]
+                with self._locks[s]:
+                    self.shards[s] = fresh
+                    self.generations[s] += 1
+                    self._artifact_dirs[s] = None
+                    self._artifact_gens[s] = -1
+            self._bounds = new_bounds
+            self._bounds_version += 1
+            return self._bounds_version
+
+    def retune_shard(self, shard: int, workload: Sequence[tuple],
+                     candidates: Sequence[int] | None = None) -> bool:
+        """Re-tune one shard's internal layout from an observed workload.
+
+        Calls the shard index's ``tune(workload)`` hook (e.g.
+        :meth:`repro.multidim.flood.FloodIndex.tune`) under the shard
+        lock and bumps the generation in the same critical section, so
+        cached results and worker snapshots built on the old layout are
+        invalidated together.  Returns ``False`` (untouched, no bump)
+        when the index class has no ``tune`` hook.
+        """
+        self._require_built()
+        with self._locks[shard]:
+            tune = getattr(self.shards[shard], "tune", None)
+            if tune is None or not callable(tune):
+                return False
+            if candidates is None:
+                tune(list(workload))
+            else:
+                tune(list(workload), candidates=tuple(candidates))
+            self.generations[shard] += 1
+            self._artifact_dirs[shard] = None
+            self._artifact_gens[shard] = -1
+        return True
+
+    def rebuild_shard(self, shard: int) -> None:
+        """Rebuild one shard's index from its own items, in place.
+
+        Collapses accumulated delta state (LSM levels, tombstones,
+        appended buffers) back into the compact built form.  Indexes
+        exposing an in-place ``compact()`` (e.g. dynamic PGM) take a
+        fast path that merges their level arrays directly; others get a
+        fresh factory build from their extracted items.  Either way the
+        work runs under the shard lock with the generation bump in the
+        same critical section, so no reader observes the half-merged
+        shard and every cached result keyed on the old generation
+        becomes unreachable.
+        """
+        self._require_built()
+        with self._locks[shard]:
+            compact = getattr(self.shards[shard], "compact", None)
+            if compact is not None:
+                compact()
+                self.generations[shard] += 1
+                self._artifact_dirs[shard] = None
+                self._artifact_gens[shard] = -1
+                return
+            items = self._shard_items_locked(shard)
+            if self.multi_dim:
+                data = (np.asarray([p for p, _v in items], dtype=np.float64)
+                        .reshape(len(items), self.dims))
+            else:
+                data = np.asarray([k for k, _v in items], dtype=np.float64)
+            values = [v for _k, v in items]
+            fresh = self._factory()
+            fresh.build(data, values)  # type: ignore[attr-defined]
+            self.shards[shard] = fresh
+            self.generations[shard] += 1
+            self._artifact_dirs[shard] = None
+            self._artifact_gens[shard] = -1
 
     # -- snapshot export (the multi-process backend's feed) ----------------
     def export_shard(self, shard: int) -> tuple[object, int]:
@@ -515,25 +835,33 @@ class ShardedStore:
         artifact directory (``shard_0000/ ...``); ``store.json`` records
         the partition bounds, Morton lattice, and the exact generation
         each shard artifact reflects, which is what lets
-        :meth:`from_snapshot` resume cache-generation continuity.
+        :meth:`from_snapshot` resume cache-generation continuity.  A
+        rebalance landing mid-snapshot (detected by the bounds version
+        moving between the first export and the metadata write) restarts
+        the export, so saved bounds always match the saved shards.
         """
         self._require_built()
         root = Path(directory)
         root.mkdir(parents=True, exist_ok=True)
-        shard_dirs: list[str] = []
-        generations: list[int] = []
-        for s in range(self.num_shards):
-            rel = f"shard_{s:04d}"
-            with self._locks[s]:
-                state = self.shards[s].export_state()  # type: ignore[attr-defined]
-                generation = self.generations[s]
-            write_artifact(state, root / rel)
-            with self._locks[s]:
-                if self.generations[s] == generation:
-                    self._artifact_dirs[s] = root / rel
-                    self._artifact_gens[s] = generation
-            shard_dirs.append(rel)
-            generations.append(generation)
+        while True:
+            version = self._bounds_version
+            bounds = self._bounds
+            shard_dirs: list[str] = []
+            generations: list[int] = []
+            for s in range(self.num_shards):
+                rel = f"shard_{s:04d}"
+                with self._locks[s]:
+                    state = self.shards[s].export_state()  # type: ignore[attr-defined]
+                    generation = self.generations[s]
+                write_artifact(state, root / rel)
+                with self._locks[s]:
+                    if self.generations[s] == generation:
+                        self._artifact_dirs[s] = root / rel
+                        self._artifact_gens[s] = generation
+                shard_dirs.append(rel)
+                generations.append(generation)
+            if self._bounds_version == version:
+                break
         meta = {
             "format": STORE_SNAPSHOT_FORMAT,
             "format_version": STORE_SNAPSHOT_VERSION,
@@ -541,7 +869,7 @@ class ShardedStore:
             "multi_dim": self.multi_dim,
             "dims": self.dims,
             "bits": self._bits,
-            "bounds": self._bounds.tolist(),
+            "bounds": bounds.tolist(),
             "lo": [float(x) for x in self._lo],
             "hi": [float(x) for x in self._hi],
             "generations": generations,

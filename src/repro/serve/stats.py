@@ -172,6 +172,36 @@ class ServerStats:
                 self.cache_misses += 1
 
     # -- reporting ---------------------------------------------------------
+    def tuning_snapshot(self) -> dict[str, object]:
+        """One-lock consistent copy of counters + raw latency buckets.
+
+        The ``repro.tune`` signal layer subtracts two of these to get an
+        *exact* per-window view (including a window latency histogram
+        from the raw bucket counts); taking everything under a single
+        lock acquisition means no counter in the copy can be newer than
+        another — the windowed summaries stay internally consistent even
+        while recorder threads keep appending.
+        """
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "responses": self.responses,
+                "shed": self.shed,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "writes": self.writes,
+                "worker_restarts": self.worker_restarts,
+                "per_shard_requests": list(self.per_shard_requests),
+                "per_shard_batches": list(self.per_shard_batches),
+                "queue_high_water": list(self.queue_high_water),
+                "latency_counts": list(self.latency.counts),
+                "latency_total": self.latency.total,
+                "latency_sum_seconds": self.latency.sum_seconds,
+                "latency_max_seconds": self.latency.max_seconds,
+            }
+
     def snapshot(self, index_stats: IndexStats | None = None) -> dict[str, object]:
         """Plain-dict view: counters, per-shard arrays, latency, index costs.
 

@@ -32,6 +32,8 @@ __all__ = [
     "write_heavy",
     "mixed",
     "zipfian_hot_key",
+    "drifting_phases",
+    "drifting",
     "WORKLOADS",
     "make_workload",
     "run_closed_loop",
@@ -109,12 +111,117 @@ def zipfian_hot_key(data: np.ndarray, count: int, seed: int = 0,
     return [Request(op=Op.LOOKUP, key=float(data[int(r)])) for r in ranks]
 
 
+def drifting_phases(data: np.ndarray, count: int, seed: int = 0,
+                    multi_dim: bool = False, phases: int = 6,
+                    band_frac: float = 0.25, a: float = 1.25,
+                    write_ratios: Sequence[float] = (0.1, 0.5),
+                    background: float = 0.0, dwell: int = 1,
+                    ) -> list[list[Request]]:
+    """A seeded phase schedule whose hotspot moves and whose mix flips.
+
+    The adversary the self-tuning control plane (E23) is built for: each
+    phase picks a contiguous *band* of the key-sorted order (covering
+    ``band_frac`` of the data), reads are Zipf(``a``)-skewed *within*
+    that band, and writes insert fresh keys *inside* the band's key
+    range — so both the traffic and the written-key distribution walk
+    away from the build-time assumptions, phase by phase.  The
+    read/write mix flips too, cycling through ``write_ratios``.
+
+    Band positions are evenly spaced across the key order and visited in
+    a seeded random permutation, so every phase is guaranteed to move
+    the hotspot.  ``background`` routes that fraction of the *reads*
+    uniformly over the whole build-time keyspace instead of the band —
+    the scan/point traffic real deployments keep under a hotspot, and
+    the probe that makes piled-up delta anywhere cost every phase.
+    ``dwell`` holds each band position for that many consecutive phases
+    before jumping: with ``dwell=2`` and alternating ``write_ratios``
+    the schedule becomes ingest-then-analyze — a write burst lands in a
+    band, then the next phase queries that same freshly-written region.
+    Returns one request list per phase (``count`` split evenly); drivers
+    that want a flat stream use :func:`drifting`.  Multi-dimensional
+    data is banded along its first coordinate.
+    """
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    if not 0.0 < band_frac <= 1.0:
+        raise ValueError("band_frac must be in (0, 1]")
+    if not write_ratios:
+        raise ValueError("write_ratios must be non-empty")
+    if not 0.0 <= background <= 1.0:
+        raise ValueError("background must be in [0, 1]")
+    if dwell < 1:
+        raise ValueError("dwell must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = data.shape[0]
+    order = np.argsort(data[:, 0] if multi_dim else data, kind="stable")
+    band = max(1, int(n * band_frac))
+    positions = -(-phases // dwell)  # distinct band positions
+    starts = (np.arange(positions) * max(0, n - band)) // max(1, positions - 1)
+    starts = np.repeat(rng.permutation(starts), dwell)[:phases]
+    per_phase = max(1, count // phases)
+    out: list[list[Request]] = []
+    tag = 0
+    for p in range(phases):
+        start = int(starts[p])
+        band_rows = order[start:start + band]
+        band_data = data[band_rows]
+        lo = band_data.min(axis=0) if multi_dim else float(band_data.min())
+        hi = band_data.max(axis=0) if multi_dim else float(band_data.max())
+        write_ratio = float(write_ratios[p % len(write_ratios)])
+        ranks = (rng.zipf(a, size=per_phase) - 1) % band_rows.size
+        reqs: list[Request] = []
+        for r in ranks:
+            if rng.random() < write_ratio:
+                if multi_dim:
+                    point = tuple(
+                        float(x)
+                        for x in lo + rng.random(data.shape[1]) * (hi - lo)
+                    )
+                    reqs.append(Request(op=Op.INSERT, point=point,
+                                        value=f"d{tag}"))
+                else:
+                    key = lo + float(rng.random()) * (hi - lo)
+                    reqs.append(Request(op=Op.INSERT, key=key,
+                                        value=f"d{tag}"))
+                tag += 1
+            else:
+                if background and float(rng.random()) < background:
+                    row = int(rng.integers(n))
+                else:
+                    row = int(band_rows[int(r)])
+                if multi_dim:
+                    reqs.append(Request(
+                        op=Op.POINT_QUERY,
+                        point=tuple(float(x) for x in data[row]),
+                    ))
+                else:
+                    reqs.append(Request(op=Op.LOOKUP, key=float(data[row])))
+        out.append(reqs)
+    return out
+
+
+def drifting(data: np.ndarray, count: int, seed: int = 0,
+             multi_dim: bool = False, **kwargs: object) -> list[Request]:
+    """Flattened :func:`drifting_phases` — the registry entry.
+
+    Lets E19/E20 run the adversarial drift schedule as one stream; E23
+    drives the phase lists directly so it can tune at phase boundaries.
+    """
+    return [
+        request
+        for phase in drifting_phases(data, count, seed=seed,
+                                     multi_dim=multi_dim, **kwargs)  # type: ignore[arg-type]
+        for request in phase
+    ]
+
+
 #: Name -> generator registry used by the E19 experiment CLI.
 WORKLOADS: dict[str, Callable[..., list[Request]]] = {
     "read-heavy": read_heavy,
     "write-heavy": write_heavy,
     "mixed": mixed,
     "zipfian": zipfian_hot_key,
+    "drifting": drifting,
 }
 
 

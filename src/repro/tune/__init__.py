@@ -1,0 +1,62 @@
+"""repro.tune — self-tuning control plane for the serving layer.
+
+The survey's closing argument is that learned indexes should *keep*
+learning: the structures are fitted to a data and query distribution,
+so when the observed workload walks away from the build-time
+assumptions (skew concentrates on one shard, query boxes change shape,
+written keys drift), the index should reshape itself.  This package is
+that loop for :class:`repro.serve.server.IndexServer`:
+
+* **observe** — :mod:`repro.tune.signals`: exact windowed/decayed
+  server-stat summaries, bounded rings of observed keys/points/boxes,
+  and a total-variation drift detector against the build distribution.
+* **decide** — :mod:`repro.tune.policies`: seeded-deterministic
+  policies proposing typed actions (hot-shard rebalance, grid retune,
+  drift rebuild) from one immutable signal bundle.
+* **actuate** — :mod:`repro.tune.actuators`: every action goes through
+  the store's locked, generation-bumping re-partition methods (never
+  direct shard mutation — rule RPR206), with dry-run and cooldown
+  rails; :mod:`repro.tune.audit` records every decision either way.
+
+:class:`repro.tune.engine.Tuner` wires it together and is disabled by
+default — a default-config tuner is a guaranteed serving-path no-op.
+"""
+
+from repro.tune.actuators import Actuator
+from repro.tune.audit import AuditLog, AuditRecord
+from repro.tune.engine import TuneConfig, Tuner, default_policies
+from repro.tune.policies import (
+    Action,
+    DriftRebuildPolicy,
+    GridRetunePolicy,
+    HotShardRebalancePolicy,
+    Policy,
+)
+from repro.tune.signals import (
+    DriftDetector,
+    ObservedWindow,
+    SignalBundle,
+    StatsWindow,
+    WindowSummary,
+    WorkloadObserver,
+)
+
+__all__ = [
+    "Action",
+    "Actuator",
+    "AuditLog",
+    "AuditRecord",
+    "DriftDetector",
+    "DriftRebuildPolicy",
+    "GridRetunePolicy",
+    "HotShardRebalancePolicy",
+    "ObservedWindow",
+    "Policy",
+    "SignalBundle",
+    "StatsWindow",
+    "TuneConfig",
+    "Tuner",
+    "WindowSummary",
+    "WorkloadObserver",
+    "default_policies",
+]

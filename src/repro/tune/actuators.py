@@ -1,0 +1,103 @@
+"""Actuator layer: the only component that touches the serving index.
+
+Every action routes through the store's locked re-partitioning methods
+(``rebalance`` / ``retune_shard`` / ``rebuild_shard``) — never through
+direct shard or generation mutation (rule RPR206) — so the existing
+generation machinery does the heavy lifting: result-cache entries keyed
+on the old generations become unreachable, and process-backend workers
+republish their shared-memory snapshots on the next touch.
+
+Safety rails live here rather than in the policies: ``dry_run`` records
+what *would* have happened without applying anything, and a per-kind
+cooldown (hysteresis) stops a persistent signal from thrashing the
+index with back-to-back re-partitions.  Every decision — applied,
+dry-run, cooled down, or failed — lands in the audit log.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.serve.sharding import ShardedStore
+from repro.tune.audit import AuditLog, AuditRecord
+from repro.tune.policies import Action
+
+__all__ = ["Actuator"]
+
+
+class Actuator:
+    """Applies proposed actions to a store with dry-run, cooldown, audit.
+
+    Single-caller by design: only the tuner's (serialized) step loop
+    invokes :meth:`apply`, so the cooldown bookkeeping needs no lock of
+    its own and the actuator never holds any lock across the store
+    calls — the store's re-partitioning methods do their own locking.
+    """
+
+    def __init__(self, store: ShardedStore, audit: AuditLog, *,
+                 dry_run: bool = False, cooldown_steps: int = 2) -> None:
+        if cooldown_steps < 0:
+            raise ValueError("cooldown_steps must be >= 0")
+        self._store = store
+        self._audit = audit
+        self._dry_run = bool(dry_run)
+        self._cooldown = int(cooldown_steps)
+        self._last_applied: dict[str, int] = {}
+
+    def apply(self, step: int, actions: Sequence[Action]) -> list[AuditRecord]:
+        """Run the rails on each action in order; return the audit records."""
+        records: list[AuditRecord] = []
+        applied_kinds: set[str] = set()
+        for action in actions:
+            if action.kind == "rebuild" and "rebalance" in applied_kinds:
+                # A rebalance already re-split *and* freshly rebuilt every
+                # shard this step; a follow-up rebuild would pay the full
+                # cost again for nothing.
+                records.append(self._audit.append(
+                    step, action, "subsumed",
+                    detail="rebalance this step already rebuilt every shard",
+                ))
+                continue
+            last = self._last_applied.get(action.kind)
+            if last is not None and step - last < self._cooldown:
+                records.append(self._audit.append(
+                    step, action, "cooldown",
+                    detail=(f"applied at step {last}, "
+                            f"cooling down for {self._cooldown} steps"),
+                ))
+                continue
+            if self._dry_run:
+                records.append(self._audit.append(step, action, "dry-run"))
+                continue
+            try:
+                detail = self._dispatch(action)
+            except Exception as exc:  # noqa: BLE001 - audit and continue
+                records.append(self._audit.append(
+                    step, action, "error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+            self._last_applied[action.kind] = step
+            applied_kinds.add(action.kind)
+            records.append(self._audit.append(step, action, "applied",
+                                              detail=detail))
+        return records
+
+    def _dispatch(self, action: Action) -> str:
+        """Route one action through the store's locked re-partition API."""
+        store = self._store
+        if action.kind == "rebalance":
+            version = store.rebalance(sample=action.sample)
+            return (f"bounds version {version}, "
+                    f"shard sizes {store.shard_sizes()}")
+        if action.kind == "rebuild":
+            for shard in action.shards:
+                store.rebuild_shard(shard)
+            return f"rebuilt shards {list(action.shards)}"
+        if action.kind == "retune":
+            if action.workload is None:
+                raise ValueError("retune action carries no workload boxes")
+            tuned = [shard for shard in action.shards
+                     if store.retune_shard(shard, list(action.workload))]
+            return f"retuned shards {tuned}"
+        raise ValueError(f"unknown action kind {action.kind!r}")

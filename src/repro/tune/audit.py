@@ -1,0 +1,101 @@
+"""Typed audit log: every tuning decision, applied or not, is recorded.
+
+A control plane that silently reshapes the serving index is impossible
+to operate; the audit log is the flight recorder.  Each record carries
+the proposing policy, the action, the signal values that triggered it,
+and the outcome — ``applied``, ``dry-run``, ``cooldown``, ``subsumed``, or
+``error`` — so an operator can replay exactly why the index changed
+shape (and why it sometimes deliberately did not).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.lockorder import make_lock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.tune.policies import Action
+
+__all__ = ["AuditRecord", "AuditLog"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One tuning decision: who proposed what, on what evidence, and result."""
+
+    seq: int
+    step: int
+    policy: str
+    kind: str
+    shards: tuple[int, ...]
+    reason: str
+    signal: tuple[tuple[str, float], ...]
+    outcome: str  # "applied" | "dry-run" | "cooldown" | "subsumed" | "error"
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly view for benchmark artifacts."""
+        return {
+            "seq": self.seq,
+            "step": self.step,
+            "policy": self.policy,
+            "kind": self.kind,
+            "shards": list(self.shards),
+            "reason": self.reason,
+            "signal": {name: value for name, value in self.signal},
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }
+
+
+class AuditLog:
+    """Bounded, lock-protected, append-only log of tuning decisions.
+
+    Appends come from the tuner's step loop; reads may come from any
+    thread (tests, benchmark artifact writers), so both sides take the
+    internal lock.  The deque bound keeps a long-running tuner from
+    growing without limit — old decisions age out, the recent history
+    an operator actually inspects stays.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._lock = make_lock("AuditLog._lock")
+        self._records: deque[AuditRecord] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def append(self, step: int, action: "Action", outcome: str,
+               detail: str = "") -> AuditRecord:
+        """Record one decision and return the stamped record."""
+        with self._lock:
+            self._seq += 1
+            record = AuditRecord(
+                seq=self._seq,
+                step=step,
+                policy=action.policy,
+                kind=action.kind,
+                shards=action.shards,
+                reason=action.reason,
+                signal=action.signal,
+                outcome=outcome,
+                detail=detail,
+            )
+            self._records.append(record)
+            return record
+
+    def records(self) -> list[AuditRecord]:
+        """Locked copy of the retained records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def snapshot(self) -> list[dict[str, object]]:
+        """JSON-friendly copy (for ``BENCH_tune.json`` and friends)."""
+        return [record.to_dict() for record in self.records()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

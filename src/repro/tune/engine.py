@@ -1,0 +1,321 @@
+"""The tuner: an observe→decide→actuate loop over a live index server.
+
+:class:`Tuner` wires the layers together: the server's observer hook
+feeds a :class:`~repro.tune.signals.WorkloadObserver`, each
+:meth:`Tuner.step` closes a :class:`~repro.tune.signals.StatsWindow`,
+scores drift, asks every policy for proposals, and hands them to the
+:class:`~repro.tune.actuators.Actuator` — which applies them through
+the store's locked, generation-bumping re-partition methods.
+
+Disabled by default.  With ``TuneConfig.enabled`` False (the default)
+the constructor installs no observer hook and :meth:`step` /
+:meth:`start` are no-ops, so an idle tuner adds literally zero work to
+the serving path — the parity test pins this.
+
+Locking: the tuner's own lock guards only its step gate and thread
+bookkeeping; it is never held across store, stats, observer, or audit
+calls, so the control plane adds no edges to the static lock graph —
+the concurrency analyzer's pinned sanctioned-edge set stays exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.lockorder import make_lock
+from repro.serve.server import IndexServer
+from repro.tune.actuators import Actuator
+from repro.tune.audit import AuditLog, AuditRecord
+from repro.tune.policies import (
+    DriftRebuildPolicy,
+    GridRetunePolicy,
+    HotShardRebalancePolicy,
+    Policy,
+)
+from repro.tune.signals import (
+    DriftDetector,
+    SignalBundle,
+    StatsWindow,
+    WorkloadObserver,
+)
+
+__all__ = ["TuneConfig", "Tuner", "default_policies"]
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """All tuner knobs in one frozen, serializable bag.
+
+    ``enabled`` defaults to False: constructing a :class:`Tuner` with
+    the default config is a guaranteed no-op on the serving path.
+    """
+
+    enabled: bool = False
+    interval_s: float = 0.25          # background step period
+    alpha: float = 0.5                # EWMA decay for windowed trends
+    observer_capacity: int = 4096     # workload ring size
+    audit_capacity: int = 1024
+    # Drift detector (fed the observed *written* keys).
+    drift_bins: int = 16
+    drift_threshold: float = 0.35
+    drift_hold: int = 2
+    drift_min_samples: int = 64
+    # Hot-shard rebalance policy.
+    imbalance: float = 2.0
+    min_requests: int = 256
+    min_sample: int = 64
+    max_sample: int = 4096
+    # Drift rebuild policy.
+    p99_rebuild_us: float | None = None
+    min_writes: int = 64
+    min_shard_writes: int = 1024
+    quiescence: float = 0.5
+    deep_factor: float = 3.0
+    # Grid retune policy (multi-d only).
+    retune_min_boxes: int = 32
+    # Actuator rails.
+    cooldown_steps: int = 2
+    dry_run: bool = False
+    seed: int = 0
+
+
+def default_policies(config: TuneConfig) -> tuple[Policy, ...]:
+    """The shipped policy set, parameterized by one config."""
+    return (
+        HotShardRebalancePolicy(
+            imbalance=config.imbalance,
+            min_requests=config.min_requests,
+            min_sample=config.min_sample,
+            max_sample=config.max_sample,
+            seed=config.seed,
+        ),
+        GridRetunePolicy(
+            min_boxes=config.retune_min_boxes,
+            seed=config.seed,
+        ),
+        DriftRebuildPolicy(
+            p99_us=config.p99_rebuild_us,
+            min_writes=config.min_writes,
+            min_shard_writes=config.min_shard_writes,
+            quiescence=config.quiescence,
+            deep_factor=config.deep_factor,
+        ),
+    )
+
+
+class Tuner:
+    """Self-tuning control plane for one :class:`IndexServer`.
+
+    Args:
+        server: the live server to observe and reshape.
+        config: knobs; the default config is disabled (total no-op).
+        policies: overrides :func:`default_policies` when given.
+        reference: build-time keys for the drift detector.  When None,
+            a 1-d store's keys are extracted with one full range scan at
+            attach time; multi-d stores get drift only when a reference
+            (points project to their first coordinate) is supplied.
+
+    Use either :meth:`step` synchronously (benchmark drivers call it at
+    phase boundaries, making runs deterministic) or :meth:`start` for a
+    background daemon loop.  Both routes serialize through an internal
+    gate, so a slow manual step and the background loop never interleave
+    actuations.
+    """
+
+    def __init__(self, server: IndexServer, config: TuneConfig | None = None,
+                 policies: Sequence[Policy] | None = None,
+                 reference: np.ndarray | None = None) -> None:
+        self._server = server
+        self._config = config if config is not None else TuneConfig()
+        self._audit = AuditLog(capacity=self._config.audit_capacity)
+        self._lock = make_lock("Tuner._lock")
+        self._stepping = False
+        self._step_seq = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        if not self._config.enabled:
+            # Disabled tuner: no observer hook, no window, no policies.
+            # The serving path stays byte-for-byte identical to an
+            # un-tuned server (pinned by the parity test).
+            self._observer = None
+            self._window = None
+            self._drift = None
+            self._policies: tuple[Policy, ...] = ()
+            self._actuator = None
+            return
+        store = server.store
+        self._observer = WorkloadObserver(
+            capacity=self._config.observer_capacity,
+            dims=store.dims if store.multi_dim else 0,
+        )
+        self._window = StatsWindow(server.server_stats, alpha=self._config.alpha)
+        self._drift = self._make_drift(reference)
+        # Writes routed to each shard since its last rebuild — the
+        # rebuild policy's "enough delta to be worth a re-fit" signal.
+        self._write_pressure = [0] * store.num_shards
+        self._policies = (tuple(policies) if policies is not None
+                          else default_policies(self._config))
+        self._actuator = Actuator(
+            store, self._audit,
+            dry_run=self._config.dry_run,
+            cooldown_steps=self._config.cooldown_steps,
+        )
+        # The observer object itself is the hook: it is callable (per
+        # request) and exposes observe_many for the windowed fast path.
+        server.attach_observer(self._observer, tuner=self)
+
+    def _make_drift(self, reference: np.ndarray | None) -> DriftDetector | None:
+        """Build the drift detector from the build-time key distribution."""
+        store = self._server.store
+        if reference is None:
+            if store.multi_dim:
+                return None  # no cheap full-point extraction; caller supplies
+            reference = np.asarray(
+                [key for key, _value in store.range_query_1d(-np.inf, np.inf)],
+                dtype=np.float64,
+            )
+        ref = np.asarray(reference, dtype=np.float64)
+        if ref.ndim == 2:  # points: drift watches the first coordinate
+            ref = ref[:, 0]
+        if ref.size < 2:
+            return None
+        return DriftDetector(
+            ref,
+            bins=self._config.drift_bins,
+            threshold=self._config.drift_threshold,
+            hold=self._config.drift_hold,
+            min_samples=self._config.drift_min_samples,
+        )
+
+    # -- the loop ----------------------------------------------------------
+    def step(self) -> list[AuditRecord]:
+        """One observe→decide→actuate tick; returns this step's records.
+
+        Reentrancy-safe: concurrent callers (background loop + a manual
+        benchmark call) serialize through the step gate — the loser
+        returns ``[]`` immediately rather than blocking.  The gate lock
+        is held only around the flag flips, never across store or stats
+        calls.
+        """
+        if not self._config.enabled or self._closed:
+            return []
+        with self._lock:
+            if self._stepping:
+                return []
+            self._stepping = True
+            step_seq = self._step_seq
+            self._step_seq += 1
+        try:
+            return self._run_step(step_seq)
+        finally:
+            with self._lock:
+                self._stepping = False
+
+    def _run_step(self, step_seq: int) -> list[AuditRecord]:
+        """The body of one step (gate already held by :meth:`step`)."""
+        assert self._window is not None and self._observer is not None
+        assert self._actuator is not None
+        window = self._window.advance()
+        observed = self._observer.drain()
+        if self._drift is not None:
+            drift_score = self._drift.update(observed.write_keys)
+            drift_fired = self._drift.fired
+        else:
+            drift_score, drift_fired = 0.0, False
+        store = self._server.store
+        if not store.multi_dim and observed.write_keys.size:
+            # Attribute this window's writes to the *current* boundaries
+            # and fold them into the per-shard pressure counters.  (1-d
+            # only: multi-d bounds are Morton codes, which scalar key
+            # projections cannot be ranked against.)
+            counts = np.bincount(
+                np.searchsorted(store.bounds, observed.write_keys,
+                                side="right"),
+                minlength=store.num_shards,
+            )
+            for shard in range(store.num_shards):
+                self._write_pressure[shard] += int(counts[shard])
+        signals = SignalBundle(
+            window=window,
+            observed=observed,
+            drift_score=drift_score,
+            drift_fired=drift_fired,
+            shard_sizes=tuple(store.shard_sizes()),
+            write_pressure=tuple(self._write_pressure),
+            num_shards=store.num_shards,
+            multi_dim=store.multi_dim,
+        )
+        actions = []
+        for policy in self._policies:
+            actions.extend(policy.propose(signals))
+        records = self._actuator.apply(step_seq, actions)
+        for record in records:
+            if record.outcome != "applied":
+                continue
+            if record.kind == "rebalance":
+                # A rebalance freshly rebuilt every shard from the
+                # re-split items: all delta state is gone.
+                self._write_pressure = [0] * store.num_shards
+            elif record.kind == "rebuild":
+                for shard in record.shards:
+                    self._write_pressure[shard] = 0
+        if self._drift is not None and any(
+            record.kind == "rebuild" and record.outcome == "applied"
+            for record in records
+        ):
+            # The rebuild absorbed the drifted keys into fresh models;
+            # restart the hold streak so only *new* sustained drift
+            # (vs the unchanged build-time reference) re-fires.
+            self._drift.reset()
+        return records
+
+    def start(self) -> "Tuner":
+        """Start the background control loop (daemon thread); idempotent."""
+        if not self._config.enabled:
+            return self
+        with self._lock:
+            if self._closed or self._thread is not None:
+                return self
+            thread = threading.Thread(
+                target=self._loop, name="repro-tuner", daemon=True,
+            )
+            self._thread = thread
+        thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._config.interval_s):
+            self.step()
+
+    def close(self) -> None:
+        """Stop the loop and detach from the server; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+            self._thread = None
+        self._stop.set()
+        if thread is not None:
+            thread.join(timeout=10.0)
+        if self._config.enabled:
+            self._server.attach_observer(None, tuner=None)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._config.enabled
+
+    @property
+    def audit(self) -> AuditLog:
+        """The decision log (every action, applied or not, lands here)."""
+        return self._audit
+
+    @property
+    def config(self) -> TuneConfig:
+        return self._config

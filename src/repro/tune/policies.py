@@ -1,0 +1,266 @@
+"""Policy engine: deterministic maps from observed signals to actions.
+
+Each policy is a pure decision function — it looks at one
+:class:`~repro.tune.signals.SignalBundle` and proposes zero or more
+:class:`Action` values; it never touches the store itself (the actuator
+owns application, rule RPR206 enforces the separation).  Policies are
+seeded-deterministic: the only randomness is boundary-sample
+subsampling, driven by ``np.random.default_rng(seed + window.seq)`` so
+the same workload replay proposes the same actions.
+
+Shipped policies mirror the adaptation levers the survey's systems use:
+
+* :class:`HotShardRebalancePolicy` — skew (zipfian hot spots) shows up
+  as per-shard request imbalance; re-fit the quantile / Morton-prefix
+  boundaries to a sample of the *observed* keys, the same move RMI-style
+  partitioning makes at build time, now driven by traffic.
+* :class:`GridRetunePolicy` — Flood's core insight is that the grid
+  layout should follow the *query* distribution; re-run per-dimension
+  tuning with the recently observed query boxes.
+* :class:`DriftRebuildPolicy` — when the written keys drift off the
+  build-time distribution (or the window p99 crosses an SLO), learned
+  error bounds degrade and delta buffers deepen; rebuild collapses the
+  levels and re-fits the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tune.signals import SignalBundle
+
+__all__ = [
+    "Action",
+    "Policy",
+    "HotShardRebalancePolicy",
+    "GridRetunePolicy",
+    "DriftRebuildPolicy",
+]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One proposed index change, carrying its own triggering evidence.
+
+    ``signal`` is a typed (name, value) tuple so the audit log can show
+    exactly which measurements justified the action; ``sample`` carries
+    rebalance boundary-sample keys/points and ``workload`` carries
+    retune query boxes — payload the actuator forwards to the store.
+    """
+
+    kind: str  # "rebalance" | "retune" | "rebuild"
+    policy: str
+    shards: tuple[int, ...]
+    reason: str
+    signal: tuple[tuple[str, float], ...]
+    sample: np.ndarray | None = field(default=None, compare=False)
+    workload: tuple | None = field(default=None, compare=False)
+
+
+class Policy:
+    """Base policy: a deterministic ``SignalBundle -> [Action]`` map."""
+
+    name = "policy"
+
+    def propose(self, signals: SignalBundle) -> list[Action]:
+        raise NotImplementedError
+
+
+class HotShardRebalancePolicy(Policy):
+    """Re-fit shard boundaries when window traffic concentrates on one shard.
+
+    Fires when the hottest shard's window request count reaches
+    ``imbalance`` times the fair (uniform) share, with floors on window
+    volume and observed-sample size so quiet or barely-observed windows
+    never trigger a re-partition.  The proposed action carries a
+    seeded-deterministic subsample of the observed keys (1-d) or points
+    (multi-d) for the store to fit fresh equi-depth boundaries against.
+    """
+
+    name = "hot-shard-rebalance"
+
+    def __init__(self, imbalance: float = 2.0, min_requests: int = 256,
+                 min_sample: int = 64, max_sample: int = 4096,
+                 seed: int = 0) -> None:
+        if imbalance < 1.0:
+            raise ValueError("imbalance must be >= 1.0")
+        self.imbalance = float(imbalance)
+        self.min_requests = int(min_requests)
+        self.min_sample = int(min_sample)
+        self.max_sample = int(max_sample)
+        self.seed = int(seed)
+
+    def propose(self, signals: SignalBundle) -> list[Action]:
+        if signals.num_shards < 2:
+            return []
+        window = signals.window
+        total = sum(window.per_shard_requests)
+        if total < self.min_requests:
+            return []
+        hottest = int(np.argmax(window.per_shard_requests))
+        peak = window.per_shard_requests[hottest]
+        fair = total / signals.num_shards
+        ratio = peak / fair if fair > 0 else 0.0
+        if ratio < self.imbalance:
+            return []
+        sample = signals.observed.points if signals.multi_dim else signals.observed.keys
+        if sample.shape[0] < self.min_sample:
+            return []
+        if sample.shape[0] > self.max_sample:
+            rng = np.random.default_rng(self.seed + window.seq)
+            rows = rng.choice(sample.shape[0], size=self.max_sample, replace=False)
+            sample = sample[np.sort(rows)]
+        return [Action(
+            kind="rebalance",
+            policy=self.name,
+            shards=tuple(range(signals.num_shards)),
+            reason=(
+                f"shard {hottest} took {peak}/{total} window requests "
+                f"({ratio:.2f}x fair share >= {self.imbalance:.2f}x)"
+            ),
+            signal=(
+                ("hot_shard", float(hottest)),
+                ("peak_requests", float(peak)),
+                ("window_requests", float(total)),
+                ("imbalance", round(ratio, 3)),
+            ),
+            sample=sample,
+        )]
+
+
+class GridRetunePolicy(Policy):
+    """Re-tune multi-d grid layouts from the observed query boxes.
+
+    Multi-dimensional only: proposes a per-shard ``retune`` carrying a
+    seeded-deterministic subsample of the recently observed range boxes.
+    Shards whose index exposes no ``tune`` hook simply report as
+    untuned in the actuator detail — proposing is cheap, the store
+    decides applicability.
+    """
+
+    name = "grid-retune"
+
+    def __init__(self, min_boxes: int = 32, max_boxes: int = 512,
+                 seed: int = 0) -> None:
+        self.min_boxes = int(min_boxes)
+        self.max_boxes = int(max_boxes)
+        self.seed = int(seed)
+
+    def propose(self, signals: SignalBundle) -> list[Action]:
+        if not signals.multi_dim:
+            return []
+        lo, hi = signals.observed.box_lo, signals.observed.box_hi
+        if lo.shape[0] < self.min_boxes:
+            return []
+        if lo.shape[0] > self.max_boxes:
+            rng = np.random.default_rng(self.seed + signals.window.seq)
+            rows = np.sort(rng.choice(lo.shape[0], size=self.max_boxes,
+                                      replace=False))
+            lo, hi = lo[rows], hi[rows]
+        widths = np.maximum(hi - lo, 1e-12)
+        aspect = float(np.mean(widths.max(axis=1) / widths.min(axis=1)))
+        workload = tuple((lo[i].copy(), hi[i].copy()) for i in range(lo.shape[0]))
+        return [Action(
+            kind="retune",
+            policy=self.name,
+            shards=tuple(range(signals.num_shards)),
+            reason=(
+                f"{lo.shape[0]} observed query boxes, "
+                f"mean aspect ratio {aspect:.1f}"
+            ),
+            signal=(
+                ("observed_boxes", float(lo.shape[0])),
+                ("mean_aspect", round(aspect, 3)),
+                ("window_ranges", float(signals.observed.ranges)),
+            ),
+            workload=workload,
+        )]
+
+
+class DriftRebuildPolicy(Policy):
+    """Rebuild shards when write-key drift fires or the window p99 breaks SLO.
+
+    The drift detector (fed the *written* keys) says the data under the
+    learned models no longer looks like the data they were fitted on;
+    the optional p99 threshold catches the same decay from the latency
+    side (deepening delta levels make every probe more expensive).
+
+    A re-fit costs linear time in shard size, so the proposal targets
+    only shards whose accumulated *write pressure* (writes routed to
+    them since their last rebuild) has reached ``min_shard_writes`` —
+    enough delta that collapsing it pays for the re-fit.  Timing is the
+    other half of the economics: a rebuild in the middle of an ingest
+    burst is invalidated by the very next write window, so a pressured
+    shard is proposed when the burst *subsides* — this window's write
+    count fell below ``quiescence`` of the EWMA write trend — or when
+    its pressure has run ``deep_factor`` past the floor (too deep to
+    keep waiting under a continuous write stream).  A drift trigger with
+    no shard over the pressure floor proposes nothing; a pure p99
+    trigger with no attribution falls back to all shards.  Rebuild also
+    rides the actuator's cooldown.
+    """
+
+    name = "drift-rebuild"
+
+    def __init__(self, p99_us: float | None = None, min_writes: int = 64,
+                 min_shard_writes: int = 1024, quiescence: float = 0.5,
+                 deep_factor: float = 3.0) -> None:
+        self.p99_us = None if p99_us is None else float(p99_us)
+        self.min_writes = int(min_writes)
+        self.min_shard_writes = int(min_shard_writes)
+        self.quiescence = float(quiescence)
+        self.deep_factor = float(deep_factor)
+
+    def propose(self, signals: SignalBundle) -> list[Action]:
+        window = signals.window
+        pressured = tuple(
+            s for s, pressure in enumerate(signals.write_pressure)
+            if pressure >= self.min_shard_writes
+        )
+        deep = tuple(
+            s for s, pressure in enumerate(signals.write_pressure)
+            if pressure >= self.deep_factor * self.min_shard_writes
+        )
+        triggers = []
+        shards: tuple[int, ...] = ()
+        if (signals.drift_fired and pressured
+                and window.ewma_writes >= self.min_writes):
+            subsided = (window.writes
+                        <= self.quiescence * window.ewma_writes)
+            if subsided:
+                triggers.append(
+                    f"write-key drift {signals.drift_score:.2f} held and "
+                    f"burst subsided ({window.writes} window writes vs "
+                    f"{window.ewma_writes:.0f} trend)"
+                )
+                shards = pressured
+            elif deep:
+                triggers.append(
+                    f"write-key drift {signals.drift_score:.2f} held and "
+                    f"pressure ran {self.deep_factor:.0f}x past the floor"
+                )
+                shards = deep
+        p99 = window.latency["p99_us"]
+        if (self.p99_us is not None and window.responses > 0
+                and p99 > self.p99_us):
+            triggers.append(f"window p99 {p99:.0f}us > {self.p99_us:.0f}us")
+            if not shards:
+                shards = pressured or tuple(range(signals.num_shards))
+        if not triggers or not shards:
+            return []
+        return [Action(
+            kind="rebuild",
+            policy=self.name,
+            shards=shards,
+            reason="; ".join(triggers) + f"; pressured shards {list(shards)}",
+            signal=(
+                ("drift_score", round(signals.drift_score, 4)),
+                ("drift_fired", float(signals.drift_fired)),
+                ("window_writes", float(window.writes)),
+                ("ewma_writes", round(window.ewma_writes, 1)),
+                ("window_p99_us", round(p99, 1)),
+                ("max_pressure", float(max(signals.write_pressure, default=0))),
+            ),
+        )]

@@ -1,0 +1,464 @@
+"""Signal layer: windowed stats, workload observation, drift detection.
+
+The serving stack already records everything a control plane needs —
+``ServerStats`` keeps cumulative counters and latency buckets, and every
+submitted request passes through one observer hook — but policies want
+*windows*, not lifetime totals.  This module turns the raw feeds into
+three signals:
+
+* :class:`StatsWindow` — exact per-window deltas of two consecutive
+  :meth:`~repro.serve.stats.ServerStats.tuning_snapshot` copies
+  (histogram bucket subtraction included, so a window has its own p99),
+  plus exponentially decayed (EWMA) trends for hysteresis.
+* :class:`WorkloadObserver` — bounded, lock-protected rings of the
+  observed keys / points / query boxes, appended on the client threads
+  by the server's observer hook.  Rings hold the most recent
+  ``capacity`` observations, which is exactly the "recent workload
+  shape" the boundary and grid policies resample from.
+* :class:`DriftDetector` — total-variation distance between an observed
+  key stream and the *build-time* key distribution, binned at the build
+  distribution's own equi-depth quantiles (so the no-drift score is ~0
+  by construction); fires only after ``hold`` consecutive windows over
+  the threshold, which keeps one noisy window from triggering a
+  rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.lockorder import make_lock
+from repro.serve.requests import Op, Request
+from repro.serve.stats import LatencyHistogram, ServerStats
+
+__all__ = [
+    "WindowSummary",
+    "StatsWindow",
+    "ObservedWindow",
+    "WorkloadObserver",
+    "DriftDetector",
+    "SignalBundle",
+]
+
+#: Ops whose scalar key (or dim-0 coordinate) feeds the key rings.
+_READ_KEY_OPS = frozenset({Op.LOOKUP, Op.CONTAINS, Op.POINT_QUERY, Op.KNN})
+_WRITE_OPS = frozenset({Op.INSERT, Op.DELETE})
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """Exact counter deltas for one observation window, plus EWMA trends."""
+
+    seq: int
+    requests: int
+    responses: int
+    shed: int
+    writes: int
+    cache_hits: int
+    cache_misses: int
+    batches: int
+    batched_requests: int
+    per_shard_requests: tuple[int, ...]
+    per_shard_batches: tuple[int, ...]
+    latency: dict[str, float]
+    ewma_requests: float
+    ewma_writes: float
+    ewma_p99_us: float
+    ewma_per_shard: tuple[float, ...]
+
+
+class StatsWindow:
+    """Exact windowed + exponentially decayed views over ``ServerStats``.
+
+    ``ServerStats`` counters are cumulative; :meth:`advance` subtracts
+    the previous :meth:`~repro.serve.stats.ServerStats.tuning_snapshot`
+    from the current one, so every window field is an exact delta (the
+    snapshot itself is taken under the stats lock, one acquisition for
+    all counters).  The window latency histogram is reconstructed from
+    the subtracted raw bucket counts — window p50/p95/p99 are real, not
+    an average of averages.  ``max_us`` is the lifetime maximum (maxima
+    do not subtract), documented as an upper bound for the window.
+
+    Single-caller by design: only the tuner's step loop advances a
+    window; concurrent recorder threads are handled by the stats lock.
+    """
+
+    def __init__(self, stats: ServerStats, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._stats = stats
+        self._alpha = float(alpha)
+        self._prev = stats.tuning_snapshot()
+        self._seq = 0
+        self._ewma_requests = 0.0
+        self._ewma_writes = 0.0
+        self._ewma_p99_us = 0.0
+        self._ewma_per_shard = [0.0] * stats.num_shards
+
+    def _decay(self, ewma: float, value: float) -> float:
+        if self._seq == 1:  # seed the EWMA with the first window
+            return value
+        return self._alpha * value + (1.0 - self._alpha) * ewma
+
+    def advance(self) -> WindowSummary:
+        """Close the current window and return its exact summary."""
+        cur = self._stats.tuning_snapshot()
+        prev, self._prev = self._prev, cur
+        self._seq += 1
+
+        hist = LatencyHistogram()
+        hist.counts = [
+            int(c) - int(p)
+            for c, p in zip(cur["latency_counts"], prev["latency_counts"])  # type: ignore[index]
+        ]
+        hist.total = int(cur["latency_total"]) - int(prev["latency_total"])  # type: ignore[call-overload]
+        hist.sum_seconds = (
+            float(cur["latency_sum_seconds"]) - float(prev["latency_sum_seconds"])  # type: ignore[arg-type]
+        )
+        hist.max_seconds = float(cur["latency_max_seconds"])  # type: ignore[arg-type]
+        latency = hist.snapshot()
+
+        def delta(name: str) -> int:
+            return int(cur[name]) - int(prev[name])  # type: ignore[call-overload]
+
+        per_shard = tuple(
+            int(c) - int(p)
+            for c, p in zip(cur["per_shard_requests"], prev["per_shard_requests"])  # type: ignore[index]
+        )
+        per_shard_batches = tuple(
+            int(c) - int(p)
+            for c, p in zip(cur["per_shard_batches"], prev["per_shard_batches"])  # type: ignore[index]
+        )
+        requests = delta("requests")
+        writes = delta("writes")
+        self._ewma_requests = self._decay(self._ewma_requests, float(requests))
+        self._ewma_writes = self._decay(self._ewma_writes, float(writes))
+        self._ewma_p99_us = self._decay(self._ewma_p99_us, latency["p99_us"])
+        self._ewma_per_shard = [
+            self._decay(e, float(v))
+            for e, v in zip(self._ewma_per_shard, per_shard)
+        ]
+        return WindowSummary(
+            seq=self._seq,
+            requests=requests,
+            responses=delta("responses"),
+            shed=delta("shed"),
+            writes=writes,
+            cache_hits=delta("cache_hits"),
+            cache_misses=delta("cache_misses"),
+            batches=delta("batches"),
+            batched_requests=delta("batched_requests"),
+            per_shard_requests=per_shard,
+            per_shard_batches=per_shard_batches,
+            latency=latency,
+            ewma_requests=self._ewma_requests,
+            ewma_writes=self._ewma_writes,
+            ewma_p99_us=self._ewma_p99_us,
+            ewma_per_shard=tuple(self._ewma_per_shard),
+        )
+
+
+@dataclass(frozen=True)
+class ObservedWindow:
+    """One drained view of the workload rings + per-window observations.
+
+    The rings (``keys``/``points``/boxes) are *recency* windows — they
+    keep the last ``capacity`` observations across drains, which is the
+    sample re-partitioning policies want.  ``write_keys`` is strictly
+    *this window's* written keys (cleared on every drain, capped at
+    ``capacity``): the drift detector and per-shard write attribution
+    need each window scored independently, not a sliding mixture.
+    """
+
+    keys: np.ndarray          # scalar key projections of recent keyed reads+writes
+    write_keys: np.ndarray    # scalar key projections of THIS window's writes
+    points: np.ndarray        # full points of recent multi-d point ops (n, dims)
+    box_lo: np.ndarray        # recent range-query box corners (n, dims)
+    box_hi: np.ndarray
+    reads: int                # window op counts since the previous drain
+    writes: int
+    ranges: int
+
+
+class _Ring:
+    """Fixed-capacity overwrite ring of float rows (no locking of its own)."""
+
+    def __init__(self, capacity: int, width: int) -> None:
+        self._data = np.empty((capacity, width), dtype=np.float64)
+        self._next = 0
+        self._filled = 0
+
+    def push(self, row: object) -> None:
+        self._data[self._next] = row
+        self._next = (self._next + 1) % self._data.shape[0]
+        if self._filled < self._data.shape[0]:
+            self._filled += 1
+
+    def extend(self, rows: np.ndarray) -> None:
+        """Bulk-push ``rows`` (n, width) with wraparound slice writes."""
+        cap = self._data.shape[0]
+        n = rows.shape[0]
+        if n >= cap:
+            self._data[:] = rows[-cap:]
+            self._next = 0
+            self._filled = cap
+            return
+        end = self._next + n
+        if end <= cap:
+            self._data[self._next:end] = rows
+        else:
+            first = cap - self._next
+            self._data[self._next:] = rows[:first]
+            self._data[:end - cap] = rows[first:]
+        self._next = end % cap
+        self._filled = min(cap, self._filled + n)
+
+    def copy(self) -> np.ndarray:
+        return self._data[: self._filled].copy()
+
+
+class WorkloadObserver:
+    """Bounded, lock-protected recorder of the observed request shapes.
+
+    :meth:`observe` is the server's per-request hook — it appends the
+    request's key / point / box into preallocated overwrite rings under
+    one internal lock (a few array writes per request; the rings never
+    grow).  :meth:`drain` copies the ring contents and resets the
+    per-window op counts, while the rings themselves keep holding the
+    most recent ``capacity`` observations — a sliding recency window,
+    which is what the re-partitioning policies resample boundaries from.
+    """
+
+    def __init__(self, capacity: int = 4096, dims: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.dims = dims
+        self._lock = make_lock("WorkloadObserver._lock")
+        self._keys = _Ring(capacity, 1)
+        self._write_keys: list[float] = []
+        self._points = _Ring(capacity, max(dims, 1))
+        self._box_lo = _Ring(capacity, max(dims, 1))
+        self._box_hi = _Ring(capacity, max(dims, 1))
+        self._reads = 0
+        self._writes = 0
+        self._ranges = 0
+
+    def _scalar_of(self, request: Request) -> float | None:
+        if request.key is not None:
+            return float(request.key)
+        if request.point is not None:
+            return float(request.point[0])
+        return None
+
+    def _observe_locked(self, request: Request) -> None:
+        """Record one request; the caller holds the observer lock."""
+        op = request.op
+        if op in _READ_KEY_OPS or op in _WRITE_OPS:
+            scalar = self._scalar_of(request)
+            if scalar is not None:
+                self._keys.push(scalar)
+                if op in _WRITE_OPS and len(self._write_keys) < self.capacity:
+                    self._write_keys.append(scalar)
+            if request.point is not None and self.dims:
+                self._points.push(request.point)
+            if op in _WRITE_OPS:
+                self._writes += 1
+            else:
+                self._reads += 1
+        elif op in (Op.RANGE_1D, Op.RANGE_QUERY):
+            if op is Op.RANGE_1D:
+                self._box_lo.push(float(request.low))  # type: ignore[arg-type]
+                self._box_hi.push(float(request.high))  # type: ignore[arg-type]
+            else:
+                self._box_lo.push(request.low)
+                self._box_hi.push(request.high)
+            self._ranges += 1
+
+    def observe(self, request: Request) -> None:
+        """Record one request (called on the submitting client thread)."""
+        with self._lock:
+            self._observe_locked(request)
+
+    def observe_many(self, requests: Sequence[Request]) -> None:
+        """Record a whole submission window in one bulk insertion.
+
+        The server's windowed submission paths use this batch hook: the
+        per-request field extraction runs lock-free into local lists,
+        then one lock acquisition slides everything into the rings with
+        vectorized wraparound writes — concurrent client threads contend
+        once per window, not once per request, and the per-request cost
+        drops to a couple of list appends.
+        """
+        read_ops = _READ_KEY_OPS
+        write_ops = _WRITE_OPS
+        scalars: list[float] = []       # keyed reads+writes, arrival order
+        write_keys: list[float] = []
+        points: list[object] = []
+        boxes: list[Request] = []
+        reads = writes = 0
+        want_points = bool(self.dims)
+        for request in requests:
+            op = request.op
+            if op in read_ops or op in write_ops:
+                key = request.key
+                point = request.point
+                if key is not None:
+                    scalar = float(key)
+                elif point is not None:
+                    scalar = float(point[0])
+                else:
+                    scalar = None
+                if op in write_ops:
+                    if scalar is not None:
+                        scalars.append(scalar)
+                        write_keys.append(scalar)
+                    writes += 1
+                else:
+                    if scalar is not None:
+                        scalars.append(scalar)
+                    reads += 1
+                if want_points and point is not None:
+                    points.append(point)
+            elif op is Op.RANGE_1D or op is Op.RANGE_QUERY:
+                boxes.append(request)
+        with self._lock:
+            if scalars:
+                self._keys.extend(
+                    np.asarray(scalars, dtype=np.float64).reshape(-1, 1)
+                )
+            if write_keys:
+                room = self.capacity - len(self._write_keys)
+                if room > 0:
+                    self._write_keys.extend(write_keys[:room])
+            if points:
+                self._points.extend(
+                    np.asarray(points, dtype=np.float64).reshape(len(points), -1)
+                )
+            for request in boxes:
+                if request.op is Op.RANGE_1D:
+                    self._box_lo.push(float(request.low))  # type: ignore[arg-type]
+                    self._box_hi.push(float(request.high))  # type: ignore[arg-type]
+                else:
+                    self._box_lo.push(request.low)
+                    self._box_hi.push(request.high)
+                self._ranges += 1
+            self._reads += reads
+            self._writes += writes
+
+    __call__ = observe
+
+    def drain(self) -> ObservedWindow:
+        """Copy the rings and reset the window op counts (locked)."""
+        with self._lock:
+            window = ObservedWindow(
+                keys=self._keys.copy().reshape(-1),
+                write_keys=np.asarray(self._write_keys, dtype=np.float64),
+                points=self._points.copy(),
+                box_lo=self._box_lo.copy(),
+                box_hi=self._box_hi.copy(),
+                reads=self._reads,
+                writes=self._writes,
+                ranges=self._ranges,
+            )
+            self._write_keys = []
+            self._reads = 0
+            self._writes = 0
+            self._ranges = 0
+        return window
+
+
+class DriftDetector:
+    """Total-variation drift of observed keys vs the build distribution.
+
+    The reference histogram uses *equi-depth* bin edges over the
+    build-time keys, so the reference mass is uniform (``1/bins`` per
+    bin) by construction and the drift score is simply the total
+    variation distance ``0.5 * sum |observed_frac - 1/bins|``: ~0 when
+    the observed stream matches the build distribution, approaching 1
+    when all observed mass lands where the build had (almost) none.
+
+    Hysteresis: :attr:`fired` only after ``hold`` consecutive
+    :meth:`update` calls scored at or above ``threshold``; a window with
+    fewer than ``min_samples`` observations is no evidence either way
+    (score 0.0, streak untouched).  Single-caller by design (the tuner
+    step loop); multi-d stores project points to their first coordinate
+    before feeding the detector.
+    """
+
+    def __init__(self, reference: np.ndarray, bins: int = 16,
+                 threshold: float = 0.35, hold: int = 2,
+                 min_samples: int = 64) -> None:
+        ref = np.asarray(reference, dtype=np.float64).reshape(-1)
+        if ref.size < 2:
+            raise ValueError("drift reference needs at least 2 keys")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if hold < 1:
+            raise ValueError("hold must be >= 1")
+        self.bins = max(2, min(int(bins), ref.size))
+        self.threshold = float(threshold)
+        self.hold = int(hold)
+        self.min_samples = int(min_samples)
+        ordered = np.sort(ref)
+        self._edges = np.asarray([
+            ordered[(b * ordered.size) // self.bins]
+            for b in range(1, self.bins)
+        ])
+        self._streak = 0
+        self._last = 0.0
+
+    def update(self, observed: np.ndarray) -> float:
+        """Score one window of observed keys; advances the hold streak."""
+        obs = np.asarray(observed, dtype=np.float64).reshape(-1)
+        if obs.size < self.min_samples:
+            return 0.0
+        bin_ids = np.searchsorted(self._edges, obs, side="right")
+        counts = np.bincount(bin_ids, minlength=self.bins)
+        frac = counts / obs.size
+        score = float(0.5 * np.abs(frac - 1.0 / self.bins).sum())
+        if score >= self.threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        self._last = score
+        return score
+
+    @property
+    def score(self) -> float:
+        """The most recent window's drift score."""
+        return self._last
+
+    @property
+    def fired(self) -> bool:
+        """True once ``hold`` consecutive windows crossed the threshold."""
+        return self._streak >= self.hold
+
+    def reset(self) -> None:
+        """Clear the hold streak (called after a rebuild is applied)."""
+        self._streak = 0
+
+
+@dataclass(frozen=True)
+class SignalBundle:
+    """Everything a policy may look at for one tuning step.
+
+    ``write_pressure`` attributes observed write keys to the *current*
+    shard boundaries (the tuner routes them through the store's public
+    bounds) and accumulates them across windows until a rebuild or
+    rebalance absorbs that shard's delta state — so rebuild policies
+    can target the shards that have actually degraded, and only once
+    enough delta has piled up to be worth a linear-time re-fit.
+    """
+
+    window: WindowSummary
+    observed: ObservedWindow
+    drift_score: float
+    drift_fired: bool
+    shard_sizes: tuple[int, ...]
+    write_pressure: tuple[int, ...]
+    num_shards: int
+    multi_dim: bool

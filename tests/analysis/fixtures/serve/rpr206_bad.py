@@ -1,0 +1,16 @@
+"""RPR206 positive fixture: a re-partition method with no generation write."""
+
+
+class LeakyStore:
+    def __init__(self):
+        self.shards = []
+        self.generations = []
+
+    def rebuild_shard(self, shard):
+        # BAD: mutates the shard but never bumps its generation, so
+        # caches keyed on the old generation keep serving stale hits.
+        self.shards[shard] = object()
+
+    def retune_shard(self, shard, workload):
+        # BAD: same leak on the retune path.
+        self.shards[shard] = object()

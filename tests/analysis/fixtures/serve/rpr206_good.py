@@ -1,0 +1,20 @@
+"""RPR206 negative fixture: re-partition methods that version their work."""
+
+
+class VersionedStore:
+    def __init__(self):
+        self.shards = []
+        self.generations = []
+
+    def rebuild_shard(self, shard):
+        self.shards[shard] = object()
+        self.generations[shard] += 1
+
+    def retune_shard(self, shard, workload):
+        self.shards[shard] = object()
+        self.generations[shard] += 1
+
+    def rebalance(self, sample=None):
+        # Delegation to a same-class family method is sanctioned.
+        for shard in range(len(self.shards)):
+            self.rebuild_shard(shard)

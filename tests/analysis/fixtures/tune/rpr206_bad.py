@@ -1,0 +1,24 @@
+"""RPR206 positive fixture: control-plane code reaching past the store API."""
+
+
+class RogueActuator:
+    def __init__(self, store):
+        self.store = store
+
+    def apply_rebuild(self, shard):
+        # BAD: mutating a shard object directly, no lock, no generation.
+        self.store.shards[shard].compact()
+
+    def apply_rebalance(self, bounds):
+        # BAD: hand-writing the split keys and version word.
+        self.store._bounds = bounds
+        self.store._bounds_version += 1
+
+    def bump(self, shard):
+        # BAD: generation bookkeeping belongs to the store's methods.
+        self.store.generations[shard] += 1
+
+    def peek(self, shard):
+        # BAD: reading store-private lock state from the control plane.
+        with self.store._locks[shard]:
+            return self.store.shards[shard]

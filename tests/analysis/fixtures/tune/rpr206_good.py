@@ -1,0 +1,19 @@
+"""RPR206 negative fixture: actuations via the store's public surface."""
+
+
+class DisciplinedActuator:
+    def __init__(self, store):
+        self.store = store
+
+    def apply_rebuild(self, shard):
+        self.store.rebuild_shard(shard)
+
+    def apply_rebalance(self, sample):
+        self.store.rebalance(sample=sample)
+
+    def apply_retune(self, shard, workload):
+        self.store.retune_shard(shard, workload)
+
+    def observe(self):
+        # Public read-only surface is fine.
+        return self.store.bounds, self.store.shard_sizes()

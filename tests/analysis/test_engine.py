@@ -70,7 +70,7 @@ class TestCLI:
         expected = {f"RPR00{i}" for i in range(1, 10)}
         expected |= {"RPR010", "RPR011", "RPR012"}
         expected |= {f"RPR10{i}" for i in range(1, 5)}
-        expected |= {f"RPR20{i}" for i in range(1, 6)}
+        expected |= {f"RPR20{i}" for i in range(1, 7)}
         expected |= {f"RPR30{i}" for i in range(1, 4)}
         assert set(payload["rules"]) == expected
 
@@ -104,7 +104,7 @@ class TestCLI:
         ])
         out = capsys.readouterr().out
         assert "RPR102" not in out
-        assert "20 rule(s)" in out
+        assert "21 rule(s)" in out
         del code  # exit code depends on other rules; selection is the contract
 
     def test_select_unmatched_pattern_is_usage_error(self, capsys):

@@ -30,11 +30,11 @@ def findings_for(rule_id: str, *fixture_names: str):
 
 
 class TestRuleRegistry:
-    def test_all_twenty_four_rules_registered(self):
+    def test_all_twenty_five_rules_registered(self):
         expected = [f"RPR00{i}" for i in range(1, 10)]
         expected += ["RPR010", "RPR011", "RPR012"]
         expected += [f"RPR10{i}" for i in range(1, 5)]
-        expected += [f"RPR20{i}" for i in range(1, 6)]
+        expected += [f"RPR20{i}" for i in range(1, 7)]
         expected += [f"RPR30{i}" for i in range(1, 4)]
         assert sorted(RULES) == expected
         assert sorted(RULE_METADATA) == sorted(RULES)
@@ -446,3 +446,50 @@ class TestSuppression:
         result = run_analysis(ctx)
         assert result.findings == []
         assert {f.rule_id for f in result.suppressed} == {"RPR003", "RPR006"}
+
+
+class TestRPR206TunerActuationDiscipline:
+    def test_fires_on_control_plane_store_mutations(self):
+        findings = findings_for("RPR206", "tune/rpr206_bad.py")
+        messages = "\n".join(f.message for f in findings)
+        assert "'.compact()' on a shard object" in messages
+        assert "'._bounds'" in messages
+        assert "'._bounds_version'" in messages
+        assert "'.generations'" in messages
+        assert "store-private '._locks'" in messages
+        assert len(findings) >= 5
+
+    def test_quiet_on_public_repartition_surface(self):
+        assert findings_for("RPR206", "tune/rpr206_good.py") == []
+
+    def test_fires_on_bumpless_serve_repartition(self):
+        findings = findings_for("RPR206", "serve/rpr206_bad.py")
+        assert len(findings) == 2
+        assert any("LeakyStore.rebuild_shard" in f.message for f in findings)
+        assert any("LeakyStore.retune_shard" in f.message for f in findings)
+
+    def test_quiet_on_versioned_and_delegating_repartition(self):
+        assert findings_for("RPR206", "serve/rpr206_good.py") == []
+
+    def test_scoped_to_tune_and_serve_paths(self):
+        # The same store pokes outside a tune/ directory are ignored:
+        # the rule encodes the control-plane contract, not a repo-wide
+        # style ban.
+        import shutil
+
+        src = FIXTURES / "tune" / "rpr206_bad.py"
+        outside = FIXTURES / "rpr206_outside_scope.py"
+        shutil.copyfile(src, outside)
+        try:
+            assert findings_for("RPR206", "rpr206_outside_scope.py") == []
+        finally:
+            outside.unlink()
+
+    def test_live_tune_package_is_clean(self):
+        repo = Path(__file__).resolve().parents[2]
+        ctx = build_context(
+            repo, paths=[repo / "src" / "repro" / "tune",
+                         repo / "src" / "repro" / "serve"],
+            use_registry=False,
+        )
+        assert run_analysis(ctx, ["RPR206"]).findings == []

@@ -1,0 +1,83 @@
+"""Tests for E23 (self-tuning vs static under drift) and its artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.tuning import DEFAULT_E23_TUNE, run_e23
+
+_AUDIT_OUTCOMES = {"applied", "dry-run", "cooldown", "subsumed", "error"}
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    """One shared smoke run: the arms are the expensive part."""
+    out = tmp_path_factory.mktemp("e23") / "BENCH_tune.json"
+    rows = run_e23(smoke=True, out=str(out))
+    return rows, out
+
+
+class TestRunE23:
+    def test_both_arms_complete_the_identical_schedule(self, smoke):
+        rows, _out = smoke
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["index"] == "dynamic-pgm"
+        assert row["tuned"]["completed"] == row["static"]["completed"] > 0
+        for arm in ("tuned", "static"):
+            assert row[arm]["ops_per_s"] > 0
+            assert row[arm]["p99_us"] > 0
+            assert len(row[arm]["phase_ops_per_s"]) == row["phases"]
+        assert row["tuned_vs_static"] == pytest.approx(
+            row["tuned"]["ops_per_s"] / row["static"]["ops_per_s"]
+        )
+
+    def test_tuned_arm_carries_a_complete_audit(self, smoke):
+        rows, _out = smoke
+        tuned = rows[0]["tuned"]
+        assert "audit" not in rows[0]["static"]
+        assert tuned["actions_applied"] == sum(
+            1 for record in tuned["audit"] if record["outcome"] == "applied"
+        )
+        for record in tuned["audit"]:
+            # Every decision is traceable: policy, outcome, and the
+            # signal values that triggered it.
+            assert record["outcome"] in _AUDIT_OUTCOMES
+            assert record["policy"]
+            assert isinstance(record["signal"], dict) and record["signal"]
+
+    def test_json_artifact_shape_and_environment(self, smoke):
+        _rows, out = smoke
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "E23"
+        assert payload["workload"] == "drifting"
+        assert "python" in payload["environment"]
+        assert set(payload["results"]) == {"1d/dynamic-pgm/shards=4"}
+        entry = payload["results"]["1d/dynamic-pgm/shards=4"]
+        assert {"tuned", "static", "tuned_vs_static",
+                "p99_ratio", "clients", "pipeline"} == set(entry)
+        assert "audit" in entry["tuned"]
+
+    def test_out_none_skips_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_e23(n=2000, requests=1200, phases=2, steps_per_phase=2,
+                clients=2, pipeline=16, out=None)
+        assert not list(tmp_path.iterdir())
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(KeyError, match="no-such-index"):
+            run_e23(index="no-such-index", smoke=True, out=None)
+
+
+class TestE23Registration:
+    def test_registered_with_the_cli(self):
+        assert "E23" in EXPERIMENTS
+        assert "self-tuning" in EXPERIMENTS["E23"].description
+
+    def test_default_tune_config_is_enabled_and_seeded(self):
+        assert DEFAULT_E23_TUNE.enabled
+        assert DEFAULT_E23_TUNE.seed == 0
+        assert DEFAULT_E23_TUNE.cooldown_steps == 1

@@ -59,7 +59,8 @@ class TestHeadlines:
             extract_headlines({"experiment": "E99", "results": {}})
 
     def test_every_registered_experiment_has_a_key(self):
-        assert set(HEADLINE_KEYS) == {"E17", "E18", "E19", "E20", "E21", "E22"}
+        assert set(HEADLINE_KEYS) == {"E17", "E18", "E19", "E20", "E21",
+                                      "E22", "E23"}
 
 
 class TestSignature:

@@ -11,7 +11,14 @@ from repro.serve import (
     make_workload,
     run_closed_loop,
 )
-from repro.serve.workload import mixed, read_heavy, write_heavy, zipfian_hot_key
+from repro.serve.workload import (
+    drifting,
+    drifting_phases,
+    mixed,
+    read_heavy,
+    write_heavy,
+    zipfian_hot_key,
+)
 
 
 def _keys(n=500, seed=0):
@@ -79,8 +86,117 @@ class TestRegistry:
         with pytest.raises(KeyError, match="no-such"):
             make_workload("no-such", _keys(), 10)
 
-    def test_registry_has_the_four_named_workloads(self):
-        assert set(WORKLOADS) == {"read-heavy", "write-heavy", "mixed", "zipfian"}
+    def test_registry_has_the_five_named_workloads(self):
+        assert set(WORKLOADS) == {"read-heavy", "write-heavy", "mixed",
+                                  "zipfian", "drifting"}
+
+
+class TestDrifting:
+    """The E23 adversary: moving hotspot, flipping mix, dwell, background."""
+
+    def _bands(self, phases):
+        """Read-key span per phase (inserts excluded: they sample the band)."""
+        spans = []
+        for reqs in phases:
+            keys = [r.key for r in reqs if r.op is Op.LOOKUP]
+            spans.append((min(keys), max(keys)))
+        return spans
+
+    def test_same_seed_is_fully_deterministic(self):
+        keys = _keys()
+        a = drifting(keys, 600, seed=42, background=0.2, dwell=2)
+        b = drifting(keys, 600, seed=42, background=0.2, dwell=2)
+        assert [(r.op, r.key, r.value) for r in a] == \
+            [(r.op, r.key, r.value) for r in b]
+        c = drifting(keys, 600, seed=43, background=0.2, dwell=2)
+        assert [(r.op, r.key) for r in a] != [(r.op, r.key) for r in c]
+
+    def test_hotspot_moves_between_phases(self):
+        keys = np.sort(_keys(2000))
+        phases = drifting_phases(keys, 3000, seed=1, phases=6,
+                                 band_frac=0.2, write_ratios=(0.0,))
+        spans = self._bands(phases)
+        # Every phase reads a narrow band, and consecutive phases read
+        # different bands (positions are a seeded permutation).
+        for lo, hi in spans:
+            assert hi - lo < (keys[-1] - keys[0]) * 0.5
+        assert len(set(spans)) == 6
+
+    def test_dwell_holds_each_band_for_consecutive_phases(self):
+        keys = np.sort(_keys(2000))
+        phases = drifting_phases(keys, 3000, seed=2, phases=6, dwell=2,
+                                 band_frac=0.2, write_ratios=(0.0,))
+        span = keys[-1] - keys[0]
+        mids = [float(np.median([r.key for r in reqs if r.op is Op.LOOKUP]))
+                for reqs in phases]
+        # Paired phases read the SAME band; the three pairs read
+        # three different bands.
+        for a, b in ((0, 1), (2, 3), (4, 5)):
+            assert abs(mids[a] - mids[b]) < span * 0.05
+        pair_mids = [mids[0], mids[2], mids[4]]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert abs(pair_mids[i] - pair_mids[j]) > span * 0.1
+
+    def test_write_ratios_cycle_per_phase(self):
+        keys = _keys(2000)
+        phases = drifting_phases(keys, 4000, seed=3, phases=4,
+                                 write_ratios=(0.7, 0.02))
+        fracs = [sum(r.op is Op.INSERT for r in reqs) / len(reqs)
+                 for reqs in phases]
+        assert fracs[0] > 0.5 and fracs[2] > 0.5   # burst phases
+        assert fracs[1] < 0.1 and fracs[3] < 0.1   # analyze phases
+
+    def test_background_reads_escape_the_band(self):
+        keys = np.sort(_keys(2000))
+        banded = drifting_phases(keys, 2000, seed=4, phases=1,
+                                 band_frac=0.1, write_ratios=(0.0,),
+                                 background=0.0)
+        mixed_in = drifting_phases(keys, 2000, seed=4, phases=1,
+                                   band_frac=0.1, write_ratios=(0.0,),
+                                   background=0.5)
+        span = keys[-1] - keys[0]
+        lo, hi = self._bands(banded)[0]
+        assert hi - lo < span * 0.3
+        lo, hi = self._bands(mixed_in)[0]
+        assert hi - lo > span * 0.6  # uniform probes cover the keyspace
+
+    def test_writes_land_inside_the_current_band(self):
+        keys = np.sort(_keys(2000))
+        phases = drifting_phases(keys, 2000, seed=5, phases=2, dwell=1,
+                                 band_frac=0.2, write_ratios=(0.5,),
+                                 background=0.0)
+        span = keys[-1] - keys[0]
+        for reqs in phases:
+            read_lo = min(r.key for r in reqs if r.op is Op.LOOKUP)
+            read_hi = max(r.key for r in reqs if r.op is Op.LOOKUP)
+            inserted = [r.key for r in reqs if r.op is Op.INSERT]
+            # Inserts draw uniformly over the band; observed reads are a
+            # zipf sample of it, so allow a small edge margin.
+            assert min(inserted) >= read_lo - span * 0.05
+            assert max(inserted) <= read_hi + span * 0.05
+            assert max(inserted) - min(inserted) < span * 0.35
+
+    def test_rejects_degenerate_parameters(self):
+        keys = _keys(100)
+        with pytest.raises(ValueError):
+            drifting_phases(keys, 100, phases=0)
+        with pytest.raises(ValueError):
+            drifting_phases(keys, 100, band_frac=0.0)
+        with pytest.raises(ValueError):
+            drifting_phases(keys, 100, write_ratios=())
+        with pytest.raises(ValueError):
+            drifting_phases(keys, 100, background=1.5)
+        with pytest.raises(ValueError):
+            drifting_phases(keys, 100, dwell=0)
+
+    def test_multi_dim_phases_carry_points(self):
+        pts = _points(800)
+        phases = drifting_phases(pts, 800, seed=6, multi_dim=True, phases=2,
+                                 write_ratios=(0.3,))
+        ops = {r.op for reqs in phases for r in reqs}
+        assert ops <= {Op.POINT_QUERY, Op.INSERT}
+        assert all(r.point is not None for reqs in phases for r in reqs)
 
 
 class TestDriver:

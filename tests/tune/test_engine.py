@@ -1,0 +1,240 @@
+"""Tuner loop + actuator rails: parity no-op, dry-run, cooldown, audit."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.baselines import SortedArrayIndex
+from repro.serve import IndexServer, ShardedStore
+from repro.tune.actuators import Actuator
+from repro.tune.audit import AuditLog
+from repro.tune.engine import TuneConfig, Tuner, default_policies
+from repro.tune.policies import Action, Policy
+
+
+def _keys(n=1000):
+    return np.linspace(0.0, 1000.0, n, endpoint=False)
+
+
+def _tune_config(**overrides):
+    base = dict(
+        enabled=True,
+        min_requests=64,
+        min_sample=16,
+        imbalance=2.0,
+        cooldown_steps=2,
+        drift_threshold=1.0,  # keep drift out of rebalance-focused tests
+    )
+    base.update(overrides)
+    return TuneConfig(**base)
+
+
+def _hammer_hot_shard(server, rounds=200, base=0.0):
+    """Read only a narrow band so one shard takes ~all the window traffic."""
+    for i in range(rounds):
+        server.lookup(base + float(i % 200))
+
+
+def _rebalance_action(sample):
+    return Action(kind="rebalance", policy="test", shards=(0, 1, 2, 3),
+                  reason="test", signal=(("x", 1.0),), sample=sample)
+
+
+def _rebuild_action(shards=(0,)):
+    return Action(kind="rebuild", policy="test", shards=tuple(shards),
+                  reason="test", signal=(("x", 1.0),))
+
+
+class TestDisabledTunerIsANoOp:
+    def test_no_observer_attached_and_step_is_empty(self):
+        server = IndexServer(SortedArrayIndex, num_shards=4).build(_keys())
+        try:
+            tuner = Tuner(server)  # default TuneConfig: disabled
+            assert not tuner.enabled
+            assert server._observer is None
+            assert server._observer_many is None
+            assert tuner.step() == []
+            assert tuner.start() is tuner and tuner._thread is None
+            assert len(tuner.audit) == 0
+        finally:
+            server.close()
+
+    def test_serving_answers_identical_with_disabled_tuner(self):
+        keys = _keys()
+        plain = IndexServer(SortedArrayIndex, num_shards=4).build(keys)
+        tuned = IndexServer(SortedArrayIndex, num_shards=4).build(keys)
+        tuner = Tuner(tuned)
+        try:
+            rng = np.random.default_rng(0)
+            for key in rng.uniform(-10.0, 1010.0, 300):
+                assert tuned.lookup(float(key)) == plain.lookup(float(key))
+            tuner.step()
+            assert tuned.stats()["shard_sizes"] == plain.stats()["shard_sizes"]
+        finally:
+            tuner.close()
+            plain.close()
+            tuned.close()
+
+
+class TestEnabledTunerActuates:
+    def test_hot_shard_rebalance_fires_and_is_audited(self):
+        server = IndexServer(SortedArrayIndex, num_shards=4).build(_keys())
+        tuner = Tuner(server, _tune_config())
+        try:
+            assert server._observer is tuner._observer
+            before = server.store.bounds_version
+            _hammer_hot_shard(server)
+            records = tuner.step()
+            outcomes = [(r.kind, r.outcome) for r in records]
+            assert ("rebalance", "applied") in outcomes
+            assert server.store.bounds_version == before + 1
+            # Every audit record names its policy and carries the
+            # triggering signal values.
+            for record in tuner.audit.records():
+                assert record.policy
+                assert record.signal and all(
+                    isinstance(name, str) for name, _ in record.signal)
+            # Serving stays correct across the re-partition.
+            for i in range(0, 1000, 37):
+                assert server.lookup(float(i)) is not None
+        finally:
+            tuner.close()
+            server.close()
+
+    def test_dry_run_records_but_does_not_touch_the_store(self):
+        server = IndexServer(SortedArrayIndex, num_shards=4).build(_keys())
+        tuner = Tuner(server, _tune_config(dry_run=True))
+        try:
+            before_version = server.store.bounds_version
+            before_gens = list(server.store.generations)
+            _hammer_hot_shard(server)
+            records = tuner.step()
+            assert [r.outcome for r in records] == ["dry-run"]
+            assert server.store.bounds_version == before_version
+            assert list(server.store.generations) == before_gens
+        finally:
+            tuner.close()
+            server.close()
+
+    def test_cooldown_blocks_back_to_back_repartitions(self):
+        server = IndexServer(SortedArrayIndex, num_shards=4).build(_keys())
+        tuner = Tuner(server, _tune_config(cooldown_steps=2))
+        try:
+            _hammer_hot_shard(server)
+            first = tuner.step()
+            assert any(r.outcome == "applied" for r in first)
+            # The applied rebalance re-fit the bounds to the first hot
+            # band; hammer a *different* band so skew re-appears.
+            _hammer_hot_shard(server, base=600.0)
+            second = tuner.step()
+            assert [r.outcome for r in second
+                    if r.kind == "rebalance"] == ["cooldown"]
+            assert "cooling down" in second[0].detail
+        finally:
+            tuner.close()
+            server.close()
+
+    def test_quiet_workload_proposes_nothing(self):
+        server = IndexServer(SortedArrayIndex, num_shards=4).build(_keys())
+        tuner = Tuner(server, _tune_config())
+        try:
+            for i in range(20):  # below min_requests
+                server.lookup(float(i))
+            assert tuner.step() == []
+        finally:
+            tuner.close()
+            server.close()
+
+
+class TestStepGateAndClose:
+    def test_concurrent_step_loses_the_gate_and_returns_empty(self):
+        server = IndexServer(SortedArrayIndex, num_shards=2).build(_keys(200))
+
+        inside = threading.Event()
+        release = threading.Event()
+
+        class Blocking(Policy):
+            name = "blocking"
+
+            def propose(self, signals):
+                inside.set()
+                release.wait(timeout=10.0)
+                return []
+
+        tuner = Tuner(server, _tune_config(), policies=[Blocking()])
+        try:
+            worker = threading.Thread(target=tuner.step)
+            worker.start()
+            assert inside.wait(timeout=10.0)
+            assert tuner.step() == []  # loser returns, does not block
+            release.set()
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+        finally:
+            release.set()
+            tuner.close()
+            server.close()
+
+    def test_close_detaches_observer_and_is_idempotent(self):
+        server = IndexServer(SortedArrayIndex, num_shards=2).build(_keys(200))
+        tuner = Tuner(server, _tune_config()).start()
+        try:
+            assert tuner._thread is not None
+            tuner.close()
+            assert server._observer is None
+            assert server._observer_many is None
+            assert tuner.step() == []
+            tuner.close()  # second close is a no-op
+        finally:
+            server.close()
+
+
+class TestActuatorRails:
+    def _store(self):
+        return ShardedStore(SortedArrayIndex, num_shards=4).build(_keys())
+
+    def test_rebuild_after_rebalance_same_step_is_subsumed(self):
+        store = self._store()
+        actuator = Actuator(store, AuditLog(), cooldown_steps=0)
+        sample = np.linspace(0.0, 1000.0, 256)
+        records = actuator.apply(0, [_rebalance_action(sample),
+                                     _rebuild_action((1, 2))])
+        assert [r.outcome for r in records] == ["applied", "subsumed"]
+        assert "already rebuilt" in records[1].detail
+
+    def test_rebuild_applies_and_bumps_only_its_shards(self):
+        store = self._store()
+        actuator = Actuator(store, AuditLog(), cooldown_steps=0)
+        before = list(store.generations)
+        records = actuator.apply(0, [_rebuild_action((1, 3))])
+        assert records[0].outcome == "applied"
+        after = list(store.generations)
+        assert after[1] == before[1] + 1 and after[3] == before[3] + 1
+        assert after[0] == before[0] and after[2] == before[2]
+
+    def test_failing_action_is_audited_as_error_and_does_not_abort(self):
+        store = self._store()
+        actuator = Actuator(store, AuditLog(), cooldown_steps=0)
+        bogus = Action(kind="warp", policy="test", shards=(0,),
+                       reason="test", signal=(("x", 1.0),))
+        records = actuator.apply(0, [bogus, _rebuild_action((0,))])
+        assert records[0].outcome == "error"
+        assert "ValueError" in records[0].detail
+        assert records[1].outcome == "applied"
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ValueError):
+            Actuator(self._store(), AuditLog(), cooldown_steps=-1)
+
+
+class TestDefaultPolicies:
+    def test_config_parameterizes_the_shipped_set(self):
+        policies = default_policies(TuneConfig(enabled=True, imbalance=4.0,
+                                               min_shard_writes=99))
+        names = [p.name for p in policies]
+        assert names == ["hot-shard-rebalance", "grid-retune", "drift-rebuild"]
+        assert policies[0].imbalance == 4.0
+        assert policies[2].min_shard_writes == 99

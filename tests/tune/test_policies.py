@@ -1,0 +1,154 @@
+"""Policy engine: deterministic signal -> action maps, with floors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tune.policies import (
+    DriftRebuildPolicy,
+    GridRetunePolicy,
+    HotShardRebalancePolicy,
+)
+from repro.tune.signals import ObservedWindow, SignalBundle, WindowSummary
+
+
+def _window(seq=1, per_shard=(100, 100, 100, 100), writes=0,
+            ewma_writes=0.0, p99_us=100.0, responses=None):
+    total = sum(per_shard)
+    return WindowSummary(
+        seq=seq, requests=total,
+        responses=total if responses is None else responses,
+        shed=0, writes=writes, cache_hits=0, cache_misses=0, batches=1,
+        batched_requests=total, per_shard_requests=tuple(per_shard),
+        per_shard_batches=tuple(1 for _ in per_shard),
+        latency={"count": total, "p50_us": 50.0, "p95_us": 90.0,
+                 "p99_us": p99_us, "max_us": p99_us, "mean_us": 60.0},
+        ewma_requests=float(total), ewma_writes=float(ewma_writes),
+        ewma_p99_us=p99_us, ewma_per_shard=tuple(float(v) for v in per_shard),
+    )
+
+
+def _observed(keys=(), write_keys=(), boxes=0, dims=2):
+    lo = np.zeros((boxes, dims))
+    hi = np.ones((boxes, dims))
+    return ObservedWindow(
+        keys=np.asarray(keys, dtype=np.float64),
+        write_keys=np.asarray(write_keys, dtype=np.float64),
+        points=np.asarray(keys, dtype=np.float64).reshape(-1, 1).repeat(dims, 1)
+        if len(keys) else np.empty((0, dims)),
+        box_lo=lo, box_hi=hi,
+        reads=len(keys), writes=len(write_keys), ranges=boxes,
+    )
+
+
+def _signals(window, observed=None, drift_fired=False, drift_score=0.0,
+             pressure=(0, 0, 0, 0), multi_dim=False):
+    return SignalBundle(
+        window=window,
+        observed=observed if observed is not None else _observed(),
+        drift_score=drift_score, drift_fired=drift_fired,
+        shard_sizes=(1000,) * len(pressure),
+        write_pressure=tuple(pressure),
+        num_shards=len(pressure), multi_dim=multi_dim,
+    )
+
+
+class TestHotShardRebalance:
+    def test_fires_on_imbalance_with_sample(self):
+        policy = HotShardRebalancePolicy(imbalance=2.0, min_requests=100,
+                                         min_sample=8, seed=0)
+        sig = _signals(_window(per_shard=(900, 30, 40, 30)),
+                       observed=_observed(keys=list(range(64))))
+        actions = policy.propose(sig)
+        assert len(actions) == 1
+        assert actions[0].kind == "rebalance"
+        assert actions[0].shards == (0, 1, 2, 3)
+        assert dict(actions[0].signal)["hot_shard"] == 0.0
+        assert actions[0].sample is not None
+
+    def test_quiet_below_imbalance_or_volume_or_sample(self):
+        policy = HotShardRebalancePolicy(imbalance=2.0, min_requests=100,
+                                         min_sample=8)
+        balanced = _signals(_window(per_shard=(110, 90, 100, 100)),
+                            observed=_observed(keys=list(range(64))))
+        assert policy.propose(balanced) == []
+        quiet = _signals(_window(per_shard=(20, 1, 1, 1)),
+                         observed=_observed(keys=list(range(64))))
+        assert policy.propose(quiet) == []
+        unseen = _signals(_window(per_shard=(900, 30, 40, 30)),
+                          observed=_observed(keys=[1.0, 2.0]))
+        assert policy.propose(unseen) == []
+
+    def test_subsample_is_seed_deterministic(self):
+        sig = _signals(_window(seq=7, per_shard=(900, 30, 40, 30)),
+                       observed=_observed(keys=list(range(500))))
+        policy = HotShardRebalancePolicy(imbalance=2.0, min_requests=100,
+                                         min_sample=8, max_sample=32, seed=5)
+        again = HotShardRebalancePolicy(imbalance=2.0, min_requests=100,
+                                        min_sample=8, max_sample=32, seed=5)
+        a = policy.propose(sig)[0].sample
+        b = again.propose(sig)[0].sample
+        assert a.shape[0] == 32
+        assert np.array_equal(a, b)
+
+
+class TestDriftRebuild:
+    def test_fires_when_burst_subsides_on_pressured_shards(self):
+        policy = DriftRebuildPolicy(min_writes=64, min_shard_writes=1000)
+        sig = _signals(_window(writes=10, ewma_writes=2000.0),
+                       drift_fired=True, drift_score=0.8,
+                       pressure=(0, 1500, 0, 2000))
+        actions = policy.propose(sig)
+        assert len(actions) == 1
+        assert actions[0].kind == "rebuild"
+        assert actions[0].shards == (1, 3)
+        assert "subsided" in actions[0].reason
+
+    def test_waits_mid_burst_until_pressure_runs_deep(self):
+        policy = DriftRebuildPolicy(min_writes=64, min_shard_writes=1000,
+                                    quiescence=0.5, deep_factor=3.0)
+        mid_burst = _window(writes=2000, ewma_writes=2000.0)
+        shallow = _signals(mid_burst, drift_fired=True,
+                           pressure=(0, 1500, 0, 0))
+        assert policy.propose(shallow) == []
+        deep = _signals(mid_burst, drift_fired=True,
+                        pressure=(0, 3500, 0, 1500))
+        actions = policy.propose(deep)
+        assert actions[0].shards == (1,)  # only the 3x-deep shard
+
+    def test_quiet_without_drift_or_without_pressure(self):
+        policy = DriftRebuildPolicy(min_writes=64, min_shard_writes=1000)
+        no_drift = _signals(_window(writes=10, ewma_writes=2000.0),
+                            drift_fired=False, pressure=(0, 1500, 0, 0))
+        assert policy.propose(no_drift) == []
+        no_pressure = _signals(_window(writes=10, ewma_writes=2000.0),
+                               drift_fired=True, pressure=(0, 0, 0, 0))
+        assert policy.propose(no_pressure) == []
+
+    def test_p99_slo_fallback_targets_all_shards(self):
+        policy = DriftRebuildPolicy(p99_us=1000.0, min_shard_writes=1000)
+        sig = _signals(_window(p99_us=5000.0), pressure=(0, 0, 0, 0))
+        actions = policy.propose(sig)
+        assert actions[0].shards == (0, 1, 2, 3)
+        assert "p99" in actions[0].reason
+
+
+class TestGridRetune:
+    def test_multi_dim_only(self):
+        policy = GridRetunePolicy(min_boxes=2)
+        one_d = _signals(_window(), observed=_observed(boxes=8),
+                         multi_dim=False)
+        assert policy.propose(one_d) == []
+
+    def test_fires_with_observed_boxes(self):
+        policy = GridRetunePolicy(min_boxes=2)
+        sig = _signals(_window(), observed=_observed(boxes=8), multi_dim=True)
+        actions = policy.propose(sig)
+        assert len(actions) == 1
+        assert actions[0].kind == "retune"
+        assert len(actions[0].workload) == 8
+
+    def test_quiet_below_box_floor(self):
+        policy = GridRetunePolicy(min_boxes=32)
+        sig = _signals(_window(), observed=_observed(boxes=4), multi_dim=True)
+        assert policy.propose(sig) == []
